@@ -1,0 +1,208 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section (DESIGN.md §7 maps each to its experiment), plus
+// microbenchmarks of the load-bearing components. Figure benchmarks run
+// reduced message counts so `go test -bench=.` stays in tens of seconds;
+// use cmd/ccexp for the full paper-scale runs recorded in EXPERIMENTS.md.
+//
+// Each figure benchmark logs the regenerated rows (run with -v to see
+// them) and reports the light-load model-vs-simulation error as a custom
+// metric where simulation is part of the figure.
+package ccnet_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/core"
+	"github.com/ccnet/ccnet/internal/des"
+	"github.com/ccnet/ccnet/internal/experiments"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/routing"
+	"github.com/ccnet/ccnet/internal/sim"
+	"github.com/ccnet/ccnet/internal/topology"
+	"github.com/ccnet/ccnet/internal/wormhole"
+)
+
+// benchOpts keeps figure benchmarks fast while exercising the full
+// pipeline (model sweep + subsampled simulation).
+func benchOpts() experiments.RunOptions {
+	return experiments.RunOptions{WarmupCount: 500, MeasureCount: 4000, SimEvery: 5, Seed: 1}
+}
+
+func benchFigure(b *testing.B, runner func(experiments.RunOptions) (*experiments.Result, error)) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := runner(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	var buf bytes.Buffer
+	if err := experiments.Render(&buf, last); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + buf.String())
+	if _, sf := experiments.LightLoadError(last, 0.7); !math.IsNaN(sf) {
+		b.ReportMetric(sf, "light-load-err-%")
+	}
+}
+
+// BenchmarkTable1Presets regenerates Table 1 (system organizations).
+func BenchmarkTable1Presets(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s1120 := cluster.System1120()
+		s544 := cluster.System544()
+		if err := s1120.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if err := s544.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.Table1()
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkTable2ServiceTimes regenerates Table 2 (network classes and
+// the Eq 11–12 service times).
+func BenchmarkTable2ServiceTimes(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table2(256)
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig3 regenerates Fig 3 (N=1120, M=32; analysis + simulation).
+func BenchmarkFig3(b *testing.B) { benchFigure(b, experiments.Fig3) }
+
+// BenchmarkFig4 regenerates Fig 4 (N=1120, M=64).
+func BenchmarkFig4(b *testing.B) { benchFigure(b, experiments.Fig4) }
+
+// BenchmarkFig5 regenerates Fig 5 (N=544, M=32).
+func BenchmarkFig5(b *testing.B) { benchFigure(b, experiments.Fig5) }
+
+// BenchmarkFig6 regenerates Fig 6 (N=544, M=64).
+func BenchmarkFig6(b *testing.B) { benchFigure(b, experiments.Fig6) }
+
+// BenchmarkFig7 regenerates Fig 7 (ICN2 bandwidth +20 %, analysis only).
+func BenchmarkFig7(b *testing.B) { benchFigure(b, experiments.Fig7) }
+
+// BenchmarkAblationVariants compares the documented model variants
+// (DESIGN.md §6) over the Fig 3 grid.
+func BenchmarkAblationVariants(b *testing.B) { benchFigure(b, experiments.Ablation) }
+
+// BenchmarkNonUniform exercises the paper's future-work extension:
+// hotspot and cluster-local traffic versus the uniform-traffic model.
+func BenchmarkNonUniform(b *testing.B) { benchFigure(b, experiments.NonUniform) }
+
+// --- microbenchmarks -----------------------------------------------------
+
+// BenchmarkModelEvaluate1120 measures one full analytical evaluation
+// (all 32×31 cluster pairs) of the N=1120 system.
+func BenchmarkModelEvaluate1120(b *testing.B) {
+	m, err := core.New(cluster.System1120(), netchar.MessageSpec{Flits: 32, FlitBytes: 256}, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Evaluate(3e-4).Saturated {
+			b.Fatal("unexpected saturation")
+		}
+	}
+}
+
+// BenchmarkModelSaturation1120 measures the bisection search.
+func BenchmarkModelSaturation1120(b *testing.B) {
+	m, err := core.New(cluster.System1120(), netchar.MessageSpec{Flits: 32, FlitBytes: 256}, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.SaturationPoint(0.01, 1e-4) <= 0 {
+			b.Fatal("no saturation point")
+		}
+	}
+}
+
+// BenchmarkSimulator544 measures simulator throughput (events/s) on the
+// N=544 system at moderate load.
+func BenchmarkSimulator544(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		m, err := sim.Run(sim.Config{
+			Sys: cluster.System544(), Msg: netchar.MessageSpec{Flits: 32, FlitBytes: 256},
+			Lambda: 3e-4, Seed: uint64(i), WarmupCount: 500, MeasureCount: 5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += m.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// BenchmarkTopologyConstruction builds the largest tree of the paper's
+// systems (m=4, n=5: 64 nodes, 144 switches).
+func BenchmarkTopologyConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := topology.New(4, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Nodes() != 64 {
+			b.Fatal("bad tree")
+		}
+	}
+}
+
+// BenchmarkRouting measures Up*/Down* path construction on an (8,3) tree.
+func BenchmarkRouting(b *testing.B) {
+	t, err := topology.New(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := t.Nodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % n
+		dst := (i*31 + 17) % n
+		if src == dst {
+			dst = (dst + 1) % n
+		}
+		if len(routing.Route(t, src, dst)) == 0 {
+			b.Fatal("empty route")
+		}
+	}
+}
+
+// BenchmarkWormholeJourney measures the channel engine: one contended
+// journey over an 8-channel path, including the flit recurrence.
+func BenchmarkWormholeJourney(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var k des.Kernel
+		e := wormhole.NewEngine(&k)
+		chans := make([]*wormhole.Channel, 8)
+		for j := range chans {
+			chans[j] = e.NewChannel("c", 0.5)
+		}
+		for m := 0; m < 16; m++ {
+			e.Start(&wormhole.Journey{Channels: chans, Flits: 32}, float64(m))
+		}
+		k.Run(nil)
+		if e.Completed != 16 {
+			b.Fatal("journeys lost")
+		}
+	}
+}
+
+// BenchmarkBufferDepthAblation regenerates the assumption-6 ablation
+// (channel buffer depth versus simulated latency on N=544).
+func BenchmarkBufferDepthAblation(b *testing.B) { benchFigure(b, experiments.BufferDepth) }

@@ -1,0 +1,118 @@
+// Command ccexp regenerates the paper's tables and figures (see DESIGN.md
+// §7 for the experiment index) and writes CSV and/or human-readable
+// output.
+//
+// Examples:
+//
+//	ccexp -exp table1
+//	ccexp -exp fig3 -csv fig3.csv
+//	ccexp -exp fig7
+//	ccexp -exp all -quick -outdir results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/ccnet/ccnet/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment: table1, table2, fig3..fig7, ablation, nonuniform, bufferdepth, all")
+		csvPath = flag.String("csv", "", "write CSV to this file")
+		outdir  = flag.String("outdir", "", "with -exp all: write one CSV per experiment here")
+		quick   = flag.Bool("quick", false, "reduced message counts (fast, less precise)")
+		warmup  = flag.Uint64("warmup", 0, "override warm-up message count")
+		measure = flag.Uint64("measure", 0, "override measured message count")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		reps    = flag.Int("reps", 0, "simulation replications per point (t-based CI)")
+		plot    = flag.Bool("plot", false, "render an ASCII chart of each figure")
+	)
+	flag.Parse()
+	plotFigures = *plot
+
+	opt := experiments.RunOptions{Seed: *seed, WarmupCount: *warmup, MeasureCount: *measure, Replications: *reps}
+	if *quick && *warmup == 0 && *measure == 0 {
+		opt.WarmupCount, opt.MeasureCount = 2000, 15000
+	}
+
+	switch *exp {
+	case "table1":
+		fmt.Print(experiments.Table1())
+		return
+	case "table2":
+		fmt.Print(experiments.Table2(256))
+		return
+	case "all":
+		ids := make([]string, 0, len(experiments.All()))
+		for id := range experiments.All() {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Print(experiments.Table1())
+		fmt.Println()
+		fmt.Print(experiments.Table2(256))
+		fmt.Println()
+		for _, id := range ids {
+			runOne(id, opt, csvForID(*outdir, id))
+		}
+		return
+	case "":
+		fmt.Fprintln(os.Stderr, "ccexp: -exp is required (table1, table2, fig3..fig7, ablation, nonuniform, bufferdepth, all)")
+		os.Exit(2)
+	default:
+		runner := experiments.All()[*exp]
+		if runner == nil {
+			fmt.Fprintf(os.Stderr, "ccexp: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		runOne(*exp, opt, *csvPath)
+	}
+}
+
+func csvForID(outdir, id string) string {
+	if outdir == "" {
+		return ""
+	}
+	return filepath.Join(outdir, id+".csv")
+}
+
+var plotFigures bool
+
+func runOne(id string, opt experiments.RunOptions, csvPath string) {
+	start := time.Now()
+	res, err := experiments.All()[id](opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccexp: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	if err := experiments.Render(os.Stdout, res); err != nil {
+		fmt.Fprintln(os.Stderr, "ccexp:", err)
+		os.Exit(1)
+	}
+	if plotFigures {
+		if err := experiments.RenderChart(os.Stdout, res, 72, 22); err != nil {
+			fmt.Fprintln(os.Stderr, "ccexp:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccexp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteCSV(f, res); err != nil {
+			fmt.Fprintln(os.Stderr, "ccexp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+}

@@ -1,0 +1,141 @@
+// Command ccsim runs the discrete-event cluster-of-clusters simulator at
+// one traffic rate and reports measured latency statistics, phase counts,
+// and bottleneck utilizations.
+//
+// Examples:
+//
+//	ccsim -system 1120 -lambda 2e-4 -flits 32 -flitbytes 256
+//	ccsim -system 544 -lambda 5e-4 -measure 100000 -warmup 10000
+//	ccsim -system 544 -lambda 3e-4 -pattern hotspot -hotspot-p 0.1
+//	ccsim -system 1120 -lambda 1e-4 -top-channels 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/sim"
+	"github.com/ccnet/ccnet/internal/trace"
+	"github.com/ccnet/ccnet/internal/traffic"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "1120", "system organization: 1120, 544 or small")
+		lambda    = flag.Float64("lambda", 1e-4, "λ_g: messages per node per time unit")
+		flits     = flag.Int("flits", 32, "message length M in flits")
+		flitBytes = flag.Int("flitbytes", 256, "flit size d_m in bytes")
+		warmup    = flag.Uint64("warmup", 10000, "warm-up messages (discarded)")
+		measure   = flag.Uint64("measure", 100000, "measured messages")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		pattern   = flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, local")
+		hotspotP  = flag.Float64("hotspot-p", 0.1, "fraction of traffic to the hot node")
+		localP    = flag.Float64("local-p", 0.5, "fraction of traffic kept intra-cluster")
+		topN      = flag.Int("top-channels", 0, "print the N most utilized channels")
+		traceOut  = flag.String("trace", "", "write per-message trace to this file (.csv or .jsonl)")
+		depth     = flag.Int("buffer-depth", 1, "channel input buffer depth in flits (paper: 1)")
+	)
+	flag.Parse()
+
+	sys, err := systemByName(*system)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := sim.Config{
+		Sys:                sys,
+		Msg:                netchar.MessageSpec{Flits: *flits, FlitBytes: *flitBytes},
+		Lambda:             *lambda,
+		Seed:               *seed,
+		WarmupCount:        *warmup,
+		MeasureCount:       *measure,
+		CollectChannelUtil: *topN > 0,
+		BufferDepth:        *depth,
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*traceOut, ".jsonl") {
+			cfg.Trace = &trace.JSONLWriter{W: f}
+		} else {
+			cfg.Trace = &trace.CSVWriter{W: f}
+		}
+	}
+	switch *pattern {
+	case "uniform":
+	case "hotspot":
+		cfg.Pattern = traffic.Hotspot{N: sys.TotalNodes(), Hot: 0, P: *hotspotP}
+	case "local":
+		sizes := make([]int, sys.NumClusters())
+		for i := range sizes {
+			sizes[i] = sys.ClusterNodes(i)
+		}
+		cfg.Pattern = traffic.ClusterLocal{Part: traffic.NewPartition(sizes), PLocal: *localP}
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+
+	start := time.Now()
+	m, err := sim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("system %s (N=%d), λ_g=%.4g, M=%d×%dB, pattern=%s\n",
+		sys.Name, sys.TotalNodes(), *lambda, *flits, *flitBytes, *pattern)
+	if m.Saturated {
+		fmt.Printf("SATURATED: offered load exceeds capacity (backlog peaked at %d)\n", m.PeakBacklog)
+	}
+	fmt.Printf("mean latency : %.3f ± %.3f (95%% CI), sd %.3f\n",
+		m.Latency.Mean(), m.Latency.CI95(), m.Latency.StdDev())
+	fmt.Printf("intra        : %s\n", m.Intra.String())
+	fmt.Printf("inter        : %s\n", m.Inter.String())
+	fmt.Printf("generated    : %d messages, sim time %.1f units\n", m.Generated, m.SimTime)
+	fmt.Printf("bottlenecks  : gateway util %.3f, max channel util %.3f\n",
+		m.MaxGatewayUtil, m.MaxChannelUtil)
+	fmt.Printf("cost         : %d events in %v (%.2fM events/s)\n",
+		m.Events, elapsed.Round(time.Millisecond), float64(m.Events)/1e6/elapsed.Seconds())
+
+	if *topN > 0 {
+		type kv struct {
+			name string
+			u    float64
+		}
+		var all []kv
+		for n, u := range m.ChannelUtil {
+			all = append(all, kv{n, u})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].u > all[j].u })
+		fmt.Printf("\ntop %d channels by utilization:\n", *topN)
+		for i := 0; i < *topN && i < len(all); i++ {
+			fmt.Printf("  %6.3f  %s\n", all[i].u, all[i].name)
+		}
+	}
+}
+
+func systemByName(name string) (*cluster.System, error) {
+	switch name {
+	case "1120":
+		return cluster.System1120(), nil
+	case "544":
+		return cluster.System544(), nil
+	case "small":
+		return cluster.SmallTestSystem(), nil
+	}
+	return nil, fmt.Errorf("unknown system %q (want 1120, 544 or small)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package ccnet reproduces "Analytical Network Modeling of Heterogeneous
+// Large-Scale Cluster Systems" (Javadi, Abawajy, Akbari, Nahavandi; IEEE
+// CLUSTER 2006): an analytical mean-latency model for cluster-of-clusters
+// systems built from m-port n-tree fat-trees with wormhole flow control,
+// together with the discrete-event simulator the model is validated
+// against.
+//
+// The library lives under internal/: see internal/core for the analytical
+// model, internal/sim for the simulator, and internal/experiments for the
+// table/figure regeneration harness. The cmd/ binaries (ccmodel, ccsim,
+// ccexp) and examples/ directories are the entry points; bench_test.go in
+// this directory regenerates every table and figure of the paper under
+// `go test -bench`.
+package ccnet

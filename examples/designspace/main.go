@@ -1,0 +1,75 @@
+// Designspace reproduces the paper's Fig 7 capability study as a
+// capacity-planning workflow: the inter-cluster ICN2 network is the
+// system bottleneck, so we sweep its bandwidth and ask how much headroom
+// each upgrade buys on both Table 1 systems — the analysis a designer
+// would run before buying switches.
+//
+// Run with:
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/core"
+	"github.com/ccnet/ccnet/internal/netchar"
+)
+
+func main() {
+	// The paper's Fig 7 workload: long messages (M=128 flits of 256 B)
+	// stress the inter-cluster path hardest.
+	msg := netchar.MessageSpec{Flits: 128, FlitBytes: 256}
+	scales := []float64{1.0, 1.1, 1.2, 1.5, 2.0}
+
+	for _, base := range []*cluster.System{cluster.System1120(), cluster.System544()} {
+		fmt.Printf("=== %s (N=%d, C=%d) ===\n", base.Name, base.TotalNodes(), base.NumClusters())
+		fmt.Printf("%-12s %-14s %-12s %s\n", "ICN2 BW", "saturation λ", "gain", "latency @ base-90%")
+
+		baseModel, err := core.New(base, msg, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseSat := baseModel.SaturationPoint(0.01, 1e-5)
+		probe := 0.9 * baseSat // fixed heavy-traffic operating point
+
+		for _, s := range scales {
+			sys := base
+			if s != 1 {
+				sys = base.ScaleICN2Bandwidth(s)
+			}
+			model, err := core.New(sys, msg, core.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sat := model.SaturationPoint(0.01, 1e-5)
+			lat := model.Evaluate(probe)
+			latStr := "saturated"
+			if !lat.Saturated {
+				latStr = fmt.Sprintf("%.1f", lat.MeanLatency)
+			}
+			fmt.Printf("×%-11.2f %-14.4g %-12s %s\n",
+				s, sat, fmt.Sprintf("%+.1f%%", 100*(sat/baseSat-1)), latStr)
+		}
+
+		// The paper's observation: the +20 % upgrade matters most in the
+		// high-traffic region, and more for N=544 than for N=1120.
+		up, err := core.New(base.ScaleICN2Bandwidth(1.2), msg, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lBase := baseModel.Evaluate(probe)
+		lUp := up.Evaluate(probe)
+		if !lBase.Saturated && !lUp.Saturated {
+			fmt.Printf("+20%% ICN2 bandwidth cuts latency at λ=%.3g by %.1f%%\n",
+				probe, 100*(1-lUp.MeanLatency/lBase.MeanLatency))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Conclusion (matches Fig 7): ICN2 bandwidth sets the saturation point almost")
+	fmt.Println("linearly — the gateway service time M·t_cs^{I2} is the binding constraint —")
+	fmt.Println("and the smaller N=544 system converts the upgrade into more usable headroom.")
+}

@@ -1,0 +1,85 @@
+// Heterogeneity quantifies what cluster-size skew costs: three
+// organizations with identical total node count and switch arity — one
+// balanced, two increasingly skewed — are compared on mean latency and on
+// the saturation point. Skewed systems concentrate inter-cluster traffic
+// on the big clusters' gateways, which saturate first (the model's
+// per-pair C/D queues capture exactly this).
+//
+// Run with:
+//
+//	go run ./examples/heterogeneity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/core"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/sim"
+)
+
+// organization builds an m=4 system from per-cluster tree heights.
+func organization(name string, levels []int) *cluster.System {
+	sys := &cluster.System{Name: name, Ports: 4, ICN2: netchar.Net1}
+	for _, n := range levels {
+		sys.Clusters = append(sys.Clusters, cluster.Config{
+			TreeLevels: n, ICN1: netchar.Net1, ECN1: netchar.Net2,
+		})
+	}
+	return sys
+}
+
+func main() {
+	msg := netchar.MessageSpec{Flits: 32, FlitBytes: 256}
+
+	// All three have C=16 clusters (m=4 → n_c=3) and N=256 nodes:
+	//   balanced: 16 × 16
+	//   skewed:   8×8 + 6×16 + 2×48 → needs power-of-two sizes with m=4:
+	// cluster sizes are 2·2^n ∈ {4,8,16,32,64}; pick combinations summing
+	// to 256 over 16 clusters.
+	orgs := []*cluster.System{
+		organization("balanced 16×16",
+			[]int{3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}),
+		organization("mildly skewed (8×8 + 4×16 + 4×32)",
+			[]int{2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4}),
+		organization("highly skewed (12×8 + 2×16 + 2×64)",
+			[]int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 5, 5}),
+	}
+	for _, sys := range orgs {
+		if sys.TotalNodes() != 256 {
+			log.Fatalf("%s: N=%d, want 256 — fix the level mix", sys.Name, sys.TotalNodes())
+		}
+	}
+
+	fmt.Printf("%-36s %-12s %-14s %-10s\n", "organization", "sat λ", "latency@2e-4", "sim@2e-4")
+	for _, sys := range orgs {
+		model, err := core.New(sys, msg, core.Options{GatewayStoreAndForward: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sat := model.SaturationPoint(0.01, 1e-5)
+		r := model.Evaluate(2e-4)
+
+		m, err := sim.Run(sim.Config{
+			Sys: sys, Msg: msg, Lambda: 2e-4, Seed: 11,
+			WarmupCount: 2000, MeasureCount: 20000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		simStr := fmt.Sprintf("%.1f±%.1f", m.MeanLatency(), m.Latency.CI95())
+		if m.Saturated {
+			simStr = "saturated"
+		}
+		fmt.Printf("%-36s %-12.4g %-14.1f %-10s\n", sys.Name, sat, r.MeanLatency, simStr)
+	}
+
+	fmt.Println("\nWhy: a cluster of N_i nodes feeds its single gateway with N_i·U_i·λ_g")
+	fmt.Println("messages per unit time, so the largest cluster's gateway saturates first —")
+	fmt.Println("skew costs the system most of its usable traffic range at identical total")
+	fmt.Println("size. The flip side: big clusters keep more traffic on their fast local")
+	fmt.Println("network (smaller U_i), so skewed organizations are marginally *faster* at")
+	fmt.Println("light load. Capacity, not light-load latency, is what heterogeneity hurts.")
+}

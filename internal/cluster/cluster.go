@@ -1,0 +1,190 @@
+// Package cluster describes heterogeneous cluster-of-clusters systems: the
+// number and shape of clusters, and the network class of every ICN1(i),
+// ECN1(i) and the global ICN2. It provides the two system organizations of
+// Table 1 as presets and derives the quantities the analytical model and
+// the simulator share (cluster sizes N_i, the outgoing-traffic probability
+// U^(i) of Eq 2, and the ICN2 tree height n_c).
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/ccnet/ccnet/internal/netchar"
+)
+
+// Config describes one cluster.
+type Config struct {
+	// TreeLevels is n_i: the cluster's networks are m-port n_i-trees, so
+	// the cluster has N_i = 2(m/2)^{n_i} nodes (assumption 3).
+	TreeLevels int
+	// ICN1 is the intra-cluster network class.
+	ICN1 netchar.Characteristics
+	// ECN1 is the inter-cluster access network class.
+	ECN1 netchar.Characteristics
+}
+
+// System is a complete cluster-of-clusters description.
+type System struct {
+	// Name labels the organization (e.g. "N=1120").
+	Name string
+	// Ports is m, the switch arity shared by every network in the system.
+	Ports int
+	// Clusters lists the C clusters.
+	Clusters []Config
+	// ICN2 is the global inter-cluster network class.
+	ICN2 netchar.Characteristics
+}
+
+// K returns m/2.
+func (s *System) K() int { return s.Ports / 2 }
+
+// NumClusters returns C.
+func (s *System) NumClusters() int { return len(s.Clusters) }
+
+// ClusterNodes returns N_i for cluster i.
+func (s *System) ClusterNodes(i int) int {
+	n := 2
+	for l := 0; l < s.Clusters[i].TreeLevels; l++ {
+		n *= s.K()
+	}
+	return n
+}
+
+// TotalNodes returns N = Σ N_i.
+func (s *System) TotalNodes() int {
+	total := 0
+	for i := range s.Clusters {
+		total += s.ClusterNodes(i)
+	}
+	return total
+}
+
+// OutProbability returns U^(i) (Eq 2), the probability that a uniformly
+// addressed message from cluster i leaves the cluster:
+//
+//	U^(i) = 1 − (N_i − 1)/(N − 1)
+func (s *System) OutProbability(i int) float64 {
+	n := s.TotalNodes()
+	if n <= 1 {
+		return 0
+	}
+	return 1 - float64(s.ClusterNodes(i)-1)/float64(n-1)
+}
+
+// ICN2Levels returns n_c, the height of the ICN2 tree, defined by
+// C = 2(m/2)^{n_c}. It is an error if C is not of that form.
+func (s *System) ICN2Levels() (int, error) {
+	c := s.NumClusters()
+	k := s.K()
+	if c%2 != 0 {
+		return 0, fmt.Errorf("cluster: C=%d is not 2(m/2)^n for any n", c)
+	}
+	half := c / 2
+	n := 0
+	for half > 1 {
+		if k <= 1 || half%k != 0 {
+			return 0, fmt.Errorf("cluster: C=%d is not 2(m/2)^n with m=%d", c, s.Ports)
+		}
+		half /= k
+		n++
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("cluster: C=%d yields n_c=0; need at least 2(m/2) clusters", c)
+	}
+	return n, nil
+}
+
+// Validate checks the full system description.
+func (s *System) Validate() error {
+	if s.Ports < 2 || s.Ports%2 != 0 {
+		return fmt.Errorf("cluster: ports m=%d must be an even integer >= 2", s.Ports)
+	}
+	if len(s.Clusters) < 2 {
+		return fmt.Errorf("cluster: need at least 2 clusters, got %d", len(s.Clusters))
+	}
+	if err := s.ICN2.Validate(); err != nil {
+		return fmt.Errorf("cluster: ICN2: %w", err)
+	}
+	if _, err := s.ICN2Levels(); err != nil {
+		return err
+	}
+	for i, c := range s.Clusters {
+		if c.TreeLevels < 1 || c.TreeLevels > 32 {
+			return fmt.Errorf("cluster %d: tree levels n_i=%d out of range", i, c.TreeLevels)
+		}
+		if err := c.ICN1.Validate(); err != nil {
+			return fmt.Errorf("cluster %d: ICN1: %w", i, err)
+		}
+		if err := c.ECN1.Validate(); err != nil {
+			return fmt.Errorf("cluster %d: ECN1: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ScaleICN2Bandwidth returns a copy of the system with the ICN2 bandwidth
+// multiplied by factor (the Fig 7 design-space knob).
+func (s *System) ScaleICN2Bandwidth(factor float64) *System {
+	cp := *s
+	cp.Clusters = append([]Config{}, s.Clusters...)
+	cp.ICN2 = s.ICN2.ScaleBandwidth(factor)
+	cp.Name = fmt.Sprintf("%s (ICN2 BW ×%g)", s.Name, factor)
+	return &cp
+}
+
+// uniform builds a system whose clusters all use Net.1 for ICN1 and Net.2
+// for ECN1, with ICN2 on Net.1 — the network assignment of the paper's
+// validation section.
+func uniform(name string, ports int, levels []int) *System {
+	s := &System{Name: name, Ports: ports, ICN2: netchar.Net1}
+	for _, n := range levels {
+		s.Clusters = append(s.Clusters, Config{
+			TreeLevels: n,
+			ICN1:       netchar.Net1,
+			ECN1:       netchar.Net2,
+		})
+	}
+	return s
+}
+
+// System1120 returns the first organization of Table 1: N=1120, C=32,
+// m=8, with n_i = 1 for clusters 0–11, n_i = 2 for 12–27, n_i = 3 for
+// 28–31.
+func System1120() *System {
+	levels := make([]int, 32)
+	for i := 0; i <= 11; i++ {
+		levels[i] = 1
+	}
+	for i := 12; i <= 27; i++ {
+		levels[i] = 2
+	}
+	for i := 28; i <= 31; i++ {
+		levels[i] = 3
+	}
+	return uniform("N=1120", 8, levels)
+}
+
+// System544 returns the second organization of Table 1: N=544, C=16, m=4,
+// with n_i = 3 for clusters 0–7, n_i = 4 for 8–10, n_i = 5 for 11–15.
+func System544() *System {
+	levels := make([]int, 16)
+	for i := 0; i <= 7; i++ {
+		levels[i] = 3
+	}
+	for i := 8; i <= 10; i++ {
+		levels[i] = 4
+	}
+	for i := 11; i <= 15; i++ {
+		levels[i] = 5
+	}
+	return uniform("N=544", 4, levels)
+}
+
+// SmallTestSystem returns a 4-cluster miniature (m=4, mixed n_i∈{1,2},
+// N=24) used by fast tests. It exercises the same heterogeneity mechanics
+// as Table 1 at a size where simulation takes milliseconds. Note that the
+// model's approximations (Eq 6 reuse for gateway crossings, per-pair rate
+// averaging) are tuned for large systems; expect coarser accuracy here.
+func SmallTestSystem() *System {
+	return uniform("N=24 (test)", 4, []int{1, 1, 2, 2})
+}

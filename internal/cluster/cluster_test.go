@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/netchar"
+)
+
+func TestSystem1120MatchesTable1(t *testing.T) {
+	s := System1120()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClusters() != 32 || s.Ports != 8 {
+		t.Fatalf("C=%d m=%d, want 32/8", s.NumClusters(), s.Ports)
+	}
+	if s.TotalNodes() != 1120 {
+		t.Fatalf("N = %d, want 1120", s.TotalNodes())
+	}
+	// Cluster sizes per band.
+	for i, want := range map[int]int{0: 8, 11: 8, 12: 32, 27: 32, 28: 128, 31: 128} {
+		if got := s.ClusterNodes(i); got != want {
+			t.Errorf("N_%d = %d, want %d", i, got, want)
+		}
+	}
+	nc, err := s.ICN2Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc != 2 { // 32 = 2·4²
+		t.Fatalf("n_c = %d, want 2", nc)
+	}
+}
+
+func TestSystem544MatchesTable1(t *testing.T) {
+	s := System544()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClusters() != 16 || s.Ports != 4 {
+		t.Fatalf("C=%d m=%d, want 16/4", s.NumClusters(), s.Ports)
+	}
+	if s.TotalNodes() != 544 {
+		t.Fatalf("N = %d, want 544", s.TotalNodes())
+	}
+	for i, want := range map[int]int{0: 16, 7: 16, 8: 32, 10: 32, 11: 64, 15: 64} {
+		if got := s.ClusterNodes(i); got != want {
+			t.Errorf("N_%d = %d, want %d", i, got, want)
+		}
+	}
+	nc, err := s.ICN2Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc != 3 { // 16 = 2·2³
+		t.Fatalf("n_c = %d, want 3", nc)
+	}
+}
+
+func TestNetworkAssignmentMatchesValidationSection(t *testing.T) {
+	// "The ICN1 and ICN2 networks used the Net.1 while the ECN1 networks
+	// used the Net.2 configuration."
+	for _, s := range []*System{System1120(), System544()} {
+		if s.ICN2 != netchar.Net1 {
+			t.Errorf("%s: ICN2 = %v, want Net.1", s.Name, s.ICN2)
+		}
+		for i, c := range s.Clusters {
+			if c.ICN1 != netchar.Net1 {
+				t.Errorf("%s cluster %d: ICN1 = %v, want Net.1", s.Name, i, c.ICN1)
+			}
+			if c.ECN1 != netchar.Net2 {
+				t.Errorf("%s cluster %d: ECN1 = %v, want Net.2", s.Name, i, c.ECN1)
+			}
+		}
+	}
+}
+
+func TestOutProbability(t *testing.T) {
+	s := System1120()
+	// Eq 2: U = 1 − (N_i−1)/(N−1).
+	cases := []struct {
+		i    int
+		want float64
+	}{
+		{0, 1 - 7.0/1119},    // N_0 = 8
+		{12, 1 - 31.0/1119},  // N_12 = 32
+		{31, 1 - 127.0/1119}, // N_31 = 128
+	}
+	for _, c := range cases {
+		if got := s.OutProbability(c.i); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("U^(%d) = %v, want %v", c.i, got, c.want)
+		}
+	}
+	// Bigger clusters keep more traffic internal.
+	if !(s.OutProbability(31) < s.OutProbability(0)) {
+		t.Error("larger cluster should have smaller outgoing probability")
+	}
+}
+
+func TestOutProbabilityBounds(t *testing.T) {
+	for _, s := range []*System{System1120(), System544(), SmallTestSystem()} {
+		for i := range s.Clusters {
+			u := s.OutProbability(i)
+			if u <= 0 || u >= 1 {
+				t.Errorf("%s: U^(%d) = %v out of (0,1)", s.Name, i, u)
+			}
+		}
+	}
+}
+
+func TestICN2LevelsRejectsBadCounts(t *testing.T) {
+	s := System1120()
+	s.Clusters = s.Clusters[:31] // 31 clusters: not 2·4^n
+	if _, err := s.ICN2Levels(); err == nil {
+		t.Fatal("ICN2Levels accepted C=31 with m=8")
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted C=31 with m=8")
+	}
+	s.Clusters = s.Clusters[:12] // 12 = 2·6: not a power of 4
+	if _, err := s.ICN2Levels(); err == nil {
+		t.Fatal("ICN2Levels accepted C=12 with m=8")
+	}
+}
+
+func TestValidateRejectsBadSystems(t *testing.T) {
+	good := SmallTestSystem()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := SmallTestSystem()
+	bad.Ports = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted odd port count")
+	}
+
+	bad = SmallTestSystem()
+	bad.Clusters = bad.Clusters[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted single-cluster system")
+	}
+
+	bad = SmallTestSystem()
+	bad.Clusters[0].TreeLevels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero tree levels")
+	}
+
+	bad = SmallTestSystem()
+	bad.ICN2.Bandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero ICN2 bandwidth")
+	}
+
+	bad = SmallTestSystem()
+	bad.Clusters[1].ECN1.Bandwidth = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted negative ECN1 bandwidth")
+	}
+}
+
+func TestScaleICN2Bandwidth(t *testing.T) {
+	s := System544()
+	scaled := s.ScaleICN2Bandwidth(1.2)
+	if math.Abs(scaled.ICN2.Bandwidth-600) > 1e-9 {
+		t.Fatalf("scaled ICN2 bandwidth = %v, want 600", scaled.ICN2.Bandwidth)
+	}
+	if s.ICN2.Bandwidth != 500 {
+		t.Fatal("ScaleICN2Bandwidth mutated the original")
+	}
+	if scaled.TotalNodes() != s.TotalNodes() {
+		t.Fatal("scaling changed the topology")
+	}
+	// Deep copy of clusters: mutating the copy must not touch the source.
+	scaled.Clusters[0].TreeLevels = 9
+	if s.Clusters[0].TreeLevels == 9 {
+		t.Fatal("ScaleICN2Bandwidth shares cluster backing array")
+	}
+}
+
+func TestSmallTestSystem(t *testing.T) {
+	s := SmallTestSystem()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalNodes() != 2*2+2*2+2*4+2*4 {
+		t.Fatalf("N = %d, want 20", s.TotalNodes())
+	}
+	nc, err := s.ICN2Levels()
+	if err != nil || nc != 1 { // 4 = 2·2¹
+		t.Fatalf("n_c = %d (%v), want 1", nc, err)
+	}
+}
+
+func TestICN2LevelsProperty(t *testing.T) {
+	// For every valid (k, n_c) the round trip C = 2k^{n_c} → ICN2Levels
+	// must recover n_c exactly. k=1 is excluded: C=2 for every height,
+	// so the inverse is undefined (and rejected by ICN2Levels).
+	for k := 2; k <= 6; k++ {
+		c := 2
+		for nc := 1; nc <= 6; nc++ {
+			c *= k
+			if c > 4096 {
+				break
+			}
+			sys := &System{Name: "t", Ports: 2 * k, ICN2: netchar.Net1}
+			for i := 0; i < c; i++ {
+				sys.Clusters = append(sys.Clusters, Config{TreeLevels: 1, ICN1: netchar.Net1, ECN1: netchar.Net2})
+			}
+			got, err := sys.ICN2Levels()
+			if err != nil {
+				t.Fatalf("k=%d nc=%d C=%d: %v", k, nc, c, err)
+			}
+			if got != nc {
+				t.Fatalf("k=%d C=%d: ICN2Levels=%d, want %d", k, c, got, nc)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/core"
+	"github.com/ccnet/ccnet/internal/netchar"
+)
+
+// Evaluate the paper's model on the Table 1 N=544 organization at a
+// moderate traffic rate.
+func ExampleModel_Evaluate() {
+	sys := cluster.System544()
+	msg := netchar.MessageSpec{Flits: 32, FlitBytes: 256}
+	model, err := core.New(sys, msg, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	r := model.Evaluate(2e-4)
+	fmt.Printf("mean latency %.1f (intra %.1f, inter %.1f), saturated=%v\n",
+		r.MeanLatency, r.MeanIntra, r.MeanInter, r.Saturated)
+	// Output:
+	// mean latency 46.3 (intra 20.7, inter 48.7), saturated=false
+}
+
+// Locate the largest sustainable traffic rate by bisection.
+func ExampleModel_SaturationPoint() {
+	model, err := core.New(cluster.System1120(),
+		netchar.MessageSpec{Flits: 32, FlitBytes: 256}, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("λ* ≈ %.2e messages/node/time-unit\n", model.SaturationPoint(0.01, 1e-4))
+	// Output:
+	// λ* ≈ 5.18e-04 messages/node/time-unit
+}
+
+// Compare cluster pairs analytically: flows out of a 64-node cluster hit
+// the gateway bottleneck harder than flows between 16-node clusters.
+func ExampleModel_PairLatency() {
+	model, err := core.New(cluster.System544(),
+		netchar.MessageSpec{Flits: 32, FlitBytes: 256}, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	big := model.PairLatency(8e-4, 11, 12) // 64-node clusters
+	small := model.PairLatency(8e-4, 0, 1) // 16-node clusters
+	fmt.Printf("big pair gateway wait %.1f, small pair %.1f\n", big.WC, small.WC)
+	// Output:
+	// big pair gateway wait 54.0, small pair 4.3
+}

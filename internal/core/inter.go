@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ccnet/ccnet/internal/queueing"
+)
+
+// PairResult decomposes the inter-cluster latency of one ordered cluster
+// pair (i → j): the terms of Eqs 31–34 plus the concentrator/dispatcher
+// wait (Eqs 36–37). LEx excludes the C/D waits, matching Eq 32; Total adds
+// 2·WC per Eq 38/39.
+type PairResult struct {
+	Src, Dst  int
+	WEx       float64 // Eq 31: source-queue wait
+	TEx       float64 // Eq 20/29: merged-unit network latency
+	EEx       float64 // Eq 33/34: tail pipeline time
+	SF        float64 // gateway serialization term (0 unless GatewayStoreAndForward)
+	WC        float64 // Eq 37: one C/D buffer wait
+	Saturated bool
+}
+
+// LEx returns Eq 32's pair latency (plus the optional S&F term).
+func (p *PairResult) LEx() float64 { return p.WEx + p.TEx + p.EEx + p.SF }
+
+// Total returns the pair latency including both gateway queue waits.
+func (p *PairResult) Total() float64 { return p.LEx() + 2*p.WC }
+
+// PairLatency evaluates the inter-cluster latency of the ordered pair
+// (i → j) at rate lambdaG — the analytical counterpart of the trace
+// summary's per-pair statistics. It panics on out-of-range or equal
+// indices.
+func (m *Model) PairLatency(lambdaG float64, i, j int) *PairResult {
+	if i == j || i < 0 || j < 0 || i >= len(m.cl) || j >= len(m.cl) {
+		panic(fmt.Sprintf("core: invalid cluster pair (%d,%d)", i, j))
+	}
+	if lambdaG < 0 || math.IsNaN(lambdaG) {
+		panic(fmt.Sprintf("core: invalid traffic rate %v", lambdaG))
+	}
+	return m.pairLatency(lambdaG, i, j)
+}
+
+// pairLatency computes the Eqs 20–37 terms for one ordered pair.
+func (m *Model) pairLatency(lambdaG float64, i, j int) *PairResult {
+	src := &m.cl[i]
+	dst := &m.cl[j]
+	M := float64(m.Msg.Flits)
+	tcsI2 := m.Sys.ICN2.SwitchChannelTime(m.Msg.FlitBytes)
+
+	// Eq 28: relaxing factor. The text says entering a faster ICN2
+	// *decreases* the waiting "proportional to the capacity", hence
+	// β_I2/β_E1 by default.
+	delta := m.Sys.ICN2.Beta() / m.Sys.Clusters[i].ECN1.Beta()
+	if m.Opt.InvertRelaxFactor {
+		delta = 1 / delta
+	}
+
+	// Eq 22: traffic carried by the ECN1 networks of the (i,j) pair.
+	lambdaE1 := lambdaG * (float64(src.nodes)*src.u + float64(dst.nodes)*dst.u)
+	// Eq 23 (reconstructed): average per-gateway rate of the pair.
+	lambdaI2 := lambdaE1 / 2
+
+	// Eqs 24–25: per-channel rates.
+	etaE1Src := lambdaE1 * src.dMean / (4 * float64(src.n) * float64(src.nodes))
+	etaE1Dst := lambdaE1 * dst.dMean / (4 * float64(dst.n) * float64(dst.nodes))
+	if m.Opt.Variant == PaperLiteral {
+		// The paper's Eq 24 derives one rate from the source side.
+		etaE1Dst = etaE1Src
+	}
+	etaI2 := lambdaI2 * m.meanDistI2() / (4 * float64(m.nc))
+
+	res := &PairResult{Src: i, Dst: j}
+
+	// Eqs 20–21, 26–30: average the merged-unit latency over the
+	// (r, v, l) crossing-length distribution.
+	for r := 1; r <= src.n; r++ {
+		pr := src.p[r-1]
+		rLinks := r
+		if m.Opt.CalibratedECNCrossing {
+			rLinks = 2 * r
+		}
+		for v := 1; v <= dst.n; v++ {
+			pv := dst.p[v-1]
+			vLinks := v
+			if m.Opt.CalibratedECNCrossing {
+				vLinks = 2 * v
+			}
+			for l := 1; l <= m.nc; l++ {
+				p := pr * pv * m.pI2[l-1]
+				k := rLinks + 2*l + vLinks - 1 // stage count (Eq: K = r+2l+v−1)
+				icn2Lo := rLinks
+				icn2Hi := rLinks + 2*l - 1
+				t := stageChain(k, M, dst.tcnE1,
+					func(s int) float64 {
+						switch {
+						case s < icn2Lo:
+							return src.tcsE1
+						case s < icn2Hi:
+							return tcsI2
+						default:
+							return dst.tcsE1
+						}
+					},
+					func(s int) float64 {
+						switch {
+						case s < icn2Lo:
+							return etaE1Src
+						case s < icn2Hi:
+							return etaI2 * delta
+						default:
+							return etaE1Dst
+						}
+					})
+				res.TEx += p * t
+				// Eq 34: tail time across the three networks.
+				res.EEx += p * (float64(rLinks-1)*src.tcsE1 +
+					float64(vLinks-1)*dst.tcsE1 +
+					2*float64(l)*tcsI2 + dst.tcnE1)
+			}
+		}
+	}
+
+	// Eq 31: source queue of the inter-cluster branch.
+	srcRate := lambdaG * src.u
+	if m.Opt.Variant == PaperLiteral {
+		srcRate = lambdaE1
+	}
+	sigma := res.TEx - M*src.tcnE1
+	q := queueing.MG1{Lambda: srcRate, MeanService: res.TEx, VarService: sigma * sigma}
+	wEx, err := q.Wait()
+	if err != nil {
+		res.Saturated = true
+	}
+	res.WEx = wEx
+
+	// Eqs 36–37: concentrate/dispatch buffers, service M·t_cs^{I2}.
+	sigmaCD := M*tcsI2 - M*src.tcsE1
+	qcd := queueing.MG1{Lambda: lambdaI2, MeanService: M * tcsI2, VarService: sigmaCD * sigmaCD}
+	wc, errCD := qcd.Wait()
+	if errCD != nil {
+		res.Saturated = true
+	}
+	res.WC = wc
+
+	if m.Opt.GatewayStoreAndForward {
+		// Serialization of the full message at each gateway buffer.
+		res.SF = M * (tcsI2 + dst.tcsE1)
+	}
+	return res
+}
+
+// interCluster fills the Eq 39 terms (Section 3.2): the merged
+// ECN1(i)→ICN2→ECN1(j) wormhole unit (Eqs 20–34), the source queue
+// (Eq 31), and the concentrator/dispatcher queues (Eqs 36–38), averaged
+// over destination clusters (Eqs 35, 38).
+func (m *Model) interCluster(lambdaG float64, i int, cr *ClusterResult) {
+	C := len(m.cl)
+	var sumLEx, sumWd float64
+	saturated := false
+
+	for j := 0; j < C; j++ {
+		if j == i {
+			continue
+		}
+		pr := m.pairLatency(lambdaG, i, j)
+		if pr.Saturated {
+			saturated = true
+		}
+		sumLEx += pr.LEx()
+		sumWd += 2 * pr.WC // Eq 38: concentrate + dispatch
+		cr.TEx += pr.TEx / float64(C-1)
+		cr.EEx += pr.EEx / float64(C-1)
+		cr.WEx += pr.WEx / float64(C-1)
+	}
+
+	if saturated {
+		cr.LOut = math.Inf(1)
+		cr.WD = math.Inf(1)
+		return
+	}
+	// Eqs 35, 38, 39.
+	cr.WD = sumWd / float64(C-1)
+	cr.LOut = sumLEx/float64(C-1) + cr.WD
+}
+
+// meanDistI2 returns Eq 8's mean link count for the ICN2 tree.
+func (m *Model) meanDistI2() float64 {
+	var d float64
+	for h, p := range m.pI2 {
+		d += 2 * float64(h+1) * p
+	}
+	return d
+}

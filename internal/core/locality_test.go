@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/sim"
+	"github.com/ccnet/ccnet/internal/traffic"
+)
+
+func TestLocalityOverridesOutProbability(t *testing.T) {
+	m := mustModel(t, cluster.System544(), 32, 256,
+		Options{UseLocality: true, LocalityFraction: 0.7})
+	r := m.Evaluate(1e-4)
+	for i, cr := range r.PerCluster {
+		if math.Abs(cr.U-0.3) > 1e-12 {
+			t.Fatalf("cluster %d: U=%v, want 0.3 under 70%% locality", i, cr.U)
+		}
+	}
+}
+
+func TestLocalityRejectsBadFraction(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.0, 1.5, math.NaN()} {
+		_, err := New(cluster.System544(), netchar.MessageSpec{Flits: 32, FlitBytes: 256},
+			Options{UseLocality: true, LocalityFraction: bad})
+		if err == nil {
+			t.Errorf("accepted locality fraction %v", bad)
+		}
+	}
+}
+
+func TestLocalityExtendsSaturation(t *testing.T) {
+	// Keeping traffic local relieves the gateways, so the sustainable
+	// rate must grow monotonically with the locality fraction.
+	prev := 0.0
+	for _, p := range []float64{0, 0.3, 0.6, 0.9} {
+		opt := Options{UseLocality: true, LocalityFraction: p}
+		m := mustModel(t, cluster.System544(), 32, 256, opt)
+		sat := m.SaturationPoint(0.1, 1e-4)
+		if sat <= prev {
+			t.Fatalf("saturation did not grow with locality: %v at p=%v after %v", sat, p, prev)
+		}
+		prev = sat
+	}
+}
+
+func TestLocalityZeroMatchesNearUniform(t *testing.T) {
+	// LocalityFraction 0 means "always leave the cluster" — U=1 for all —
+	// which must upper-bound the uniform model's inter-latency weighting.
+	uni := mustModel(t, cluster.System544(), 32, 256, Options{})
+	allOut := mustModel(t, cluster.System544(), 32, 256, Options{UseLocality: true})
+	ru := uni.Evaluate(1e-4)
+	ra := allOut.Evaluate(1e-4)
+	if ra.MeanLatency <= ru.MeanLatency {
+		t.Fatalf("all-remote traffic (%v) not slower than uniform (%v)",
+			ra.MeanLatency, ru.MeanLatency)
+	}
+}
+
+func TestLocalityModelTracksSimulator(t *testing.T) {
+	// Integration: the locality-extended model against the simulator's
+	// ClusterLocal pattern at light load, N=544. This validates the
+	// future-work extension end to end.
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sys := cluster.System544()
+	msg := netchar.MessageSpec{Flits: 32, FlitBytes: 256}
+	sizes := make([]int, sys.NumClusters())
+	for i := range sizes {
+		sizes[i] = sys.ClusterNodes(i)
+	}
+	part := traffic.NewPartition(sizes)
+
+	for _, p := range []float64{0.5, 0.9} {
+		model, err := New(sys, msg, Options{
+			UseLocality: true, LocalityFraction: p, GatewayStoreAndForward: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := 0.25 * model.SaturationPoint(0.1, 1e-4)
+		want := model.Evaluate(lambda).MeanLatency
+
+		m, err := sim.Run(sim.Config{
+			Sys: sys, Msg: msg, Lambda: lambda, Seed: 17,
+			Pattern:     traffic.ClusterLocal{Part: part, PLocal: p},
+			WarmupCount: 2000, MeasureCount: 15000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Saturated {
+			t.Fatalf("p=%v: simulator saturated at λ=%v", p, lambda)
+		}
+		got := m.MeanLatency()
+		errPct := math.Abs(want-got) / got * 100
+		if errPct > 12 {
+			t.Errorf("p=%v λ=%.3g: locality model %.2f vs sim %.2f (%.1f%% error, want <12%%)",
+				p, lambda, want, got, errPct)
+		}
+	}
+}

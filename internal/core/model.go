@@ -1,0 +1,305 @@
+// Package core implements the paper's contribution: the analytical mean
+// message latency model for heterogeneous cluster-of-clusters systems
+// (Eqs 1–39 of Javadi et al., CLUSTER 2006).
+//
+// A message from cluster i stays inside the cluster with probability
+// 1−U^(i) and crosses the inter-cluster networks otherwise (Eq 1); the two
+// branches are modelled separately (Sections 3.1 and 3.2 of the paper) and
+// combined into a system-wide weighted mean (Eq 3).
+//
+// The scanned source of the paper leaves a few arrival-rate symbols
+// ambiguous, so the model implements two variants (see Options.Variant and
+// DESIGN.md §6):
+//
+//   - Reconstructed (default): per-channel rates aggregate the whole
+//     network's traffic, while each node's source queue sees only that
+//     node's own arrival stream, and each concentrator/dispatcher sees its
+//     cluster-pair's averaged per-gateway rate. This reading reproduces
+//     the saturation points of the paper's Figs 3–7.
+//   - PaperLiteral: the source-queue M/G/1s use the printed
+//     network-aggregate rates λ_I1 (Eq 7) and λ_E1 (Eq 22) verbatim.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/queueing"
+)
+
+// Variant selects the arrival-rate reading for the source queues.
+type Variant int
+
+const (
+	// Reconstructed is the physically consistent reading (default).
+	Reconstructed Variant = iota
+	// PaperLiteral uses the network-aggregate rates exactly as printed.
+	PaperLiteral
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Reconstructed:
+		return "reconstructed"
+	case PaperLiteral:
+		return "paper-literal"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Options tune documented model ambiguities; the zero value is the
+// default configuration used to regenerate the paper's figures.
+type Options struct {
+	Variant Variant
+
+	// InvertRelaxFactor flips Eq 28's relaxing factor from β_I2/β_E1
+	// (waits shrink when ICN2 is faster, the text's reading) to β_E1/β_I2.
+	InvertRelaxFactor bool
+
+	// CalibratedECNCrossing replaces the paper's r-link ECN1-crossing
+	// distribution with the 2r-link distribution induced by a concrete
+	// leaf-attached gateway (what the simulator builds), for
+	// model-vs-simulator ablation.
+	CalibratedECNCrossing bool
+
+	// GatewayStoreAndForward adds the two message serializations that a
+	// physically realizable store-and-forward gateway introduces
+	// (M·t_cs^{I2} at the concentrator, M·t_cs^{E1(j)} at the
+	// dispatcher). The paper's Eq 32 treats the three networks as one
+	// cut-through pipe while simultaneously assuming full-message C/D
+	// service in Eqs 36–37 — two readings no single hardware realizes
+	// (EXPERIMENTS.md, finding F-A1). Enable this to compare the model
+	// against the simulator's store-and-forward gateways.
+	GatewayStoreAndForward bool
+
+	// UseLocality extends the model to the cluster-local traffic pattern
+	// the paper names as future work: each node addresses its own cluster
+	// (uniformly) with probability LocalityFraction and the other
+	// clusters' nodes uniformly otherwise. The outgoing probability of
+	// Eq 2 becomes U^(i) = 1 − LocalityFraction for every cluster; all
+	// within-network distance distributions are unchanged (destinations
+	// stay uniform within their cluster). Matches traffic.ClusterLocal in
+	// the simulator.
+	UseLocality      bool
+	LocalityFraction float64
+}
+
+// Model evaluates the analytical latency for one system and message
+// geometry across traffic rates.
+type Model struct {
+	Sys *cluster.System
+	Msg netchar.MessageSpec
+	Opt Options
+
+	nc  int       // ICN2 tree height
+	pI2 []float64 // Eq 6 distribution for the ICN2 tree
+	cl  []clusterDerived
+}
+
+// clusterDerived caches per-cluster constants.
+type clusterDerived struct {
+	n     int       // n_i
+	nodes int       // N_i
+	u     float64   // U^(i)
+	p     []float64 // Eq 6 distribution for the cluster's trees
+	dMean float64   // Eq 8/9 mean link count
+
+	tcnI1, tcsI1 float64
+	tcnE1, tcsE1 float64
+}
+
+// New validates the system and precomputes per-cluster constants.
+func New(sys *cluster.System, msg netchar.MessageSpec, opt Options) (*Model, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := msg.Validate(); err != nil {
+		return nil, err
+	}
+	nc, err := sys.ICN2Levels()
+	if err != nil {
+		return nil, err
+	}
+	if opt.UseLocality && (opt.LocalityFraction < 0 || opt.LocalityFraction >= 1 || math.IsNaN(opt.LocalityFraction)) {
+		return nil, fmt.Errorf("core: locality fraction %v outside [0,1)", opt.LocalityFraction)
+	}
+	m := &Model{Sys: sys, Msg: msg, Opt: opt, nc: nc}
+	m.pI2 = distanceDist(sys.K(), nc)
+	m.cl = make([]clusterDerived, sys.NumClusters())
+	for i := range m.cl {
+		cc := sys.Clusters[i]
+		d := &m.cl[i]
+		d.n = cc.TreeLevels
+		d.nodes = sys.ClusterNodes(i)
+		d.u = sys.OutProbability(i)
+		if opt.UseLocality {
+			d.u = 1 - opt.LocalityFraction
+		}
+		d.p = distanceDist(sys.K(), cc.TreeLevels)
+		for h, ph := range d.p {
+			d.dMean += 2 * float64(h+1) * ph
+		}
+		d.tcnI1 = cc.ICN1.NodeChannelTime(msg.FlitBytes)
+		d.tcsI1 = cc.ICN1.SwitchChannelTime(msg.FlitBytes)
+		d.tcnE1 = cc.ECN1.NodeChannelTime(msg.FlitBytes)
+		d.tcsE1 = cc.ECN1.SwitchChannelTime(msg.FlitBytes)
+	}
+	return m, nil
+}
+
+// distanceDist is Eq 6 as pure arithmetic (k = m/2, tree height n); the
+// topology package's enumerated distribution matches it exactly (tested).
+func distanceDist(k, n int) []float64 {
+	kf := float64(k)
+	nodes := 2 * math.Pow(kf, float64(n))
+	total := nodes - 1
+	p := make([]float64, n)
+	kPow := 1.0
+	for h := 1; h <= n-1; h++ {
+		p[h-1] = (kf - 1) * kPow / total
+		kPow *= kf
+	}
+	p[n-1] = (2*kf - 1) * kPow / total
+	return p
+}
+
+// ClusterResult decomposes the latency seen from one cluster.
+type ClusterResult struct {
+	U float64 // outgoing probability (Eq 2)
+
+	// Intra-cluster terms (Eq 4).
+	WIn, TIn, EIn, LIn float64
+
+	// Inter-cluster terms (Eqs 32, 35, 38, 39).
+	WEx, TEx, EEx float64 // averaged over destination clusters
+	WD            float64 // concentrator/dispatcher waits (Eq 38)
+	LOut          float64 // Eq 39
+
+	Mean float64 // ℓ^(i), Eq 1
+}
+
+// Result is a full model evaluation at one traffic rate.
+type Result struct {
+	Lambda      float64 // λ_g, messages per node per time unit
+	MeanLatency float64 // Eq 3; +Inf when saturated
+	Saturated   bool    // some queue or channel exceeded capacity
+	PerCluster  []ClusterResult
+
+	// MeanIntra and MeanInter decompose the system mean by branch,
+	// weighted by each branch's message population (cluster i generates
+	// intra messages in proportion N_i(1−U_i) and inter in proportion
+	// N_i·U_i). They correspond to the simulator's Intra/Inter
+	// accumulators.
+	MeanIntra, MeanInter float64
+}
+
+// Evaluate computes the mean message latency at per-node generation rate
+// lambdaG. A saturated system yields Saturated=true and +Inf latency.
+func (m *Model) Evaluate(lambdaG float64) *Result {
+	if lambdaG < 0 || math.IsNaN(lambdaG) {
+		panic(fmt.Sprintf("core: invalid traffic rate %v", lambdaG))
+	}
+	res := &Result{Lambda: lambdaG, PerCluster: make([]ClusterResult, len(m.cl))}
+	totalNodes := float64(m.Sys.TotalNodes())
+
+	var intraWeight, interWeight float64
+	for i := range m.cl {
+		cr := &res.PerCluster[i]
+		cr.U = m.cl[i].u
+
+		m.intraCluster(lambdaG, i, cr)
+		m.interCluster(lambdaG, i, cr)
+
+		cr.Mean = (1-cr.U)*cr.LIn + cr.U*cr.LOut
+		if math.IsInf(cr.LIn, 1) || math.IsInf(cr.LOut, 1) {
+			res.Saturated = true
+		}
+		res.MeanLatency += float64(m.cl[i].nodes) / totalNodes * cr.Mean
+
+		wIn := float64(m.cl[i].nodes) * (1 - cr.U)
+		wOut := float64(m.cl[i].nodes) * cr.U
+		res.MeanIntra += wIn * cr.LIn
+		res.MeanInter += wOut * cr.LOut
+		intraWeight += wIn
+		interWeight += wOut
+	}
+	if intraWeight > 0 {
+		res.MeanIntra /= intraWeight
+	}
+	if interWeight > 0 {
+		res.MeanInter /= interWeight
+	}
+	if res.Saturated {
+		res.MeanLatency = math.Inf(1)
+		res.MeanIntra = math.Inf(1)
+		res.MeanInter = math.Inf(1)
+	}
+	return res
+}
+
+// stageChain runs the backward stage recursion shared by Eqs 13–14 and
+// 26–29: stage K−1 has service M·lastService and no downstream wait; every
+// earlier stage k has service M·service(k) plus the waits of all later
+// stages, and contributes W_k = ½·eta(k)·T_k². It returns T_0.
+func stageChain(k int, flits float64, lastService float64,
+	service func(int) float64, eta func(int) float64) float64 {
+	t := flits * lastService
+	wSum := 0.5 * eta(k-1) * t * t
+	for s := k - 2; s >= 0; s-- {
+		t = flits*service(s) + wSum
+		w := 0.5 * eta(s) * t * t
+		wSum += w
+	}
+	return t
+}
+
+// intraCluster fills the Eq 4 terms (Section 3.1).
+func (m *Model) intraCluster(lambdaG float64, i int, cr *ClusterResult) {
+	d := &m.cl[i]
+	M := float64(m.Msg.Flits)
+
+	// Eq 7: traffic offered to ICN1(i); Eq 10: per-channel rate.
+	lambdaI1 := float64(d.nodes) * lambdaG * (1 - d.u)
+	etaI1 := lambdaI1 * d.dMean / (4 * float64(d.n) * float64(d.nodes))
+
+	// Eqs 5, 13, 14: mean network latency.
+	var tIn float64
+	for h := 1; h <= d.n; h++ {
+		k := 2*h - 1
+		var th float64
+		if k == 1 {
+			th = M * d.tcnI1
+		} else {
+			th = stageChain(k, M, d.tcnI1,
+				func(int) float64 { return d.tcsI1 },
+				func(int) float64 { return etaI1 })
+		}
+		tIn += d.p[h-1] * th
+	}
+	cr.TIn = tIn
+
+	// Eq 19: tail pipeline time.
+	var eIn float64
+	for h := 1; h <= d.n; h++ {
+		eIn += d.p[h-1] * (2*float64(h-1)*d.tcsI1 + d.tcnI1)
+	}
+	cr.EIn = eIn
+
+	// Eqs 15–18: the source queue.
+	srcRate := lambdaG * (1 - d.u)
+	if m.Opt.Variant == PaperLiteral {
+		srcRate = lambdaI1
+	}
+	sigma := tIn - M*d.tcnI1
+	q := queueing.MG1{Lambda: srcRate, MeanService: tIn, VarService: sigma * sigma}
+	w, err := q.Wait()
+	if err != nil {
+		cr.WIn = math.Inf(1)
+		cr.LIn = math.Inf(1)
+		return
+	}
+	cr.WIn = w
+	cr.LIn = cr.WIn + cr.TIn + cr.EIn
+}

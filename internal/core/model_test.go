@@ -1,0 +1,426 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/sim"
+	"github.com/ccnet/ccnet/internal/topology"
+)
+
+func mustModel(t *testing.T, sys *cluster.System, flits, flitBytes int, opt Options) *Model {
+	t.Helper()
+	m, err := New(sys, netchar.MessageSpec{Flits: flits, FlitBytes: flitBytes}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDistanceDistMatchesTopology(t *testing.T) {
+	for _, s := range []struct{ m, n int }{{8, 1}, {8, 2}, {8, 3}, {4, 3}, {4, 5}, {6, 2}} {
+		tree, err := topology.New(s.m, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tree.DistanceDistribution()
+		got := distanceDist(s.m/2, s.n)
+		for h := range want {
+			if math.Abs(got[h]-want[h]) > 1e-12 {
+				t.Errorf("(%d,%d) h=%d: core %v, topology %v", s.m, s.n, h+1, got[h], want[h])
+			}
+		}
+	}
+}
+
+func TestNewRejectsInvalidInputs(t *testing.T) {
+	sys := cluster.System1120()
+	if _, err := New(sys, netchar.MessageSpec{Flits: 0, FlitBytes: 256}, Options{}); err == nil {
+		t.Error("accepted zero-flit messages")
+	}
+	bad := cluster.System1120()
+	bad.Ports = 7
+	if _, err := New(bad, netchar.MessageSpec{Flits: 32, FlitBytes: 256}, Options{}); err == nil {
+		t.Error("accepted invalid system")
+	}
+	odd := cluster.System1120()
+	odd.Clusters = odd.Clusters[:30] // C no longer 2(m/2)^n
+	if _, err := New(odd, netchar.MessageSpec{Flits: 32, FlitBytes: 256}, Options{}); err == nil {
+		t.Error("accepted C incompatible with ICN2 tree")
+	}
+}
+
+func TestZeroLoadLimits(t *testing.T) {
+	m := mustModel(t, cluster.System1120(), 32, 256, Options{})
+	r := m.Evaluate(1e-12)
+	if r.Saturated {
+		t.Fatal("saturated at negligible load")
+	}
+	for i, cr := range r.PerCluster {
+		// Queue waits vanish.
+		if cr.WIn > 1e-6 || cr.WEx > 1e-6 || cr.WD > 1e-6 {
+			t.Errorf("cluster %d: residual waits at zero load: WIn=%v WEx=%v WD=%v", i, cr.WIn, cr.WEx, cr.WD)
+		}
+		// The network latency approaches the h-averaged transfer time,
+		// which is at least one full message over the slowest channel class
+		// involved and at most M·t plus tail terms.
+		M := float64(m.Msg.Flits)
+		tcnI1 := m.Sys.Clusters[i].ICN1.NodeChannelTime(256)
+		tcsI1 := m.Sys.Clusters[i].ICN1.SwitchChannelTime(256)
+		if cr.TIn < M*tcnI1-1e-9 || cr.TIn > M*tcsI1+1e-9 {
+			t.Errorf("cluster %d: TIn=%v outside [M·tcn=%v, M·tcs=%v]", i, cr.TIn, M*tcnI1, M*tcsI1)
+		}
+	}
+}
+
+func TestSingleLevelClusterIntraLatency(t *testing.T) {
+	// For an n_i=1 cluster every intra journey has h=1 → K=1 stage, so at
+	// zero load T_in = M·t_cn and E_in = t_cn exactly (Eqs 5, 14, 19).
+	m := mustModel(t, cluster.System1120(), 32, 256, Options{})
+	r := m.Evaluate(1e-12)
+	cr := r.PerCluster[0] // n_0 = 1
+	tcn := netchar.Net1.NodeChannelTime(256)
+	if math.Abs(cr.TIn-32*tcn) > 1e-6 {
+		t.Fatalf("TIn = %v, want M·tcn = %v", cr.TIn, 32*tcn)
+	}
+	if math.Abs(cr.EIn-tcn) > 1e-6 {
+		t.Fatalf("EIn = %v, want tcn = %v", cr.EIn, tcn)
+	}
+}
+
+func TestWeightedMeanConsistency(t *testing.T) {
+	m := mustModel(t, cluster.System544(), 32, 256, Options{})
+	r := m.Evaluate(2e-4)
+	var want float64
+	n := float64(m.Sys.TotalNodes())
+	for i, cr := range r.PerCluster {
+		want += float64(m.Sys.ClusterNodes(i)) / n * cr.Mean
+	}
+	if math.Abs(r.MeanLatency-want) > 1e-9 {
+		t.Fatalf("MeanLatency = %v, weighted recomputation %v", r.MeanLatency, want)
+	}
+}
+
+func TestClusterMeanCombinesBranches(t *testing.T) {
+	m := mustModel(t, cluster.System1120(), 32, 256, Options{})
+	r := m.Evaluate(1e-4)
+	for i, cr := range r.PerCluster {
+		want := (1-cr.U)*cr.LIn + cr.U*cr.LOut
+		if math.Abs(cr.Mean-want) > 1e-9 {
+			t.Errorf("cluster %d: Mean=%v, want Eq 1 combination %v", i, cr.Mean, want)
+		}
+		if cr.LIn <= 0 || cr.LOut <= 0 {
+			t.Errorf("cluster %d: non-positive latencies LIn=%v LOut=%v", i, cr.LIn, cr.LOut)
+		}
+		// Inter-cluster journeys cross slower networks and gateways.
+		if cr.LOut <= cr.LIn {
+			t.Errorf("cluster %d: LOut=%v not above LIn=%v", i, cr.LOut, cr.LIn)
+		}
+	}
+}
+
+func TestLatencyMonotoneInLoad(t *testing.T) {
+	for _, variant := range []Variant{Reconstructed, PaperLiteral} {
+		m := mustModel(t, cluster.System1120(), 32, 256, Options{Variant: variant})
+		sat := m.SaturationPoint(0.01, 1e-4)
+		prev := 0.0
+		for _, frac := range []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95} {
+			r := m.Evaluate(frac * sat)
+			if r.Saturated {
+				t.Fatalf("%v: saturated below the saturation point (%v)", variant, frac*sat)
+			}
+			if r.MeanLatency <= prev {
+				t.Fatalf("%v: latency not increasing at λ=%v: %v after %v",
+					variant, frac*sat, r.MeanLatency, prev)
+			}
+			prev = r.MeanLatency
+		}
+	}
+}
+
+func TestSaturationPointBracketing(t *testing.T) {
+	m := mustModel(t, cluster.System544(), 64, 256, Options{})
+	sat := m.SaturationPoint(0.01, 1e-5)
+	if sat <= 0 || sat >= 0.01 {
+		t.Fatalf("saturation point %v out of range", sat)
+	}
+	if m.Evaluate(sat * 0.999).Saturated {
+		t.Fatal("just below saturation point reports saturated")
+	}
+	if !m.Evaluate(sat * 1.01).Saturated {
+		t.Fatal("just above saturation point reports stable")
+	}
+}
+
+func TestSaturationScalesInverselyWithMessageSize(t *testing.T) {
+	// Figures 3 vs 4 and 5 vs 6: doubling M roughly halves the saturation
+	// rate; same for doubling d_m.
+	for _, sys := range []*cluster.System{cluster.System1120(), cluster.System544()} {
+		sat32 := mustModel(t, sys, 32, 256, Options{}).SaturationPoint(0.01, 1e-5)
+		sat64 := mustModel(t, sys, 64, 256, Options{}).SaturationPoint(0.01, 1e-5)
+		ratio := sat32 / sat64
+		if ratio < 1.8 || ratio > 2.2 {
+			t.Errorf("%s: sat(M=32)/sat(M=64) = %v, want ≈2", sys.Name, ratio)
+		}
+		sat512 := mustModel(t, sys, 32, 512, Options{}).SaturationPoint(0.01, 1e-5)
+		ratio = sat32 / sat512
+		if ratio < 1.8 || ratio > 2.2 {
+			t.Errorf("%s: sat(dm=256)/sat(dm=512) = %v, want ≈2", sys.Name, ratio)
+		}
+	}
+}
+
+func TestPaperFigureSaturationPoints(t *testing.T) {
+	// The figures' x-axis extents bound where each configuration
+	// saturates. Reproduction targets (Reconstructed variant):
+	cases := []struct {
+		sys    *cluster.System
+		flits  int
+		lo, hi float64 // acceptable saturation range ≈ figure axis end
+	}{
+		{cluster.System1120(), 32, 4.2e-4, 6.2e-4},   // Fig 3: axis to 5e-4
+		{cluster.System1120(), 64, 2.1e-4, 3.1e-4},   // Fig 4: axis to 2.5e-4
+		{cluster.System544(), 32, 8.5e-4, 1.25e-3},   // Fig 5: axis to 1e-3
+		{cluster.System544(), 64, 4.2e-4, 6.2e-4},    // Fig 6: axis to 5e-4
+		{cluster.System1120(), 128, 1.05e-4, 1.6e-4}, // Fig 7: N=1120 curves end ≈1.3e-4
+		{cluster.System544(), 128, 2.1e-4, 3.1e-4},   // Fig 7: N=544 curves end ≈2.6e-4
+	}
+	for _, c := range cases {
+		sat := mustModel(t, c.sys, c.flits, 256, Options{}).SaturationPoint(0.01, 1e-5)
+		if sat < c.lo || sat > c.hi {
+			t.Errorf("%s M=%d: saturation %v outside figure-derived range [%v,%v]",
+				c.sys.Name, c.flits, sat, c.lo, c.hi)
+		}
+	}
+}
+
+func TestICN2BandwidthIncreaseExtendsSaturation(t *testing.T) {
+	// Fig 7: +20 % ICN2 bandwidth visibly improves high-traffic latency,
+	// because the concentrator/dispatcher service is ICN2-bound.
+	for _, sys := range []*cluster.System{cluster.System1120(), cluster.System544()} {
+		base := mustModel(t, sys, 128, 256, Options{})
+		boosted := mustModel(t, sys.ScaleICN2Bandwidth(1.2), 128, 256, Options{})
+		satBase := base.SaturationPoint(0.01, 1e-5)
+		satBoost := boosted.SaturationPoint(0.01, 1e-5)
+		gain := satBoost / satBase
+		if gain < 1.10 || gain > 1.30 {
+			t.Errorf("%s: saturation gain %v from +20%% ICN2 BW, want ≈1.2", sys.Name, gain)
+		}
+		// Latency at a fixed high rate drops.
+		at := 0.9 * satBase
+		lBase := base.Evaluate(at).MeanLatency
+		lBoost := boosted.Evaluate(at).MeanLatency
+		if lBoost >= lBase {
+			t.Errorf("%s: boosted ICN2 did not reduce latency (%v vs %v)", sys.Name, lBoost, lBase)
+		}
+	}
+}
+
+func TestICN2BandwidthDoesNotAffectIntra(t *testing.T) {
+	base := mustModel(t, cluster.System544(), 32, 256, Options{})
+	boosted := mustModel(t, cluster.System544().ScaleICN2Bandwidth(1.5), 32, 256, Options{})
+	rb := base.Evaluate(2e-4)
+	rs := boosted.Evaluate(2e-4)
+	for i := range rb.PerCluster {
+		if math.Abs(rb.PerCluster[i].LIn-rs.PerCluster[i].LIn) > 1e-12 {
+			t.Fatalf("cluster %d: intra latency changed with ICN2 bandwidth", i)
+		}
+	}
+}
+
+func TestPaperLiteralSaturatesEarlier(t *testing.T) {
+	rec := mustModel(t, cluster.System1120(), 32, 256, Options{Variant: Reconstructed})
+	lit := mustModel(t, cluster.System1120(), 32, 256, Options{Variant: PaperLiteral})
+	satRec := rec.SaturationPoint(0.01, 1e-5)
+	satLit := lit.SaturationPoint(0.01, 1e-5)
+	if satLit >= satRec/2 {
+		t.Fatalf("PaperLiteral sat %v not well below Reconstructed %v", satLit, satRec)
+	}
+}
+
+func TestRelaxFactorAblation(t *testing.T) {
+	// Default δ = β_I2/β_E1 < 1 shrinks ICN2 stage waits; inverting it
+	// must increase latency at moderate load.
+	base := mustModel(t, cluster.System1120(), 32, 256, Options{})
+	inv := mustModel(t, cluster.System1120(), 32, 256, Options{InvertRelaxFactor: true})
+	lBase := base.Evaluate(4e-4).MeanLatency
+	lInv := inv.Evaluate(4e-4).MeanLatency
+	if lInv <= lBase {
+		t.Fatalf("inverted relax factor did not increase latency (%v vs %v)", lInv, lBase)
+	}
+}
+
+func TestCalibratedCrossingIncreasesLatency(t *testing.T) {
+	// Doubling the modelled ECN1 crossing length (to match a concrete
+	// leaf-attached gateway) adds stages and tail hops.
+	base := mustModel(t, cluster.System1120(), 32, 256, Options{})
+	cal := mustModel(t, cluster.System1120(), 32, 256, Options{CalibratedECNCrossing: true})
+	for _, l := range []float64{1e-5, 2e-4, 4e-4} {
+		lb := base.Evaluate(l).MeanLatency
+		lc := cal.Evaluate(l).MeanLatency
+		if lc <= lb {
+			t.Fatalf("λ=%v: calibrated crossing not above paper crossing (%v vs %v)", l, lc, lb)
+		}
+	}
+}
+
+func TestSweepAndGrid(t *testing.T) {
+	m := mustModel(t, cluster.SmallTestSystem(), 8, 64, Options{})
+	grid := LambdaGrid(1e-5, 1e-3, 11)
+	if len(grid) != 11 || grid[0] != 1e-5 || math.Abs(grid[10]-1e-3) > 1e-18 {
+		t.Fatalf("grid malformed: %v", grid)
+	}
+	res := m.Sweep(grid)
+	if len(res) != 11 {
+		t.Fatalf("sweep returned %d results", len(res))
+	}
+	for i, r := range res {
+		if r.Lambda != grid[i] {
+			t.Fatalf("result %d has λ=%v, want %v", i, r.Lambda, grid[i])
+		}
+	}
+}
+
+func TestEvaluatePanicsOnBadRate(t *testing.T) {
+	m := mustModel(t, cluster.SmallTestSystem(), 8, 64, Options{})
+	for _, bad := range []float64{-1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Evaluate(%v) did not panic", bad)
+				}
+			}()
+			m.Evaluate(bad)
+		}()
+	}
+}
+
+func TestStageChainClosedForm(t *testing.T) {
+	// Two stages, constant service s and rate η:
+	// T_1 = M·t_cn, W_1 = ½ηT_1², T_0 = M·t_cs + W_1.
+	M := 8.0
+	tcn, tcs, eta := 0.5, 1.0, 0.01
+	got := stageChain(2, M, tcn,
+		func(int) float64 { return tcs },
+		func(int) float64 { return eta })
+	t1 := M * tcn
+	want := M*tcs + 0.5*eta*t1*t1
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stageChain = %v, want %v", got, want)
+	}
+
+	// Three stages accumulate both downstream waits.
+	got = stageChain(3, M, tcn,
+		func(int) float64 { return tcs },
+		func(int) float64 { return eta })
+	w2 := 0.5 * eta * t1 * t1
+	tMid := M*tcs + w2
+	wMid := 0.5 * eta * tMid * tMid
+	want = M*tcs + w2 + wMid
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("3-stage chain = %v, want %v", got, want)
+	}
+
+	// Single stage: the destination link only.
+	got = stageChain(1, M, tcn, func(int) float64 { return tcs }, func(int) float64 { return eta })
+	if math.Abs(got-M*tcn) > 1e-12 {
+		t.Fatalf("1-stage chain = %v, want %v", got, M*tcn)
+	}
+}
+
+func TestHeterogeneityOrdering(t *testing.T) {
+	// Larger clusters keep more traffic local (smaller U) and their intra
+	// journeys are longer (taller trees): at equal load, intra latency
+	// must not decrease with cluster height.
+	m := mustModel(t, cluster.System1120(), 32, 256, Options{})
+	r := m.Evaluate(1e-4)
+	// Clusters 0 (n=1), 12 (n=2), 28 (n=3).
+	if !(r.PerCluster[0].TIn < r.PerCluster[12].TIn && r.PerCluster[12].TIn < r.PerCluster[28].TIn) {
+		t.Fatalf("intra network latency not increasing with tree height: %v %v %v",
+			r.PerCluster[0].TIn, r.PerCluster[12].TIn, r.PerCluster[28].TIn)
+	}
+	if !(r.PerCluster[0].U > r.PerCluster[12].U && r.PerCluster[12].U > r.PerCluster[28].U) {
+		t.Fatal("outgoing probability not decreasing with cluster size")
+	}
+}
+
+func TestBranchDecompositionIdentity(t *testing.T) {
+	// MeanLatency must equal the population-weighted combination of the
+	// branch means: weights N_i(1−U_i) and N_i·U_i sum to N.
+	m := mustModel(t, cluster.System1120(), 32, 256, Options{})
+	r := m.Evaluate(2e-4)
+	var wIn, wOut float64
+	for i, cr := range r.PerCluster {
+		wIn += float64(m.Sys.ClusterNodes(i)) * (1 - cr.U)
+		wOut += float64(m.Sys.ClusterNodes(i)) * cr.U
+	}
+	n := float64(m.Sys.TotalNodes())
+	recombined := (wIn*r.MeanIntra + wOut*r.MeanInter) / n
+	if math.Abs(recombined-r.MeanLatency) > 1e-9 {
+		t.Fatalf("branch recombination %v != mean %v", recombined, r.MeanLatency)
+	}
+	if !(r.MeanIntra < r.MeanInter) {
+		t.Fatalf("intra (%v) not below inter (%v)", r.MeanIntra, r.MeanInter)
+	}
+}
+
+func TestBranchMeansTrackSimulator(t *testing.T) {
+	// Stronger than the total-latency comparison: each branch must match
+	// the simulator's per-branch accumulators at light load.
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sys := cluster.System544()
+	msg := netchar.MessageSpec{Flits: 32, FlitBytes: 256}
+	model, err := New(sys, msg, Options{GatewayStoreAndForward: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 2e-4 // ~20 % of saturation
+	want := model.Evaluate(lambda)
+
+	m, err := sim.Run(sim.Config{
+		Sys: sys, Msg: msg, Lambda: lambda, Seed: 23,
+		WarmupCount: 2000, MeasureCount: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Saturated {
+		t.Fatal("saturated at light load")
+	}
+	intraErr := math.Abs(want.MeanIntra-m.Intra.Mean()) / m.Intra.Mean() * 100
+	interErr := math.Abs(want.MeanInter-m.Inter.Mean()) / m.Inter.Mean() * 100
+	if intraErr > 12 {
+		t.Errorf("intra branch: model %.2f vs sim %.2f (%.1f%%)", want.MeanIntra, m.Intra.Mean(), intraErr)
+	}
+	if interErr > 10 {
+		t.Errorf("inter branch: model %.2f vs sim %.2f (%.1f%%)", want.MeanInter, m.Inter.Mean(), interErr)
+	}
+}
+
+func TestLatencyMonotoneInMessageGeometry(t *testing.T) {
+	// Latency must grow with message length and with flit size at a fixed
+	// byte rate — basic physical sanity across the whole model.
+	for _, sys := range []*cluster.System{cluster.System1120(), cluster.System544()} {
+		prev := 0.0
+		for _, flits := range []int{8, 16, 32, 64, 128} {
+			r := mustModel(t, sys, flits, 256, Options{}).Evaluate(5e-5)
+			if r.Saturated || r.MeanLatency <= prev {
+				t.Fatalf("%s: latency not increasing with M=%d: %v after %v",
+					sys.Name, flits, r.MeanLatency, prev)
+			}
+			prev = r.MeanLatency
+		}
+		prev = 0.0
+		for _, dm := range []int{64, 128, 256, 512, 1024} {
+			r := mustModel(t, sys, 32, dm, Options{}).Evaluate(5e-5)
+			if r.Saturated || r.MeanLatency <= prev {
+				t.Fatalf("%s: latency not increasing with dm=%d", sys.Name, dm)
+			}
+			prev = r.MeanLatency
+		}
+	}
+}

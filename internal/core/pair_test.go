@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+)
+
+func TestPairLatencyConsistentWithClusterAverage(t *testing.T) {
+	// Eq 35/39: L_out^(i) must equal the average over j of the pair
+	// totals. The refactor exposing PairLatency must not change Evaluate.
+	m := mustModel(t, cluster.System1120(), 32, 256, Options{GatewayStoreAndForward: true})
+	lambda := 2e-4
+	r := m.Evaluate(lambda)
+	C := m.Sys.NumClusters()
+	for _, i := range []int{0, 12, 28} {
+		var sum float64
+		for j := 0; j < C; j++ {
+			if j == i {
+				continue
+			}
+			sum += m.PairLatency(lambda, i, j).Total()
+		}
+		want := sum / float64(C-1)
+		if math.Abs(want-r.PerCluster[i].LOut) > 1e-9 {
+			t.Fatalf("cluster %d: pair average %v != LOut %v", i, want, r.PerCluster[i].LOut)
+		}
+	}
+}
+
+func TestPairLatencyIdentifiesHotPairs(t *testing.T) {
+	// At high load the analytically hottest pairs must originate at the
+	// largest clusters (their gateway rate N_i·U_i·λ is highest) — the
+	// same ranking the simulator's trace summary finds.
+	m := mustModel(t, cluster.System544(), 32, 256, Options{GatewayStoreAndForward: true})
+	lambda := 9e-4
+	big := m.PairLatency(lambda, 11, 12) // 64-node → 64-node
+	small := m.PairLatency(lambda, 0, 1) // 16-node → 16-node
+	if big.Saturated || small.Saturated {
+		t.Fatal("unexpected saturation")
+	}
+	if !(big.Total() > small.Total()) {
+		t.Fatalf("big-cluster pair (%v) not hotter than small (%v)", big.Total(), small.Total())
+	}
+	// The difference is gateway queueing, not transfer time.
+	if !(big.WC > small.WC) {
+		t.Fatalf("gateway wait not larger for big pair: %v vs %v", big.WC, small.WC)
+	}
+}
+
+func TestPairLatencyDecomposition(t *testing.T) {
+	m := mustModel(t, cluster.System544(), 32, 256, Options{GatewayStoreAndForward: true})
+	p := m.PairLatency(1e-4, 3, 12)
+	if p.Src != 3 || p.Dst != 12 {
+		t.Fatalf("pair ids %d,%d", p.Src, p.Dst)
+	}
+	if p.TEx <= 0 || p.EEx <= 0 || p.SF <= 0 || p.WEx < 0 || p.WC < 0 {
+		t.Fatalf("invalid decomposition: %+v", p)
+	}
+	if math.Abs(p.LEx()-(p.WEx+p.TEx+p.EEx+p.SF)) > 1e-12 {
+		t.Fatal("LEx does not sum its terms")
+	}
+	if math.Abs(p.Total()-(p.LEx()+2*p.WC)) > 1e-12 {
+		t.Fatal("Total does not add both gateway waits")
+	}
+	// Without the S&F option the term must be zero.
+	plain := mustModel(t, cluster.System544(), 32, 256, Options{})
+	if plain.PairLatency(1e-4, 3, 12).SF != 0 {
+		t.Fatal("SF term present without the option")
+	}
+}
+
+func TestPairLatencyPanicsOnBadArgs(t *testing.T) {
+	m := mustModel(t, cluster.System544(), 32, 256, Options{})
+	for _, f := range []func(){
+		func() { m.PairLatency(1e-4, 3, 3) },
+		func() { m.PairLatency(1e-4, -1, 2) },
+		func() { m.PairLatency(1e-4, 0, 99) },
+		func() { m.PairLatency(math.NaN(), 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sweep evaluates the model at each traffic rate and returns the results
+// in order. Rates past the saturation point yield Saturated results.
+func (m *Model) Sweep(lambdas []float64) []*Result {
+	out := make([]*Result, len(lambdas))
+	for i, l := range lambdas {
+		out[i] = m.Evaluate(l)
+	}
+	return out
+}
+
+// LambdaGrid returns n evenly spaced rates from lo to hi inclusive —
+// the x-axes of the paper's figures.
+func LambdaGrid(lo, hi float64, n int) []float64 {
+	if n < 2 || lo < 0 || hi <= lo {
+		panic(fmt.Sprintf("core: invalid grid [%v,%v] n=%d", lo, hi, n))
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// SaturationPoint locates, by bisection, the largest traffic rate in
+// (0, hi] at which the model is still stable, within relative tolerance
+// tol. It returns 0 if the model is saturated even at hi·2⁻⁶⁰, and hi if
+// it never saturates below hi.
+func (m *Model) SaturationPoint(hi, tol float64) float64 {
+	if hi <= 0 || tol <= 0 {
+		panic(fmt.Sprintf("core: invalid saturation search hi=%v tol=%v", hi, tol))
+	}
+	if !m.Evaluate(hi).Saturated {
+		return hi
+	}
+	lo := hi * math.Ldexp(1, -60)
+	if m.Evaluate(lo).Saturated {
+		return 0
+	}
+	for (hi-lo)/hi > tol {
+		mid := (lo + hi) / 2
+		if m.Evaluate(mid).Saturated {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,120 @@
+// Package des is a minimal discrete-event simulation kernel: a simulation
+// clock and a priority queue of timestamped events with deterministic
+// FIFO tie-breaking for events scheduled at the same instant.
+//
+// The kernel is single-goroutine by design — network simulators of this
+// kind are dominated by event ordering, and a sequential heap-based
+// calendar is both fastest and exactly reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is the action executed when an event fires.
+type Handler func()
+
+type event struct {
+	time float64
+	seq  uint64 // insertion order; breaks ties deterministically
+	fn   Handler
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel owns the simulation clock and event calendar. The zero value is
+// ready to use.
+type Kernel struct {
+	pq        eventHeap
+	now       float64
+	seq       uint64
+	processed uint64
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of scheduled but unexecuted events.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// Schedule runs fn after delay simulation-time units. Negative or NaN
+// delays panic: they would break causality.
+func (k *Kernel) Schedule(delay float64, fn Handler) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: invalid delay %v", delay))
+	}
+	k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute simulation time t (>= Now).
+func (k *Kernel) ScheduleAt(t float64, fn Handler) {
+	if t < k.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("des: scheduling into the past (t=%v, now=%v)", t, k.now))
+	}
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	k.seq++
+	heap.Push(&k.pq, &event{time: t, seq: k.seq, fn: fn})
+}
+
+// Step executes the next event. It reports false when the calendar is
+// empty.
+func (k *Kernel) Step() bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.pq).(*event)
+	k.now = e.time
+	k.processed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the calendar is empty or until stop (if
+// non-nil) returns true, checked before each event. It returns the number
+// of events executed by this call.
+func (k *Kernel) Run(stop func() bool) uint64 {
+	start := k.processed
+	for len(k.pq) > 0 {
+		if stop != nil && stop() {
+			break
+		}
+		k.Step()
+	}
+	return k.processed - start
+}
+
+// RunUntil executes events with timestamps <= t, advancing the clock to t
+// if the calendar drains earlier.
+func (k *Kernel) RunUntil(t float64) {
+	for len(k.pq) > 0 && k.pq[0].time <= t {
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}

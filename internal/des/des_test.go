@@ -1,0 +1,168 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var k Kernel
+	var fired []float64
+	times := []float64{5, 1, 3, 2, 4, 0.5, 2.5}
+	for _, tm := range times {
+		tm := tm
+		k.ScheduleAt(tm, func() { fired = append(fired, tm) })
+	}
+	k.Run(nil)
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.ScheduleAt(7, func() { order = append(order, i) })
+	}
+	k.Run(nil)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO at index %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	var k Kernel
+	k.Schedule(10, func() {})
+	k.Schedule(20, func() {})
+	if k.Now() != 0 {
+		t.Fatal("clock moved before Run")
+	}
+	k.Step()
+	if k.Now() != 10 {
+		t.Fatalf("clock = %v after first event, want 10", k.Now())
+	}
+	k.Step()
+	if k.Now() != 20 {
+		t.Fatalf("clock = %v after second event, want 20", k.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var k Kernel
+	var trace []string
+	k.Schedule(1, func() {
+		trace = append(trace, "a")
+		k.Schedule(1, func() { trace = append(trace, "c") })
+		k.Schedule(0.5, func() { trace = append(trace, "b") })
+	})
+	k.Run(nil)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(trace) || trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestZeroDelayRunsNowNotBefore(t *testing.T) {
+	var k Kernel
+	ran := false
+	k.Schedule(5, func() {
+		k.Schedule(0, func() { ran = true })
+	})
+	k.Step()
+	if ran {
+		t.Fatal("zero-delay event ran synchronously inside parent handler")
+	}
+	k.Step()
+	if !ran || k.Now() != 5 {
+		t.Fatalf("zero-delay event: ran=%v now=%v", ran, k.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.ScheduleAt(float64(i), func() { count++ })
+	}
+	k.RunUntil(5)
+	if count != 5 {
+		t.Fatalf("RunUntil(5) executed %d events, want 5", count)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", k.Now())
+	}
+	k.RunUntil(100)
+	if count != 10 || k.Now() != 100 {
+		t.Fatalf("after RunUntil(100): count=%d now=%v", count, k.Now())
+	}
+}
+
+func TestStopPredicate(t *testing.T) {
+	var k Kernel
+	count := 0
+	for i := 0; i < 100; i++ {
+		k.Schedule(float64(i), func() { count++ })
+	}
+	n := k.Run(func() bool { return count >= 10 })
+	if count != 10 || n != 10 {
+		t.Fatalf("stop predicate: count=%d executed=%d, want 10", count, n)
+	}
+	if k.Pending() != 90 {
+		t.Fatalf("pending = %d, want 90", k.Pending())
+	}
+}
+
+func TestPanicsOnBadSchedules(t *testing.T) {
+	cases := []func(k *Kernel){
+		func(k *Kernel) { k.Schedule(-1, func() {}) },
+		func(k *Kernel) { k.Schedule(math.NaN(), func() {}) },
+		func(k *Kernel) { k.ScheduleAt(5, nil) },
+		func(k *Kernel) {
+			k.Schedule(10, func() {})
+			k.Step()
+			k.ScheduleAt(5, func() {}) // in the past
+		},
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			var k Kernel
+			c(&k)
+		}()
+	}
+}
+
+func TestOrderingProperty(t *testing.T) {
+	// Property: any batch of random non-negative timestamps is executed in
+	// sorted order and the processed counter matches.
+	f := func(raw []uint16) bool {
+		var k Kernel
+		var fired []float64
+		for _, r := range raw {
+			tm := float64(r) / 7
+			k.ScheduleAt(tm, func() { fired = append(fired, tm) })
+		}
+		k.Run(nil)
+		return sort.Float64sAreSorted(fired) &&
+			len(fired) == len(raw) &&
+			k.Processed() == uint64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Package netchar describes communication-network characteristics — the
+// bandwidth/latency classes of Table 2 of the paper — and derives from them
+// the per-flit channel service times used by both the analytical model
+// (Eqs 11–12) and the simulator.
+//
+// Times are expressed in the paper's abstract "time units"; bandwidth is
+// bytes per time unit, so Beta (the inverse bandwidth) is the transmission
+// time of one byte.
+package netchar
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Characteristics describes one network class.
+type Characteristics struct {
+	// Bandwidth is the channel bandwidth in bytes per time unit.
+	Bandwidth float64
+	// NetworkLatency is the fixed per-hop network (link/NIC) latency α_n.
+	NetworkLatency float64
+	// SwitchLatency is the fixed per-hop switch latency α_s.
+	SwitchLatency float64
+}
+
+// Table 2 of the paper. ICN1 and ICN2 use Net1; ECN1 uses Net2.
+var (
+	Net1 = Characteristics{Bandwidth: 500, NetworkLatency: 0.01, SwitchLatency: 0.02}
+	Net2 = Characteristics{Bandwidth: 250, NetworkLatency: 0.05, SwitchLatency: 0.01}
+)
+
+// Validate reports whether the characteristics are physically meaningful.
+func (c Characteristics) Validate() error {
+	if c.Bandwidth <= 0 {
+		return fmt.Errorf("netchar: bandwidth must be positive, got %v", c.Bandwidth)
+	}
+	if c.NetworkLatency < 0 || c.SwitchLatency < 0 {
+		return errors.New("netchar: latencies must be non-negative")
+	}
+	return nil
+}
+
+// Beta returns the transmission time of one byte (1/bandwidth), the β_n of
+// the paper.
+func (c Characteristics) Beta() float64 { return 1 / c.Bandwidth }
+
+// NodeChannelTime returns t_cn, the time to transmit one flit of flitBytes
+// bytes over a node-to-switch (or switch-to-node) connection (Eq 11):
+//
+//	t_cn = α_n + 0.5 · β_n · d_m
+func (c Characteristics) NodeChannelTime(flitBytes int) float64 {
+	return c.NetworkLatency + 0.5*c.Beta()*float64(flitBytes)
+}
+
+// SwitchChannelTime returns t_cs, the time to transmit one flit of
+// flitBytes bytes over a switch-to-switch connection (Eq 12):
+//
+//	t_cs = α_s + β_n · d_m
+func (c Characteristics) SwitchChannelTime(flitBytes int) float64 {
+	return c.SwitchLatency + c.Beta()*float64(flitBytes)
+}
+
+// ScaleBandwidth returns a copy of c with bandwidth multiplied by factor.
+// It is used by the Fig 7 capability study (ICN2 bandwidth +20 %).
+func (c Characteristics) ScaleBandwidth(factor float64) Characteristics {
+	c.Bandwidth *= factor
+	return c
+}
+
+// String renders the class compactly, e.g. "{BW 500 αn 0.01 αs 0.02}".
+func (c Characteristics) String() string {
+	return fmt.Sprintf("{BW %g αn %g αs %g}", c.Bandwidth, c.NetworkLatency, c.SwitchLatency)
+}
+
+// MessageSpec fixes the message geometry of an experiment: a message is
+// Flits flits of FlitBytes bytes (assumption 7 of the paper: fixed length).
+type MessageSpec struct {
+	Flits     int // M
+	FlitBytes int // d_m
+}
+
+// Validate checks the message geometry.
+func (m MessageSpec) Validate() error {
+	if m.Flits <= 0 {
+		return fmt.Errorf("netchar: message must have at least one flit, got %d", m.Flits)
+	}
+	if m.FlitBytes <= 0 {
+		return fmt.Errorf("netchar: flit size must be positive, got %d bytes", m.FlitBytes)
+	}
+	return nil
+}
+
+// Bytes returns the total message size in bytes.
+func (m MessageSpec) Bytes() int { return m.Flits * m.FlitBytes }

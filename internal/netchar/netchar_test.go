@@ -1,0 +1,115 @@
+package netchar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestTable2Values(t *testing.T) {
+	// Net.1: BW 500, network latency 0.01, switch latency 0.02.
+	if Net1.Bandwidth != 500 || Net1.NetworkLatency != 0.01 || Net1.SwitchLatency != 0.02 {
+		t.Fatalf("Net1 does not match Table 2: %+v", Net1)
+	}
+	// Net.2: BW 250, network latency 0.05, switch latency 0.01.
+	if Net2.Bandwidth != 250 || Net2.NetworkLatency != 0.05 || Net2.SwitchLatency != 0.01 {
+		t.Fatalf("Net2 does not match Table 2: %+v", Net2)
+	}
+}
+
+func TestServiceTimes(t *testing.T) {
+	// Eq 11: t_cn = α_n + 0.5 β d_m; Eq 12: t_cs = α_s + β d_m.
+	cases := []struct {
+		c         Characteristics
+		flitBytes int
+		wantCN    float64
+		wantCS    float64
+	}{
+		{Net1, 256, 0.01 + 0.5*256.0/500, 0.02 + 256.0/500},
+		{Net1, 512, 0.01 + 0.5*512.0/500, 0.02 + 512.0/500},
+		{Net2, 256, 0.05 + 0.5*256.0/250, 0.01 + 256.0/250},
+		{Net2, 512, 0.05 + 0.5*512.0/250, 0.01 + 512.0/250},
+	}
+	for _, c := range cases {
+		if got := c.c.NodeChannelTime(c.flitBytes); !almost(got, c.wantCN) {
+			t.Errorf("NodeChannelTime(%v, %d) = %v, want %v", c.c, c.flitBytes, got, c.wantCN)
+		}
+		if got := c.c.SwitchChannelTime(c.flitBytes); !almost(got, c.wantCS) {
+			t.Errorf("SwitchChannelTime(%v, %d) = %v, want %v", c.c, c.flitBytes, got, c.wantCS)
+		}
+	}
+}
+
+func TestBeta(t *testing.T) {
+	if !almost(Net1.Beta(), 0.002) {
+		t.Fatalf("Net1.Beta() = %v, want 0.002", Net1.Beta())
+	}
+	if !almost(Net2.Beta(), 0.004) {
+		t.Fatalf("Net2.Beta() = %v, want 0.004", Net2.Beta())
+	}
+}
+
+func TestScaleBandwidth(t *testing.T) {
+	scaled := Net1.ScaleBandwidth(1.2)
+	if !almost(scaled.Bandwidth, 600) {
+		t.Fatalf("ScaleBandwidth(1.2) bandwidth = %v, want 600", scaled.Bandwidth)
+	}
+	// Latencies must be untouched, and the original must not change.
+	if scaled.NetworkLatency != Net1.NetworkLatency || scaled.SwitchLatency != Net1.SwitchLatency {
+		t.Fatal("ScaleBandwidth modified latencies")
+	}
+	if Net1.Bandwidth != 500 {
+		t.Fatal("ScaleBandwidth mutated the receiver")
+	}
+}
+
+func TestScalingShortensServiceTimes(t *testing.T) {
+	// Property: for any valid class and positive factor > 1, service times
+	// strictly decrease (latency terms fixed, transmission shrinks).
+	f := func(bwRaw, factorRaw uint16, flitRaw uint8) bool {
+		bw := 1 + float64(bwRaw%5000)
+		factor := 1.1 + float64(factorRaw%100)/10
+		flit := 1 + int(flitRaw)
+		c := Characteristics{Bandwidth: bw, NetworkLatency: 0.01, SwitchLatency: 0.02}
+		s := c.ScaleBandwidth(factor)
+		return s.SwitchChannelTime(flit) < c.SwitchChannelTime(flit) &&
+			s.NodeChannelTime(flit) < c.NodeChannelTime(flit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Net1.Validate(); err != nil {
+		t.Fatalf("Net1 invalid: %v", err)
+	}
+	bad := []Characteristics{
+		{Bandwidth: 0, NetworkLatency: 0.1, SwitchLatency: 0.1},
+		{Bandwidth: -5, NetworkLatency: 0.1, SwitchLatency: 0.1},
+		{Bandwidth: 100, NetworkLatency: -0.1, SwitchLatency: 0.1},
+		{Bandwidth: 100, NetworkLatency: 0.1, SwitchLatency: -0.1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestMessageSpec(t *testing.T) {
+	m := MessageSpec{Flits: 32, FlitBytes: 256}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Bytes() != 8192 {
+		t.Fatalf("Bytes() = %d, want 8192", m.Bytes())
+	}
+	for _, bad := range []MessageSpec{{0, 256}, {32, 0}, {-1, -1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", bad)
+		}
+	}
+}

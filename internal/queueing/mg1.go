@@ -1,0 +1,96 @@
+// Package queueing implements the single-server queueing formulas the
+// analytical model is built from: the M/G/1 mean waiting time
+// (Pollaczek–Khinchine, Kleinrock vol. 2, the paper's Eq 15) and its M/M/1
+// and M/D/1 specializations used for cross-checks in tests.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnstable is returned when the offered load meets or exceeds capacity
+// (ρ ≥ 1); the mean waiting time is unbounded. The analytical model maps
+// this to "the system is saturated at this traffic rate".
+var ErrUnstable = errors.New("queueing: utilization at or above 1, queue is unstable")
+
+// MG1 describes an M/G/1 queue: Poisson arrivals at rate Lambda, a general
+// service-time distribution with mean MeanService and variance
+// VarService.
+type MG1 struct {
+	Lambda      float64 // arrival rate
+	MeanService float64 // x̄
+	VarService  float64 // σ²_x
+}
+
+// Validate checks parameter sanity (not stability).
+func (q MG1) Validate() error {
+	switch {
+	case q.Lambda < 0 || math.IsNaN(q.Lambda) || math.IsInf(q.Lambda, 0):
+		return fmt.Errorf("queueing: invalid arrival rate %v", q.Lambda)
+	case q.MeanService < 0 || math.IsNaN(q.MeanService):
+		return fmt.Errorf("queueing: invalid mean service %v", q.MeanService)
+	case q.VarService < 0 || math.IsNaN(q.VarService):
+		return fmt.Errorf("queueing: invalid service variance %v", q.VarService)
+	}
+	return nil
+}
+
+// Utilization returns ρ = λ·x̄ (Eq 16).
+func (q MG1) Utilization() float64 { return q.Lambda * q.MeanService }
+
+// Wait returns the mean waiting time in queue (excluding service), the
+// paper's Eq 15:
+//
+//	W = λ (x̄² + σ²) / (2 (1 − ρ))
+//
+// It returns ErrUnstable when ρ ≥ 1.
+func (q MG1) Wait() (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	rho := q.Utilization()
+	if rho >= 1 {
+		return math.Inf(1), ErrUnstable
+	}
+	if q.Lambda == 0 {
+		return 0, nil
+	}
+	return q.Lambda * (q.MeanService*q.MeanService + q.VarService) / (2 * (1 - rho)), nil
+}
+
+// Residence returns the mean total time in the system (wait + service).
+func (q MG1) Residence() (float64, error) {
+	w, err := q.Wait()
+	if err != nil {
+		return w, err
+	}
+	return w + q.MeanService, nil
+}
+
+// MM1Wait returns the mean waiting time of an M/M/1 queue with arrival
+// rate lambda and service rate mu: ρ/(μ−λ). Used as a test oracle: an
+// M/G/1 with exponential service (σ² = x̄²) must reduce to it.
+func MM1Wait(lambda, mu float64) (float64, error) {
+	if lambda < 0 || mu <= 0 {
+		return 0, fmt.Errorf("queueing: invalid M/M/1 rates λ=%v μ=%v", lambda, mu)
+	}
+	if lambda >= mu {
+		return math.Inf(1), ErrUnstable
+	}
+	return lambda / (mu * (mu - lambda)), nil
+}
+
+// MD1Wait returns the mean waiting time of an M/D/1 queue with arrival
+// rate lambda and deterministic service time d: ρd/(2(1−ρ)).
+func MD1Wait(lambda, d float64) (float64, error) {
+	if lambda < 0 || d < 0 {
+		return 0, fmt.Errorf("queueing: invalid M/D/1 parameters λ=%v d=%v", lambda, d)
+	}
+	rho := lambda * d
+	if rho >= 1 {
+		return math.Inf(1), ErrUnstable
+	}
+	return rho * d / (2 * (1 - rho)), nil
+}

@@ -1,0 +1,144 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// With exponential service (variance = mean²) the PK formula must give
+	// exactly the M/M/1 waiting time.
+	lambdas := []float64{0.1, 0.3, 0.7}
+	mus := []float64{1.0, 2.0, 5.0}
+	for _, l := range lambdas {
+		for _, mu := range mus {
+			if l >= mu {
+				continue
+			}
+			mean := 1 / mu
+			q := MG1{Lambda: l, MeanService: mean, VarService: mean * mean}
+			got, err := q.Wait()
+			if err != nil {
+				t.Fatalf("Wait(λ=%v μ=%v): %v", l, mu, err)
+			}
+			want, err := MM1Wait(l, mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("λ=%v μ=%v: MG1 wait %v, MM1 wait %v", l, mu, got, want)
+			}
+		}
+	}
+}
+
+func TestMG1ReducesToMD1(t *testing.T) {
+	// With zero variance the PK formula must give the M/D/1 waiting time.
+	q := MG1{Lambda: 0.4, MeanService: 1.5, VarService: 0}
+	got, err := q.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MD1Wait(0.4, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MG1 deterministic wait %v, MD1 wait %v", got, want)
+	}
+}
+
+func TestUnstableQueue(t *testing.T) {
+	q := MG1{Lambda: 1, MeanService: 1, VarService: 0}
+	w, err := q.Wait()
+	if !errors.Is(err, ErrUnstable) {
+		t.Fatalf("ρ=1 queue: err=%v, want ErrUnstable", err)
+	}
+	if !math.IsInf(w, 1) {
+		t.Fatalf("unstable wait = %v, want +Inf", w)
+	}
+	if _, err := MM1Wait(2, 1); !errors.Is(err, ErrUnstable) {
+		t.Fatal("MM1Wait(2,1) should be unstable")
+	}
+	if _, err := MD1Wait(2, 1); !errors.Is(err, ErrUnstable) {
+		t.Fatal("MD1Wait(2,1) should be unstable")
+	}
+}
+
+func TestZeroArrivals(t *testing.T) {
+	q := MG1{Lambda: 0, MeanService: 5, VarService: 10}
+	w, err := q.Wait()
+	if err != nil || w != 0 {
+		t.Fatalf("zero-arrival wait = %v, %v; want 0, nil", w, err)
+	}
+	r, err := q.Residence()
+	if err != nil || r != 5 {
+		t.Fatalf("zero-arrival residence = %v, want 5", r)
+	}
+}
+
+func TestWaitMonotoneInLoad(t *testing.T) {
+	// Property: for a stable queue, W is non-decreasing in λ and in σ².
+	f := func(a, b uint8) bool {
+		l1 := float64(a%50) / 100 // 0 .. 0.49
+		l2 := l1 + float64(b%50)/100 + 0.001
+		if l2 >= 1 {
+			return true
+		}
+		q1 := MG1{Lambda: l1, MeanService: 1, VarService: 0.5}
+		q2 := MG1{Lambda: l2, MeanService: 1, VarService: 0.5}
+		w1, err1 := q1.Wait()
+		w2, err2 := q2.Wait()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return w2 >= w1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	g := func(a uint8) bool {
+		v := float64(a) / 16
+		q1 := MG1{Lambda: 0.5, MeanService: 1, VarService: v}
+		q2 := MG1{Lambda: 0.5, MeanService: 1, VarService: v + 1}
+		w1, _ := q1.Wait()
+		w2, _ := q2.Wait()
+		return w2 > w1
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	bad := []MG1{
+		{Lambda: math.NaN(), MeanService: 1, VarService: 1},
+		{Lambda: math.Inf(1), MeanService: 1, VarService: 1},
+		{Lambda: -1, MeanService: 1, VarService: 1},
+		{Lambda: 1, MeanService: -1, VarService: 1},
+		{Lambda: 1, MeanService: 1, VarService: -1},
+	}
+	for _, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", q)
+		}
+		if _, err := q.Wait(); err == nil {
+			t.Errorf("Wait(%+v) = nil error, want error", q)
+		}
+	}
+}
+
+func TestKnownValue(t *testing.T) {
+	// Hand-computed: λ=0.5, x̄=1, σ²=3 → W = 0.5·(1+3)/(2·0.5) = 2.
+	q := MG1{Lambda: 0.5, MeanService: 1, VarService: 3}
+	w, err := q.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-2) > 1e-12 {
+		t.Fatalf("wait = %v, want 2", w)
+	}
+}

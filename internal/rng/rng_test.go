@@ -1,0 +1,142 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 2)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveOrderIndependence(t *testing.T) {
+	parent1 := New(7, 9)
+	parent2 := New(7, 9)
+	// Consume from parent1 before deriving; children must still agree.
+	for i := 0; i < 10; i++ {
+		parent1.Uint64()
+	}
+	c1 := parent1.Derive(42)
+	c2 := parent2.Derive(42)
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("derived streams depend on parent position (draw %d)", i)
+		}
+	}
+}
+
+func TestDeriveDistinctChildren(t *testing.T) {
+	parent := New(3, 4)
+	a := parent.Derive(1)
+	b := parent.Derive(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("children with different ids look identical (%d/64 equal draws)", same)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(11, 13)
+	const rate = 2.5
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exp(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	want := 1 / rate
+	if math.Abs(mean-want) > 0.01*want {
+		t.Fatalf("exponential mean = %v, want about %v", mean, want)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1, 1).Exp(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5, 6)
+	err := quick.Check(func(_ int) bool {
+		v := s.Float64()
+		return v >= 0 && v < 1
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	s := New(21, 22)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[s.Choice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight bucket selected %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.15 {
+		t.Fatalf("weight ratio = %v, want about 3", ratio)
+	}
+}
+
+func TestChoicePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choice(nil) did not panic")
+		}
+	}()
+	New(1, 1).Choice(nil)
+}
+
+func TestIntNRange(t *testing.T) {
+	s := New(31, 32)
+	for n := 1; n <= 17; n++ {
+		seen := make(map[int]bool)
+		for i := 0; i < 200*n; i++ {
+			v := s.IntN(n)
+			if v < 0 || v >= n {
+				t.Fatalf("IntN(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("IntN(%d) missed values: got %d distinct", n, len(seen))
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(41, 42)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation")
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,336 @@
+// Package sim is the discrete-event cluster-of-clusters simulator the
+// analytical model is validated against, mirroring the paper's validation
+// setup: Poisson sources, uniform destinations, wormhole flow control on
+// every network, deterministic Up*/Down* routing, and the
+// warm-up/measure/drain statistics protocol (10,000 / 100,000 / open-ended
+// drain by default).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/des"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/rng"
+	"github.com/ccnet/ccnet/internal/routing"
+	"github.com/ccnet/ccnet/internal/stats"
+	"github.com/ccnet/ccnet/internal/trace"
+	"github.com/ccnet/ccnet/internal/traffic"
+	"github.com/ccnet/ccnet/internal/wormhole"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Sys    *cluster.System
+	Msg    netchar.MessageSpec
+	Lambda float64 // λ_g: messages per node per time unit
+
+	// Pattern overrides the destination distribution; nil means the
+	// paper's uniform pattern.
+	Pattern traffic.Pattern
+
+	// Seed makes runs reproducible; runs with equal seeds are identical.
+	Seed uint64
+
+	// WarmupCount and MeasureCount default to the paper's 10,000 and
+	// 100,000 messages.
+	WarmupCount, MeasureCount uint64
+
+	// MaxBacklog aborts the run (Saturated result) once this many
+	// messages are simultaneously in flight — an unstable system grows
+	// its queues without bound. Default 25·√MeasureCount… see defaults().
+	MaxBacklog int
+
+	// MaxEvents is a hard safety valve on kernel events (default 500M).
+	MaxEvents uint64
+
+	// CollectChannelUtil fills Metrics.ChannelUtil with the utilization
+	// of every channel in the system, keyed by channel name. Costs one
+	// map entry per channel; off by default.
+	CollectChannelUtil bool
+
+	// BufferDepth is the per-channel input buffer depth in flits. The
+	// default 0 means 1, the paper's assumption 6 (pure wormhole);
+	// depths of a message length or more behave like virtual cut-through
+	// and largely remove head-of-line blocking inflation.
+	BufferDepth int
+
+	// Trace, when non-nil, receives one record per delivered message
+	// (all phases). Trace write errors abort the run.
+	Trace trace.Writer
+}
+
+func (c *Config) defaults() {
+	if c.WarmupCount == 0 {
+		c.WarmupCount = 10000
+	}
+	if c.MeasureCount == 0 {
+		c.MeasureCount = 100000
+	}
+	if c.MaxBacklog == 0 {
+		c.MaxBacklog = 50000
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 500_000_000
+	}
+	if c.BufferDepth == 0 {
+		c.BufferDepth = 1
+	}
+}
+
+// Metrics summarizes one run.
+type Metrics struct {
+	// Latency aggregates measured end-to-end latencies (generation to
+	// tail delivery, including source queueing — the paper time-stamps at
+	// generation).
+	Latency stats.Accumulator
+	// Intra and Inter split the measured population by branch.
+	Intra, Inter stats.Accumulator
+	// FirstHalf and SecondHalf split the measured population by delivery
+	// order — a stationarity check: in steady state the two means agree,
+	// while an unstable (overdriven) system shows the second half
+	// markedly slower even when a short run completes.
+	FirstHalf, SecondHalf stats.Accumulator
+
+	Generated uint64  // all messages generated (all phases)
+	SimTime   float64 // simulation clock at termination
+	Events    uint64  // kernel events processed
+
+	// Saturated is set when the run aborted on backlog or event limits —
+	// the offered load exceeds capacity and no steady state exists.
+	Saturated bool
+
+	// MaxGatewayUtil is the highest utilization over gateway→ICN2
+	// injection channels, the bottleneck the paper identifies.
+	MaxGatewayUtil float64
+	// MaxChannelUtil is the highest utilization over all channels.
+	MaxChannelUtil float64
+	// PeakBacklog is the maximum number of in-flight messages observed.
+	PeakBacklog int
+
+	// ChannelUtil holds per-channel utilizations when
+	// Config.CollectChannelUtil is set.
+	ChannelUtil map[string]float64
+}
+
+// MeanLatency returns the measured mean.
+func (m *Metrics) MeanLatency() float64 { return m.Latency.Mean() }
+
+// message tracks one end-to-end transfer through up to three journeys.
+type message struct {
+	id        uint64
+	src, dst  int
+	gen       float64
+	phase     stats.Phase
+	intra     bool
+	segStarts []float64
+}
+
+// Run executes one simulation to completion (all measured messages
+// delivered) or to saturation abort.
+func Run(cfg Config) (*Metrics, error) {
+	cfg.defaults()
+	if cfg.Sys == nil {
+		return nil, errors.New("sim: nil system")
+	}
+	if err := cfg.Sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Msg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Lambda <= 0 || math.IsNaN(cfg.Lambda) || math.IsInf(cfg.Lambda, 0) {
+		return nil, fmt.Errorf("sim: invalid traffic rate %v", cfg.Lambda)
+	}
+
+	var kernel des.Kernel
+	engine := wormhole.NewEngine(&kernel)
+	f, err := buildFabric(engine, cfg.Sys, cfg.Msg.FlitBytes, cfg.BufferDepth)
+	if err != nil {
+		return nil, err
+	}
+
+	pattern := cfg.Pattern
+	if pattern == nil {
+		pattern = traffic.Uniform{N: f.totalNodes()}
+	}
+	if pattern.Nodes() != f.totalNodes() {
+		return nil, fmt.Errorf("sim: pattern covers %d nodes, system has %d", pattern.Nodes(), f.totalNodes())
+	}
+
+	root := rng.New(cfg.Seed, 0x9b1a_5eed)
+	arrivalStream := root.Derive(1)
+	destStream := root.Derive(2)
+	source := traffic.NewSource(cfg.Lambda, f.totalNodes(), arrivalStream)
+
+	metrics := &Metrics{}
+	collector := stats.Collector{WarmupCount: cfg.WarmupCount, MeasureCount: cfg.MeasureCount}
+	inflight := 0
+	aborted := false
+	var traceErr error
+
+	deliver := func(msg *message, deliveredAt float64) {
+		inflight--
+		lat := deliveredAt - msg.gen
+		collector.Record(msg.phase, lat)
+		if msg.phase == stats.Measure {
+			metrics.Latency.Add(lat)
+			if msg.intra {
+				metrics.Intra.Add(lat)
+			} else {
+				metrics.Inter.Add(lat)
+			}
+			if metrics.Latency.Count() <= cfg.MeasureCount/2 {
+				metrics.FirstHalf.Add(lat)
+			} else {
+				metrics.SecondHalf.Add(lat)
+			}
+		}
+		if cfg.Trace != nil && traceErr == nil {
+			err := cfg.Trace.Write(&trace.Record{
+				ID:            msg.id,
+				Src:           msg.src,
+				Dst:           msg.dst,
+				SrcCluster:    f.clusterOf(msg.src),
+				DstCluster:    f.clusterOf(msg.dst),
+				Intra:         msg.intra,
+				Phase:         msg.phase.String(),
+				Generated:     msg.gen,
+				Delivered:     deliveredAt,
+				SegmentStarts: msg.segStarts,
+			})
+			if err != nil {
+				traceErr = err
+				aborted = true
+			}
+		}
+	}
+
+	launch := func(src int, at float64) {
+		dst := pattern.Pick(src, destStream)
+		msg := &message{id: metrics.Generated, src: src, dst: dst, gen: at, phase: collector.NextPhase()}
+		metrics.Generated++
+		inflight++
+		if inflight > metrics.PeakBacklog {
+			metrics.PeakBacklog = inflight
+		}
+
+		srcCluster := f.clusterOf(src)
+		dstCluster := f.clusterOf(dst)
+		srcLocal := src - f.offsets[srcCluster]
+		dstLocal := dst - f.offsets[dstCluster]
+
+		if srcCluster == dstCluster {
+			msg.intra = true
+			engine.Start(&wormhole.Journey{
+				Channels: f.intraPath(srcCluster, srcLocal, dstLocal),
+				Flits:    cfg.Msg.Flits,
+				OnComplete: func(jn *wormhole.Journey, exits []float64) {
+					msg.segStarts = append(msg.segStarts, jn.Acquire[0])
+					deliver(msg, exits[len(exits)-1])
+				},
+			}, at)
+			return
+		}
+
+		// Gateways store-and-forward whole messages (the paper's "simple
+		// bi-directional buffers", whose modelled service M·t_cs^{I2}
+		// covers a full message): segment s+1 starts once segment s's
+		// tail has arrived. This is what keeps the gateway's single ICN2
+		// injection port at M·t_cs^{I2} occupancy per message — the
+		// system's saturation behaviour — instead of being throttled to
+		// the slower ECN1 arrival rate, and it decouples the wormhole
+		// dependency chains of the three networks (deadlock freedom).
+		segs := f.interPath(srcCluster, dstCluster, srcLocal, dstLocal, dst)
+		seg3 := func(jn *wormhole.Journey, exits []float64) {
+			msg.segStarts = append(msg.segStarts, jn.Acquire[0])
+			engine.Start(&wormhole.Journey{
+				Channels: segs[2], Flits: cfg.Msg.Flits,
+				OnComplete: func(jn3 *wormhole.Journey, ex []float64) {
+					msg.segStarts = append(msg.segStarts, jn3.Acquire[0])
+					deliver(msg, ex[len(ex)-1])
+				},
+			}, exits[len(exits)-1])
+		}
+		seg2 := func(jn *wormhole.Journey, exits []float64) {
+			msg.segStarts = append(msg.segStarts, jn.Acquire[0])
+			engine.Start(&wormhole.Journey{
+				Channels: segs[1], Flits: cfg.Msg.Flits,
+				OnComplete: seg3,
+			}, exits[len(exits)-1])
+		}
+		engine.Start(&wormhole.Journey{
+			Channels: segs[0], Flits: cfg.Msg.Flits,
+			OnComplete: seg2,
+		}, at)
+	}
+
+	// Self-perpetuating generation: the paper keeps generating through
+	// the drain phase so that measured messages complete under load.
+	var generate func()
+	scheduleNext := func() {
+		t, src := source.Next()
+		kernel.ScheduleAt(t, func() {
+			if collector.DoneMeasuring() || aborted {
+				return // stop generating; let the calendar drain
+			}
+			if inflight >= cfg.MaxBacklog {
+				aborted = true
+				return
+			}
+			launch(src, kernel.Now())
+			generate()
+		})
+	}
+	generate = scheduleNext
+	generate()
+
+	kernel.Run(func() bool {
+		return aborted || collector.DoneMeasuring() || kernel.Processed() >= cfg.MaxEvents
+	})
+
+	metrics.SimTime = kernel.Now()
+	metrics.Events = kernel.Processed()
+	metrics.Saturated = aborted || !collector.DoneMeasuring()
+	if traceErr != nil {
+		return nil, fmt.Errorf("sim: trace writer: %w", traceErr)
+	}
+
+	// Channel utilization report.
+	now := kernel.Now()
+	if cfg.CollectChannelUtil {
+		metrics.ChannelUtil = make(map[string]float64)
+	}
+	record := func(ch *wormhole.Channel, gateway bool) {
+		u := ch.Utilization(now)
+		metrics.MaxChannelUtil = math.Max(metrics.MaxChannelUtil, u)
+		if gateway {
+			metrics.MaxGatewayUtil = math.Max(metrics.MaxGatewayUtil, u)
+		}
+		if metrics.ChannelUtil != nil {
+			metrics.ChannelUtil[ch.Name] = u
+		}
+	}
+	for i := range f.clusters {
+		cn := &f.clusters[i]
+		for _, ch := range cn.icn1.chans {
+			record(ch, false)
+		}
+		for _, ch := range cn.ecn1.chans {
+			record(ch, false)
+		}
+		for _, ch := range cn.concEntry {
+			record(ch, false)
+		}
+		for _, ch := range cn.dispEntry {
+			record(ch, false)
+		}
+	}
+	for key, ch := range f.icn2.chans {
+		record(ch, key.Kind == routing.Inject)
+	}
+	return metrics, nil
+}

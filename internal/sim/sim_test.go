@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/trace"
+	"github.com/ccnet/ccnet/internal/traffic"
+)
+
+// tinySystem has four n_i=1 clusters (m=4): every intra journey crosses
+// exactly 2 links and every inter journey has deterministic segment
+// shapes, so end-to-end latencies are computable by hand.
+func tinySystem() *cluster.System {
+	s := cluster.SmallTestSystem()
+	for i := range s.Clusters {
+		s.Clusters[i].TreeLevels = 1
+	}
+	s.Name = "N=16 (tiny)"
+	return s
+}
+
+func fastCfg(sys *cluster.System, lambda float64) Config {
+	return Config{
+		Sys:          sys,
+		Msg:          netchar.MessageSpec{Flits: 8, FlitBytes: 64},
+		Lambda:       lambda,
+		Seed:         7,
+		WarmupCount:  200,
+		MeasureCount: 2000,
+	}
+}
+
+func TestZeroLoadLatenciesExact(t *testing.T) {
+	// At negligible load there is no contention, so latency equals the
+	// exact pipeline time of each journey.
+	sys := tinySystem()
+	msg := netchar.MessageSpec{Flits: 32, FlitBytes: 256}
+	m, err := Run(Config{Sys: sys, Msg: msg, Lambda: 1e-7, Seed: 3,
+		WarmupCount: 50, MeasureCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Saturated {
+		t.Fatal("saturated at negligible load")
+	}
+
+	M := float64(msg.Flits)
+	tcnI1 := netchar.Net1.NodeChannelTime(256)   // intra node links
+	tcnE1 := netchar.Net2.NodeChannelTime(256)   // ECN1 node links
+	tcsI2 := netchar.Net1.SwitchChannelTime(256) // gateway ports
+	tcnI2 := netchar.Net1.NodeChannelTime(256)   // ICN2 node links
+
+	// Intra (n=1, h=1): inject+eject at t_cn each → (M+1)·t_cn.
+	wantIntra := (M + 1) * tcnI1
+	if math.Abs(m.Intra.Mean()-wantIntra) > 1e-6 {
+		t.Errorf("intra mean = %v, want exactly %v", m.Intra.Mean(), wantIntra)
+	}
+	if m.Intra.StdDev() > 1e-5 { // float accumulation noise only
+		t.Errorf("intra latencies should be identical, sd = %v", m.Intra.StdDev())
+	}
+
+	// Inter: three store-and-forward segments.
+	seg1 := tcnE1 + tcsI2 + (M-1)*math.Max(tcnE1, tcsI2) // inject → gateway port
+	seg2 := 2*tcnI2 + (M-1)*math.Max(tcnI2, tcnI2)       // ICN2: n_c=1 → 2 node links
+	seg3 := tcsI2 + tcnE1 + (M-1)*math.Max(tcsI2, tcnE1) // gateway → eject
+	wantInter := seg1 + seg2 + seg3
+	if math.Abs(m.Inter.Mean()-wantInter) > 1e-6 {
+		t.Errorf("inter mean = %v, want exactly %v", m.Inter.Mean(), wantInter)
+	}
+	if m.Inter.StdDev() > 1e-5 { // float accumulation noise only
+		t.Errorf("inter latencies should be identical, sd = %v", m.Inter.StdDev())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	cfg := fastCfg(cluster.SmallTestSystem(), 5e-4)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency.Mean() != b.Latency.Mean() || a.Events != b.Events || a.SimTime != b.SimTime {
+		t.Fatalf("same seed diverged: mean %v vs %v, events %d vs %d",
+			a.Latency.Mean(), b.Latency.Mean(), a.Events, b.Events)
+	}
+	cfg.Seed = 8
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Latency.Mean() == a.Latency.Mean() {
+		t.Fatal("different seeds produced identical means (suspicious)")
+	}
+}
+
+func TestConservationAndCounts(t *testing.T) {
+	cfg := fastCfg(cluster.SmallTestSystem(), 5e-4)
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Saturated {
+		t.Fatal("unexpected saturation")
+	}
+	if m.Latency.Count() != cfg.MeasureCount {
+		t.Fatalf("measured %d messages, want %d", m.Latency.Count(), cfg.MeasureCount)
+	}
+	if m.Intra.Count()+m.Inter.Count() != m.Latency.Count() {
+		t.Fatalf("intra %d + inter %d != total %d", m.Intra.Count(), m.Inter.Count(), m.Latency.Count())
+	}
+	if m.Generated < cfg.WarmupCount+cfg.MeasureCount {
+		t.Fatalf("generated only %d messages", m.Generated)
+	}
+	if m.Latency.Min() <= 0 {
+		t.Fatalf("non-positive latency sample: %v", m.Latency.Min())
+	}
+}
+
+func TestInterShareMatchesUniformTraffic(t *testing.T) {
+	// Under uniform destinations, the expected inter fraction is the
+	// node-weighted mean of U^(i).
+	sys := cluster.SmallTestSystem()
+	cfg := fastCfg(sys, 2e-4)
+	cfg.MeasureCount = 8000
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	n := float64(sys.TotalNodes())
+	for i := range sys.Clusters {
+		want += float64(sys.ClusterNodes(i)) / n * sys.OutProbability(i)
+	}
+	got := float64(m.Inter.Count()) / float64(m.Latency.Count())
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("inter share = %v, want ~%v", got, want)
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	sys := cluster.SmallTestSystem()
+	var prev float64
+	for _, l := range []float64{1e-4, 1e-3, 2e-3} {
+		m, err := Run(fastCfg(sys, l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Saturated {
+			t.Fatalf("saturated at λ=%v", l)
+		}
+		if m.Latency.Mean() <= prev {
+			t.Fatalf("latency did not increase with load at λ=%v (%v after %v)",
+				l, m.Latency.Mean(), prev)
+		}
+		prev = m.Latency.Mean()
+	}
+}
+
+func TestGatewayUtilizationGrowsWithLoad(t *testing.T) {
+	sys := cluster.SmallTestSystem()
+	low, err := Run(fastCfg(sys, 1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(fastCfg(sys, 2e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(low.MaxGatewayUtil < high.MaxGatewayUtil) {
+		t.Fatalf("gateway utilization did not grow: %v -> %v", low.MaxGatewayUtil, high.MaxGatewayUtil)
+	}
+	if high.MaxGatewayUtil <= 0 || high.MaxGatewayUtil > 1.0000001 {
+		t.Fatalf("gateway utilization out of bounds: %v", high.MaxGatewayUtil)
+	}
+}
+
+func TestSaturationDetection(t *testing.T) {
+	cfg := fastCfg(cluster.SmallTestSystem(), 0.5) // far beyond capacity
+	cfg.MaxBacklog = 2000
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Saturated {
+		t.Fatal("overloaded system not reported as saturated")
+	}
+	if m.PeakBacklog < cfg.MaxBacklog {
+		t.Fatalf("peak backlog %d below abort threshold %d", m.PeakBacklog, cfg.MaxBacklog)
+	}
+}
+
+func TestLocalPatternEliminatesInterTraffic(t *testing.T) {
+	sys := cluster.SmallTestSystem()
+	sizes := make([]int, sys.NumClusters())
+	for i := range sizes {
+		sizes[i] = sys.ClusterNodes(i)
+	}
+	cfg := fastCfg(sys, 5e-4)
+	cfg.Pattern = traffic.ClusterLocal{Part: traffic.NewPartition(sizes), PLocal: 1}
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Inter.Count() != 0 {
+		t.Fatalf("fully local pattern produced %d inter messages", m.Inter.Count())
+	}
+	if m.MaxGatewayUtil != 0 {
+		t.Fatalf("gateways used by local traffic: util %v", m.MaxGatewayUtil)
+	}
+}
+
+func TestHotspotSkewsLoad(t *testing.T) {
+	// At a rate where uniform traffic is comfortably stable, concentrating
+	// half the destinations on one node must both raise the peak channel
+	// utilization (the hot ejection path) and increase mean latency.
+	sys := cluster.SmallTestSystem()
+	cfg := fastCfg(sys, 0.04)
+	cfg.CollectChannelUtil = true
+	uni, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.Saturated {
+		t.Fatal("uniform baseline saturated; lower the test rate")
+	}
+	cfg.Pattern = traffic.Hotspot{N: sys.TotalNodes(), Hot: 0, P: 0.5}
+	hot, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.MaxChannelUtil <= uni.MaxChannelUtil {
+		t.Fatalf("hotspot did not raise peak utilization: %v vs %v",
+			hot.MaxChannelUtil, uni.MaxChannelUtil)
+	}
+	if hot.Latency.Mean() <= uni.Latency.Mean() {
+		t.Fatalf("hotspot traffic not slower than uniform: %v vs %v",
+			hot.Latency.Mean(), uni.Latency.Mean())
+	}
+}
+
+func TestChannelUtilCollection(t *testing.T) {
+	cfg := fastCfg(cluster.SmallTestSystem(), 5e-4)
+	cfg.CollectChannelUtil = true
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ChannelUtil) == 0 {
+		t.Fatal("channel utilization map empty")
+	}
+	var maxU float64
+	for name, u := range m.ChannelUtil {
+		if u < 0 || u > 1.0000001 {
+			t.Fatalf("channel %s has utilization %v", name, u)
+		}
+		maxU = math.Max(maxU, u)
+	}
+	if math.Abs(maxU-m.MaxChannelUtil) > 1e-12 {
+		t.Fatalf("map max %v != MaxChannelUtil %v", maxU, m.MaxChannelUtil)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := fastCfg(cluster.SmallTestSystem(), 1e-4)
+
+	bad := good
+	bad.Sys = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("accepted nil system")
+	}
+
+	bad = good
+	bad.Lambda = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("accepted zero rate")
+	}
+
+	bad = good
+	bad.Lambda = math.NaN()
+	if _, err := Run(bad); err == nil {
+		t.Error("accepted NaN rate")
+	}
+
+	bad = good
+	bad.Msg = netchar.MessageSpec{Flits: 0, FlitBytes: 64}
+	if _, err := Run(bad); err == nil {
+		t.Error("accepted zero-flit message")
+	}
+
+	bad = good
+	bad.Pattern = traffic.Uniform{N: 3} // wrong node count
+	if _, err := Run(bad); err == nil {
+		t.Error("accepted mismatched pattern")
+	}
+
+	badSys := cluster.SmallTestSystem()
+	badSys.Clusters = badSys.Clusters[:3] // C=3 incompatible with ICN2
+	bad = good
+	bad.Sys = badSys
+	if _, err := Run(bad); err == nil {
+		t.Error("accepted system with invalid cluster count")
+	}
+}
+
+func TestFabricStructure(t *testing.T) {
+	// White-box checks of the built fabric for Table 1's N=1120 system.
+	sys := cluster.System1120()
+	cfg := Config{Sys: sys, Msg: netchar.MessageSpec{Flits: 8, FlitBytes: 64},
+		Lambda: 1e-6, Seed: 1, WarmupCount: 1, MeasureCount: 10}
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+}
+
+func TestClusterOfOffsets(t *testing.T) {
+	f := &fabric{offsets: []int{0, 8, 40, 168}}
+	cases := map[int]int{0: 0, 7: 0, 8: 1, 39: 1, 40: 2, 167: 2}
+	for node, want := range cases {
+		if got := f.clusterOf(node); got != want {
+			t.Errorf("clusterOf(%d) = %d, want %d", node, got, want)
+		}
+	}
+	if f.totalNodes() != 168 {
+		t.Fatalf("totalNodes = %d", f.totalNodes())
+	}
+}
+
+func TestDeeperBuffersRaiseCapacity(t *testing.T) {
+	// At a rate past the depth-1 knee of the N=544 system, virtual-cut-
+	// through-depth buffers must sharply reduce latency: head-of-line
+	// blocking inflation, not link capacity, is what saturates the thin
+	// ICN2 tree early (EXPERIMENTS.md finding F-A2).
+	sys := cluster.System544()
+	cfg := Config{
+		Sys: sys, Msg: netchar.MessageSpec{Flits: 32, FlitBytes: 256},
+		Lambda: 6e-4, Seed: 9, WarmupCount: 2000, MeasureCount: 10000,
+	}
+	shallow, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BufferDepth = 32
+	deep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Saturated {
+		t.Fatal("deep-buffer run saturated where it should be stable")
+	}
+	if !(deep.Latency.Mean() < shallow.Latency.Mean()/2) {
+		t.Fatalf("deep buffers did not relieve blocking: %v vs %v",
+			deep.Latency.Mean(), shallow.Latency.Mean())
+	}
+}
+
+func TestBufferDepthValidation(t *testing.T) {
+	cfg := fastCfg(cluster.SmallTestSystem(), 1e-4)
+	cfg.BufferDepth = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("accepted negative buffer depth")
+	}
+}
+
+func TestTraceRecordsDeliveries(t *testing.T) {
+	col := &trace.Collector{}
+	cfg := fastCfg(cluster.SmallTestSystem(), 5e-4)
+	cfg.Trace = col
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(col.Records)) < m.Latency.Count() {
+		t.Fatalf("traced %d records for %d measured deliveries", len(col.Records), m.Latency.Count())
+	}
+	for _, r := range col.Records {
+		if r.Delivered <= r.Generated {
+			t.Fatalf("record %d: delivered %v before generated %v", r.ID, r.Delivered, r.Generated)
+		}
+		wantSegs := 3
+		if r.Intra {
+			wantSegs = 1
+		}
+		if len(r.SegmentStarts) != wantSegs {
+			t.Fatalf("record %d (intra=%v): %d segment starts, want %d",
+				r.ID, r.Intra, len(r.SegmentStarts), wantSegs)
+		}
+		if r.SourceWait() < 0 {
+			t.Fatalf("record %d: negative source wait %v", r.ID, r.SourceWait())
+		}
+		// Segment starts must be ordered and inside the lifetime.
+		prev := r.Generated
+		for s, st := range r.SegmentStarts {
+			if st < prev {
+				t.Fatalf("record %d: segment %d starts at %v before %v", r.ID, s, st, prev)
+			}
+			prev = st
+		}
+		if r.Intra != (r.SrcCluster == r.DstCluster) {
+			t.Fatalf("record %d: intra flag inconsistent with clusters", r.ID)
+		}
+	}
+}
+
+type failingTraceWriter struct{}
+
+func (failingTraceWriter) Write(*trace.Record) error { return errSimTrace }
+
+var errSimTrace = errors.New("trace sink failed")
+
+func TestTraceErrorAbortsRun(t *testing.T) {
+	cfg := fastCfg(cluster.SmallTestSystem(), 5e-4)
+	cfg.Trace = failingTraceWriter{}
+	if _, err := Run(cfg); !errors.Is(err, errSimTrace) {
+		t.Fatalf("trace failure not surfaced: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiameterMatchesWorstPair(t *testing.T) {
+	for _, s := range shapes {
+		tree, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Nodes() > 2048 {
+			continue
+		}
+		worst := 0
+		for a := 0; a < tree.Nodes(); a++ {
+			for b := 0; b < tree.Nodes(); b++ {
+				if a == b {
+					continue
+				}
+				if d := tree.DistanceLinks(a, b); d > worst {
+					worst = d
+				}
+			}
+		}
+		if worst != tree.Diameter() {
+			t.Errorf("(%d,%d): measured diameter %d, Diameter() = %d", s.m, s.n, worst, tree.Diameter())
+		}
+	}
+}
+
+func TestBisectionIsHalfTheNodes(t *testing.T) {
+	// Constant bisectional bandwidth: k^n = N/2 links cross the halves.
+	for _, s := range shapes {
+		if s.n == 1 {
+			continue
+		}
+		tree, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := tree.BisectionLinks(), tree.Nodes()/2; got != want {
+			t.Errorf("(%d,%d): bisection %d links, want N/2 = %d", s.m, s.n, got, want)
+		}
+	}
+}
+
+func TestNoSwitchExceedsRadix(t *testing.T) {
+	for _, s := range shapes {
+		tree, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < tree.NumSwitches(); id++ {
+			if used := tree.PortsUsed(id); used > s.m {
+				t.Fatalf("(%d,%d): switch %d uses %d ports, radix is %d", s.m, s.n, id, used, s.m)
+			}
+		}
+	}
+}
+
+func TestRootAndLeafPortCounts(t *testing.T) {
+	// Paper §2: root switches use all m ports downward; leaf switches use
+	// m/2 down to nodes and m/2 up.
+	tree, err := New(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < tree.NumSwitches(); id++ {
+		sw := tree.Switch(id)
+		used := tree.PortsUsed(id)
+		if used != 8 {
+			t.Fatalf("switch %d (level %d) uses %d ports, want full radix 8", id, sw.Level, used)
+		}
+	}
+}
+
+func TestTotalLinks(t *testing.T) {
+	// n·N links in total: N node links + (n−1)·N switch links.
+	for _, s := range shapes {
+		if s.n == 1 {
+			continue
+		}
+		tree, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.n * tree.Nodes()
+		if got := tree.TotalLinks(); got != want {
+			t.Errorf("(%d,%d): %d links, want n·N = %d", s.m, s.n, got, want)
+		}
+	}
+}
+
+func TestAvgPathBelowDiameter(t *testing.T) {
+	for _, s := range shapes {
+		tree, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := tree.AvgPathLinks()
+		if avg <= 0 || avg > float64(tree.Diameter()) {
+			t.Errorf("(%d,%d): mean path %v outside (0, %d]", s.m, s.n, avg, tree.Diameter())
+		}
+		// Fat trees are root-heavy: the mean must be closer to the
+		// diameter than to the minimum (most pairs meet near the top).
+		if tree.N > 1 && avg < float64(tree.Diameter())/2 {
+			t.Errorf("(%d,%d): mean path %v implausibly small", s.m, s.n, avg)
+		}
+	}
+}
+
+func TestSingleLevelMetrics(t *testing.T) {
+	tree, err := New(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Diameter() != 2 {
+		t.Fatalf("diameter = %d", tree.Diameter())
+	}
+	if tree.BisectionLinks() != 4 {
+		t.Fatalf("bisection = %d", tree.BisectionLinks())
+	}
+	if tree.TotalLinks() != 8 {
+		t.Fatalf("links = %d", tree.TotalLinks())
+	}
+	if math.Abs(tree.AvgPathLinks()-2) > 1e-12 {
+		t.Fatalf("avg path = %v", tree.AvgPathLinks())
+	}
+}

@@ -1,0 +1,287 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sizes used across the tests: every (m, n) shape that appears in Table 1
+// plus a few extremes.
+var shapes = []struct{ m, n int }{
+	{8, 1}, {8, 2}, {8, 3}, // N=1120 system clusters and its ICN2 (8,2)
+	{4, 3}, {4, 4}, {4, 5}, // N=544 system clusters and its ICN2 (4,3)
+	{2, 1}, {2, 4}, {4, 1}, {6, 2}, {12, 2},
+}
+
+func TestCountsMatchFormulas(t *testing.T) {
+	for _, s := range shapes {
+		tree, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", s.m, s.n, err)
+		}
+		k := s.m / 2
+		wantNodes := 2 * pow(k, s.n)
+		wantSwitches := (2*s.n - 1) * pow(k, s.n-1)
+		if tree.Nodes() != wantNodes {
+			t.Errorf("(%d,%d): nodes = %d, want %d", s.m, s.n, tree.Nodes(), wantNodes)
+		}
+		if tree.NumSwitches() != wantSwitches {
+			t.Errorf("(%d,%d): switches = %d, want %d", s.m, s.n, tree.NumSwitches(), wantSwitches)
+		}
+	}
+}
+
+func TestTable1ClusterSizes(t *testing.T) {
+	// Table 1: m=8 gives N_i ∈ {8, 32, 128} for n_i ∈ {1,2,3};
+	//          m=4 gives N_i ∈ {16, 32, 64} for n_i ∈ {3,4,5}.
+	cases := []struct{ m, n, want int }{
+		{8, 1, 8}, {8, 2, 32}, {8, 3, 128},
+		{4, 3, 16}, {4, 4, 32}, {4, 5, 64},
+	}
+	for _, c := range cases {
+		tree, err := New(c.m, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Nodes() != c.want {
+			t.Errorf("m=%d n=%d: N = %d, want %d", c.m, c.n, tree.Nodes(), c.want)
+		}
+	}
+}
+
+func TestVerifyAllShapes(t *testing.T) {
+	for _, s := range shapes {
+		tree, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Verify(); err != nil {
+			t.Errorf("(%d,%d): %v", s.m, s.n, err)
+		}
+	}
+}
+
+func TestNewRejectsBadShapes(t *testing.T) {
+	bad := []struct{ m, n int }{{0, 1}, {3, 2}, {-4, 2}, {8, 0}, {8, -1}, {2, 60}}
+	for _, s := range bad {
+		if _, err := New(s.m, s.n); err == nil {
+			t.Errorf("New(%d,%d) succeeded, want error", s.m, s.n)
+		}
+	}
+}
+
+func TestDistanceDistributionMatchesEnumeration(t *testing.T) {
+	for _, s := range shapes {
+		if pow(s.m/2, s.n) > 4096 {
+			continue
+		}
+		tree, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		formula := tree.DistanceDistribution()
+		exact := tree.EnumerateDistanceDistribution()
+		for h := range formula {
+			if math.Abs(formula[h]-exact[h]) > 1e-12 {
+				t.Errorf("(%d,%d) h=%d: Eq 6 gives %v, enumeration gives %v",
+					s.m, s.n, h+1, formula[h], exact[h])
+			}
+		}
+	}
+}
+
+func TestDistanceDistributionSumsToOne(t *testing.T) {
+	for _, s := range shapes {
+		tree, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, p := range tree.DistanceDistribution() {
+			if p < 0 {
+				t.Fatalf("(%d,%d): negative probability %v", s.m, s.n, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("(%d,%d): distribution sums to %v", s.m, s.n, sum)
+		}
+	}
+}
+
+func TestFixedDestinationMatchesUniformDistribution(t *testing.T) {
+	// By symmetry the h-distribution toward any fixed destination equals
+	// the uniform-pair distribution — this is what lets Eq 6 double as the
+	// gateway-crossing distribution.
+	tree, err := New(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := tree.DistanceDistribution()
+	for _, dst := range []int{0, 1, 7, tree.Nodes() - 1} {
+		fixed := tree.FixedDestinationDistribution(dst)
+		for h := range uniform {
+			if math.Abs(uniform[h]-fixed[h]) > 1e-12 {
+				t.Errorf("dst=%d h=%d: fixed %v, uniform %v", dst, h+1, fixed[h], uniform[h])
+			}
+		}
+	}
+}
+
+func TestMeanDistanceClosedForm(t *testing.T) {
+	// Eq 9 closed form cross-check for (m=8, n=2): k=4, N=32.
+	// P_1 = 3/31, P_2 = 28/31 → D = 2·3/31 + 4·28/31 = 118/31.
+	tree, err := New(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 118.0 / 31.0
+	if got := tree.MeanDistanceLinks(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("D = %v, want %v", got, want)
+	}
+}
+
+func TestNCAHeightProperties(t *testing.T) {
+	tree, err := New(4, 4) // 32 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tree.Nodes()
+	f := func(a, b uint16) bool {
+		s := int(a) % n
+		d := int(b) % n
+		if s == d {
+			return true
+		}
+		h := tree.NCAHeight(s, d)
+		if h < 1 || h > tree.N {
+			return false
+		}
+		// Symmetry.
+		if tree.NCAHeight(d, s) != h {
+			return false
+		}
+		// Nodes in different halves always meet at the roots.
+		if s/(n/2) != d/(n/2) && h != tree.N {
+			return false
+		}
+		// Nodes on the same leaf switch are at height 1.
+		if tree.LeafSwitchOf(s) == tree.LeafSwitchOf(d) && h != 1 {
+			return false
+		}
+		return tree.DistanceLinks(s, d) == 2*h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNCAHeightPanicsOnSelf(t *testing.T) {
+	tree, _ := New(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NCAHeight(x,x) did not panic")
+		}
+	}()
+	tree.NCAHeight(3, 3)
+}
+
+func TestLeafSwitchCoversItsNodes(t *testing.T) {
+	for _, s := range shapes {
+		tree, err := New(s.m, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < tree.Nodes(); v++ {
+			ls := tree.LeafSwitchOf(v)
+			if !tree.Covers(ls, v) {
+				t.Fatalf("(%d,%d): leaf switch %d does not cover node %d", s.m, s.n, ls, v)
+			}
+		}
+	}
+}
+
+func TestNodesOfLeafSwitchRoundTrip(t *testing.T) {
+	tree, err := New(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for id := 0; id < tree.NumSwitches(); id++ {
+		if tree.Switch(id).Level != tree.N-1 {
+			continue
+		}
+		for _, v := range tree.NodesOfLeafSwitch(id) {
+			if seen[v] {
+				t.Fatalf("node %d attached to two leaf switches", v)
+			}
+			seen[v] = true
+			if tree.LeafSwitchOf(v) != id {
+				t.Fatalf("node %d: LeafSwitchOf=%d, attached to %d", v, tree.LeafSwitchOf(v), id)
+			}
+		}
+	}
+	if len(seen) != tree.Nodes() {
+		t.Fatalf("leaf switches cover %d nodes, want %d", len(seen), tree.Nodes())
+	}
+}
+
+func TestRootsAreSharedByHalves(t *testing.T) {
+	tree, err := New(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tree.NumRoots(); r++ {
+		sw := tree.Switch(tree.Root(r))
+		if sw.Level != 0 || sw.Half != -1 {
+			t.Fatalf("root %d: level=%d half=%d", r, sw.Level, sw.Half)
+		}
+		if sw.LeafLo != 0 || sw.LeafHi != tree.Nodes() {
+			t.Fatalf("root %d covers [%d,%d), want all nodes", r, sw.LeafLo, sw.LeafHi)
+		}
+		// Down ports split evenly across halves.
+		half0, half1 := 0, 0
+		for _, c := range sw.Down {
+			if tree.Switch(c).Half == 0 {
+				half0++
+			} else {
+				half1++
+			}
+		}
+		if half0 != tree.K || half1 != tree.K {
+			t.Fatalf("root %d: %d/%d children per half, want %d/%d", r, half0, half1, tree.K, tree.K)
+		}
+	}
+}
+
+func TestSingleLevelTree(t *testing.T) {
+	tree, err := New(8, 1) // Table 1's smallest cluster: 8 nodes, 1 switch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Nodes() != 8 || tree.NumSwitches() != 1 {
+		t.Fatalf("m=8 n=1: %d nodes, %d switches", tree.Nodes(), tree.NumSwitches())
+	}
+	if err := tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		if tree.LeafSwitchOf(s) != 0 {
+			t.Fatalf("node %d not attached to the lone switch", s)
+		}
+		for d := 0; d < 8; d++ {
+			if s != d && tree.DistanceLinks(s, d) != 2 {
+				t.Fatalf("distance(%d,%d) = %d, want 2", s, d, tree.DistanceLinks(s, d))
+			}
+		}
+	}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}

@@ -1,0 +1,119 @@
+package topology
+
+import "fmt"
+
+// Verify performs a full structural audit of the tree and returns the
+// first violated invariant, if any. It is O(switches·k) and intended for
+// tests and for validating configurations at experiment setup time.
+func (t *Tree) Verify() error {
+	n, k := t.N, t.K
+	cols := t.columns()
+
+	if want := 2 * t.kPowers[n]; t.nodes != want {
+		return fmt.Errorf("topology: node count %d, want 2k^n = %d", t.nodes, want)
+	}
+	if want := (2*n - 1) * cols; len(t.switches) != want {
+		return fmt.Errorf("topology: switch count %d, want (2n−1)k^(n−1) = %d", len(t.switches), want)
+	}
+
+	for i := range t.switches {
+		sw := &t.switches[i]
+		if sw.ID != i {
+			return fmt.Errorf("topology: switch %d stores id %d", i, sw.ID)
+		}
+		if len(sw.Label) != n-1 {
+			return fmt.Errorf("topology: switch %d label has %d digits, want %d", i, len(sw.Label), n-1)
+		}
+
+		// Port cardinality.
+		switch {
+		case sw.Level == 0 && n > 1:
+			if len(sw.Up) != 0 || len(sw.Down) != 2*k {
+				return fmt.Errorf("topology: root %d has %d up / %d down ports, want 0/%d", i, len(sw.Up), len(sw.Down), 2*k)
+			}
+		case sw.Level == 0 && n == 1:
+			if len(sw.Up) != 0 || len(sw.Down) != 0 {
+				return fmt.Errorf("topology: lone root %d must have no switch ports", i)
+			}
+		case sw.Level == n-1:
+			if len(sw.Up) != k || len(sw.Down) != 0 {
+				return fmt.Errorf("topology: leaf switch %d has %d up / %d down switch ports, want %d/0", i, len(sw.Up), len(sw.Down), k)
+			}
+		default:
+			if len(sw.Up) != k || len(sw.Down) != k {
+				return fmt.Errorf("topology: switch %d has %d up / %d down ports, want %d/%d", i, len(sw.Up), len(sw.Down), k, k)
+			}
+		}
+
+		// Bidirectional consistency: every down edge must appear as an up
+		// edge of the child and vice versa.
+		for _, child := range sw.Down {
+			c := &t.switches[child]
+			found := false
+			for _, p := range c.Up {
+				if p == sw.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("topology: switch %d lists child %d, child does not list it as parent", sw.ID, child)
+			}
+			if c.Level != sw.Level+1 {
+				return fmt.Errorf("topology: switch %d (level %d) has child %d at level %d", sw.ID, sw.Level, child, c.Level)
+			}
+		}
+		for _, parent := range sw.Up {
+			p := &t.switches[parent]
+			found := false
+			for _, c := range p.Down {
+				if c == sw.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("topology: switch %d lists parent %d, parent does not list it as child", sw.ID, parent)
+			}
+		}
+
+		// Interval sanity.
+		if sw.LeafLo < 0 || sw.LeafHi > t.nodes || sw.LeafLo >= sw.LeafHi {
+			return fmt.Errorf("topology: switch %d has invalid leaf interval [%d,%d)", sw.ID, sw.LeafLo, sw.LeafHi)
+		}
+		// Children partition the parent's interval.
+		if len(sw.Down) > 0 {
+			covered := 0
+			for _, child := range sw.Down {
+				c := &t.switches[child]
+				if c.LeafLo < sw.LeafLo || c.LeafHi > sw.LeafHi {
+					return fmt.Errorf("topology: child %d interval [%d,%d) escapes parent %d [%d,%d)",
+						child, c.LeafLo, c.LeafHi, sw.ID, sw.LeafLo, sw.LeafHi)
+				}
+				covered += c.LeafHi - c.LeafLo
+			}
+			if covered != sw.LeafHi-sw.LeafLo {
+				return fmt.Errorf("topology: children of switch %d cover %d leaves, interval holds %d",
+					sw.ID, covered, sw.LeafHi-sw.LeafLo)
+			}
+		}
+	}
+
+	// Every node maps to a leaf switch that covers it with span k (or m
+	// for the degenerate n = 1 tree).
+	for v := 0; v < t.nodes; v++ {
+		ls := t.LeafSwitchOf(v)
+		sw := &t.switches[ls]
+		if !t.Covers(ls, v) {
+			return fmt.Errorf("topology: node %d not covered by its leaf switch %d", v, ls)
+		}
+		wantSpan := k
+		if n == 1 {
+			wantSpan = 2 * k
+		}
+		if sw.LeafHi-sw.LeafLo != wantSpan {
+			return fmt.Errorf("topology: leaf switch %d spans %d nodes, want %d", ls, sw.LeafHi-sw.LeafLo, wantSpan)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/ccnet/ccnet/internal/stats"
+)
+
+// Summary aggregates records into per-flow statistics: end-to-end latency
+// and its decomposition into source-queue wait versus transfer, split by
+// branch (intra/inter) and by cluster pair.
+type Summary struct {
+	Intra, Inter struct {
+		Latency    stats.Accumulator
+		SourceWait stats.Accumulator
+	}
+	// PairLatency accumulates per (srcCluster, dstCluster) flow.
+	PairLatency map[[2]int]*stats.Accumulator
+}
+
+// Summarize builds a Summary from records, counting only the phase given
+// (use "measure" for steady-state statistics, "" for all phases).
+func Summarize(records []*Record, phase string) *Summary {
+	s := &Summary{PairLatency: make(map[[2]int]*stats.Accumulator)}
+	for _, r := range records {
+		if phase != "" && r.Phase != phase {
+			continue
+		}
+		branch := &s.Inter
+		if r.Intra {
+			branch = &s.Intra
+		}
+		branch.Latency.Add(r.Latency())
+		branch.SourceWait.Add(r.SourceWait())
+
+		key := [2]int{r.SrcCluster, r.DstCluster}
+		acc := s.PairLatency[key]
+		if acc == nil {
+			acc = &stats.Accumulator{}
+			s.PairLatency[key] = acc
+		}
+		acc.Add(r.Latency())
+	}
+	return s
+}
+
+// HottestPairs returns up to n cluster pairs ordered by mean latency
+// (descending), ignoring pairs with fewer than minCount samples.
+func (s *Summary) HottestPairs(n int, minCount uint64) [][2]int {
+	var keys [][2]int
+	for k, acc := range s.PairLatency {
+		if acc.Count() >= minCount {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		la, lb := s.PairLatency[keys[a]].Mean(), s.PairLatency[keys[b]].Mean()
+		if la != lb {
+			return la > lb
+		}
+		return keys[a][0]*1e6+keys[a][1] < keys[b][0]*1e6+keys[b][1] // stable order
+	})
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	return keys
+}
+
+// Report writes a human-readable summary.
+func (s *Summary) Report(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "intra: %s\n       source wait mean %.3f\n",
+		s.Intra.Latency.String(), s.Intra.SourceWait.Mean()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "inter: %s\n       source wait mean %.3f\n",
+		s.Inter.Latency.String(), s.Inter.SourceWait.Mean()); err != nil {
+		return err
+	}
+	for _, k := range s.HottestPairs(5, 10) {
+		acc := s.PairLatency[k]
+		if _, err := fmt.Fprintf(w, "pair %d→%d: n=%d mean=%.2f\n",
+			k[0], k[1], acc.Count(), acc.Mean()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

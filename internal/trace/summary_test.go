@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func makeRecords() []*Record {
+	var rs []*Record
+	// 20 intra records in cluster 0: latency 10, no source wait.
+	for i := 0; i < 20; i++ {
+		rs = append(rs, &Record{
+			ID: uint64(i), SrcCluster: 0, DstCluster: 0, Intra: true, Phase: "measure",
+			Generated: float64(i), Delivered: float64(i) + 10,
+			SegmentStarts: []float64{float64(i)},
+		})
+	}
+	// 15 inter records 0→1: latency 50, source wait 2.
+	for i := 0; i < 15; i++ {
+		g := float64(100 + i)
+		rs = append(rs, &Record{
+			ID: uint64(100 + i), SrcCluster: 0, DstCluster: 1, Phase: "measure",
+			Generated: g, Delivered: g + 50,
+			SegmentStarts: []float64{g + 2, g + 20, g + 40},
+		})
+	}
+	// 12 inter records 1→2: latency 80 (hottest pair).
+	for i := 0; i < 12; i++ {
+		g := float64(200 + i)
+		rs = append(rs, &Record{
+			ID: uint64(200 + i), SrcCluster: 1, DstCluster: 2, Phase: "measure",
+			Generated: g, Delivered: g + 80,
+			SegmentStarts: []float64{g, g + 30, g + 60},
+		})
+	}
+	// Warmup records must be excluded when filtering by phase.
+	rs = append(rs, &Record{ID: 999, SrcCluster: 0, DstCluster: 1, Phase: "warmup",
+		Generated: 0, Delivered: 1000, SegmentStarts: []float64{0}})
+	return rs
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(makeRecords(), "measure")
+	if s.Intra.Latency.Count() != 20 || math.Abs(s.Intra.Latency.Mean()-10) > 1e-12 {
+		t.Fatalf("intra stats wrong: %v", s.Intra.Latency.String())
+	}
+	if s.Inter.Latency.Count() != 27 {
+		t.Fatalf("inter count = %d, want 27", s.Inter.Latency.Count())
+	}
+	wantInter := (15*50.0 + 12*80.0) / 27
+	if math.Abs(s.Inter.Latency.Mean()-wantInter) > 1e-9 {
+		t.Fatalf("inter mean = %v, want %v", s.Inter.Latency.Mean(), wantInter)
+	}
+	if math.Abs(s.Inter.SourceWait.Mean()-(15*2.0)/27) > 1e-9 {
+		t.Fatalf("inter source wait mean = %v", s.Inter.SourceWait.Mean())
+	}
+	if len(s.PairLatency) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(s.PairLatency))
+	}
+}
+
+func TestSummarizeAllPhases(t *testing.T) {
+	s := Summarize(makeRecords(), "")
+	if s.Inter.Latency.Count() != 28 { // warmup record included
+		t.Fatalf("all-phase inter count = %d, want 28", s.Inter.Latency.Count())
+	}
+}
+
+func TestHottestPairs(t *testing.T) {
+	s := Summarize(makeRecords(), "measure")
+	pairs := s.HottestPairs(2, 10)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0] != [2]int{1, 2} {
+		t.Fatalf("hottest pair = %v, want 1→2", pairs[0])
+	}
+	if pairs[1] != [2]int{0, 1} {
+		t.Fatalf("second pair = %v, want 0→1", pairs[1])
+	}
+	// minCount filters small flows.
+	few := s.HottestPairs(5, 100)
+	if len(few) != 0 {
+		t.Fatalf("minCount filter failed: %v", few)
+	}
+}
+
+func TestReport(t *testing.T) {
+	s := Summarize(makeRecords(), "measure")
+	var buf bytes.Buffer
+	if err := s.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"intra:", "inter:", "pair 1→2", "source wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

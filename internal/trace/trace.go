@@ -1,0 +1,107 @@
+// Package trace records per-message lifecycle events from the simulator —
+// generation, per-segment head injection, and delivery — as CSV or JSON
+// Lines streams. Traces support latency decomposition (how much of a
+// message's latency was source queueing, gateway buffering, or network
+// transfer) and debugging of contention pathologies.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Record is one delivered message.
+type Record struct {
+	ID         uint64  `json:"id"`
+	Src        int     `json:"src"`
+	Dst        int     `json:"dst"`
+	SrcCluster int     `json:"src_cluster"`
+	DstCluster int     `json:"dst_cluster"`
+	Intra      bool    `json:"intra"`
+	Phase      string  `json:"phase"`
+	Generated  float64 `json:"generated"`
+	Delivered  float64 `json:"delivered"`
+	// SegmentStarts holds the head's acquisition time of each segment's
+	// first channel: one entry for intra messages, three for inter
+	// (ECN1 source, ICN2, ECN1 destination). SegmentStarts[0]−Generated
+	// is the source-queue wait.
+	SegmentStarts []float64 `json:"segment_starts"`
+}
+
+// Latency returns the end-to-end latency.
+func (r *Record) Latency() float64 { return r.Delivered - r.Generated }
+
+// SourceWait returns the time spent queueing at the source NIC.
+func (r *Record) SourceWait() float64 {
+	if len(r.SegmentStarts) == 0 {
+		return 0
+	}
+	return r.SegmentStarts[0] - r.Generated
+}
+
+// Writer consumes records.
+type Writer interface {
+	Write(r *Record) error
+}
+
+// CSVWriter streams records as CSV rows (header written lazily).
+type CSVWriter struct {
+	W          io.Writer
+	headerDone bool
+}
+
+// Write implements Writer.
+func (c *CSVWriter) Write(r *Record) error {
+	if !c.headerDone {
+		if _, err := fmt.Fprintln(c.W,
+			"id,src,dst,src_cluster,dst_cluster,intra,phase,generated,delivered,latency,source_wait,segments"); err != nil {
+			return err
+		}
+		c.headerDone = true
+	}
+	_, err := fmt.Fprintf(c.W, "%d,%d,%d,%d,%d,%t,%s,%.6f,%.6f,%.6f,%.6f,%d\n",
+		r.ID, r.Src, r.Dst, r.SrcCluster, r.DstCluster, r.Intra, r.Phase,
+		r.Generated, r.Delivered, r.Latency(), r.SourceWait(), len(r.SegmentStarts))
+	return err
+}
+
+// JSONLWriter streams records as JSON Lines.
+type JSONLWriter struct {
+	W io.Writer
+}
+
+// Write implements Writer.
+func (j *JSONLWriter) Write(r *Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = j.W.Write(b)
+	return err
+}
+
+// Multi fans records out to several writers.
+type Multi []Writer
+
+// Write implements Writer.
+func (m Multi) Write(r *Record) error {
+	for _, w := range m {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collector retains records in memory (tests, small runs).
+type Collector struct {
+	Records []*Record
+}
+
+// Write implements Writer.
+func (c *Collector) Write(r *Record) error {
+	c.Records = append(c.Records, r)
+	return nil
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sample() *Record {
+	return &Record{
+		ID: 7, Src: 3, Dst: 40, SrcCluster: 0, DstCluster: 2,
+		Intra: false, Phase: "measure",
+		Generated: 10.5, Delivered: 55.25,
+		SegmentStarts: []float64{12.0, 30.0, 42.0},
+	}
+}
+
+func TestRecordDerivedQuantities(t *testing.T) {
+	r := sample()
+	if r.Latency() != 44.75 {
+		t.Fatalf("latency = %v", r.Latency())
+	}
+	if r.SourceWait() != 1.5 {
+		t.Fatalf("source wait = %v", r.SourceWait())
+	}
+	empty := &Record{Generated: 5, Delivered: 6}
+	if empty.SourceWait() != 0 {
+		t.Fatalf("empty segment starts: source wait = %v", empty.SourceWait())
+	}
+}
+
+func TestCSVWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &CSVWriter{W: &buf}
+	if err := w.Write(sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(sample()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,src,dst") {
+		t.Fatalf("header malformed: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "7,3,40,0,2,false,measure") {
+		t.Fatalf("row malformed: %s", lines[1])
+	}
+	if !strings.Contains(lines[1], "44.75") { // latency column
+		t.Fatalf("derived latency missing: %s", lines[1])
+	}
+}
+
+func TestJSONLWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &JSONLWriter{W: &buf}
+	if err := w.Write(sample()); err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 7 || back.Delivered != 55.25 || len(back.SegmentStarts) != 3 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := &Collector{}
+	for i := 0; i < 5; i++ {
+		if err := c.Write(sample()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.Records) != 5 {
+		t.Fatalf("collected %d records", len(c.Records))
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(*Record) error { return errors.New("disk full") }
+
+func TestMulti(t *testing.T) {
+	c1, c2 := &Collector{}, &Collector{}
+	m := Multi{c1, c2}
+	if err := m.Write(sample()); err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Records) != 1 || len(c2.Records) != 1 {
+		t.Fatal("multi did not fan out")
+	}
+	failing := Multi{failWriter{}}
+	if err := failing.Write(sample()); err == nil {
+		t.Fatal("multi swallowed error")
+	}
+}

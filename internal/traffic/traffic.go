@@ -1,0 +1,184 @@
+// Package traffic implements the workload generators: Poisson message
+// arrival processes (assumption 1 of the paper) and destination patterns —
+// the paper's uniform pattern (assumption 2) plus the hotspot and
+// cluster-local patterns the paper names as future work, used here for the
+// non-uniform extension experiments.
+package traffic
+
+import (
+	"fmt"
+
+	"github.com/ccnet/ccnet/internal/rng"
+)
+
+// Pattern chooses a destination node for a message originating at src.
+// Implementations must never return src itself.
+type Pattern interface {
+	// Pick returns a destination in [0, Nodes()) distinct from src.
+	Pick(src int, r *rng.Stream) int
+	// Nodes returns the size of the node id space.
+	Nodes() int
+	// Name identifies the pattern in reports.
+	Name() string
+}
+
+// Uniform addresses every other node with equal probability — the
+// pattern the analytical model assumes.
+type Uniform struct{ N int }
+
+// Pick implements Pattern.
+func (u Uniform) Pick(src int, r *rng.Stream) int {
+	if u.N < 2 {
+		panic("traffic: uniform pattern needs at least 2 nodes")
+	}
+	d := r.IntN(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Nodes implements Pattern.
+func (u Uniform) Nodes() int { return u.N }
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// Hotspot sends a fraction P of traffic to a single hot node and the rest
+// uniformly. Classic non-uniform stressor for the inter-cluster path.
+type Hotspot struct {
+	N   int
+	Hot int
+	P   float64
+}
+
+// Pick implements Pattern.
+func (h Hotspot) Pick(src int, r *rng.Stream) int {
+	if h.P < 0 || h.P > 1 {
+		panic(fmt.Sprintf("traffic: hotspot fraction %v out of [0,1]", h.P))
+	}
+	if src != h.Hot && r.Float64() < h.P {
+		return h.Hot
+	}
+	return Uniform{N: h.N}.Pick(src, r)
+}
+
+// Nodes implements Pattern.
+func (h Hotspot) Nodes() int { return h.N }
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot(%d,%.2f)", h.Hot, h.P) }
+
+// Partition maps global node ids to clusters (contiguous ranges).
+type Partition struct {
+	offsets []int // offsets[i] = first node of cluster i; sentinel at end
+}
+
+// NewPartition builds a partition from per-cluster sizes.
+func NewPartition(sizes []int) *Partition {
+	p := &Partition{offsets: make([]int, len(sizes)+1)}
+	for i, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("traffic: cluster %d has non-positive size %d", i, s))
+		}
+		p.offsets[i+1] = p.offsets[i] + s
+	}
+	return p
+}
+
+// Total returns the total number of nodes.
+func (p *Partition) Total() int { return p.offsets[len(p.offsets)-1] }
+
+// NumClusters returns the number of clusters.
+func (p *Partition) NumClusters() int { return len(p.offsets) - 1 }
+
+// Range returns the [lo,hi) node range of cluster c.
+func (p *Partition) Range(c int) (lo, hi int) { return p.offsets[c], p.offsets[c+1] }
+
+// ClusterOf returns the cluster containing the node (binary search).
+func (p *Partition) ClusterOf(node int) int {
+	if node < 0 || node >= p.Total() {
+		panic(fmt.Sprintf("traffic: node %d outside partition [0,%d)", node, p.Total()))
+	}
+	lo, hi := 0, len(p.offsets)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if node < p.offsets[mid+1] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ClusterLocal keeps a fraction PLocal of each node's traffic inside its
+// own cluster (uniform within it) and spreads the remainder uniformly over
+// the other clusters' nodes. PLocal = 0 with equal cluster sizes recovers
+// the uniform-remote pattern; higher PLocal models locality-aware
+// placement.
+type ClusterLocal struct {
+	Part   *Partition
+	PLocal float64
+}
+
+// Pick implements Pattern.
+func (c ClusterLocal) Pick(src int, r *rng.Stream) int {
+	if c.PLocal < 0 || c.PLocal > 1 {
+		panic(fmt.Sprintf("traffic: locality fraction %v out of [0,1]", c.PLocal))
+	}
+	lo, hi := c.Part.Range(c.Part.ClusterOf(src))
+	local := hi - lo
+	if local >= 2 && r.Float64() < c.PLocal {
+		d := lo + r.IntN(local-1)
+		if d >= src {
+			d++
+		}
+		return d
+	}
+	remote := c.Part.Total() - local
+	if remote == 0 {
+		// Degenerate single-cluster partition: fall back to local uniform.
+		d := lo + r.IntN(local-1)
+		if d >= src {
+			d++
+		}
+		return d
+	}
+	d := r.IntN(remote)
+	if d >= lo {
+		d += local // skip over the source's own cluster
+	}
+	return d
+}
+
+// Nodes implements Pattern.
+func (c ClusterLocal) Nodes() int { return c.Part.Total() }
+
+// Name implements Pattern.
+func (c ClusterLocal) Name() string { return fmt.Sprintf("cluster-local(%.2f)", c.PLocal) }
+
+// Source is an aggregate Poisson arrival process over N nodes, each
+// generating at rate PerNodeRate: by superposition, arrivals form a
+// Poisson process of rate N·λ_g whose source labels are iid uniform.
+type Source struct {
+	PerNodeRate float64
+	N           int
+
+	r   *rng.Stream
+	now float64
+}
+
+// NewSource creates a source; draws come from stream r.
+func NewSource(perNodeRate float64, n int, r *rng.Stream) *Source {
+	if perNodeRate <= 0 || n <= 0 {
+		panic(fmt.Sprintf("traffic: invalid source rate %v over %d nodes", perNodeRate, n))
+	}
+	return &Source{PerNodeRate: perNodeRate, N: n, r: r}
+}
+
+// Next returns the next arrival: its absolute time and originating node.
+func (s *Source) Next() (t float64, src int) {
+	s.now += s.r.Exp(s.PerNodeRate * float64(s.N))
+	return s.now, s.r.IntN(s.N)
+}

@@ -1,0 +1,216 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ccnet/ccnet/internal/rng"
+)
+
+func TestUniformNeverPicksSelfAndCoversAll(t *testing.T) {
+	r := rng.New(1, 1)
+	u := Uniform{N: 10}
+	seen := make(map[int]bool)
+	for i := 0; i < 5000; i++ {
+		src := i % 10
+		d := u.Pick(src, r)
+		if d == src {
+			t.Fatal("uniform pattern picked the source")
+		}
+		if d < 0 || d >= 10 {
+			t.Fatalf("destination %d out of range", d)
+		}
+		if src == 0 {
+			seen[d] = true
+		}
+	}
+	if len(seen) != 9 {
+		t.Fatalf("source 0 reached %d destinations, want 9", len(seen))
+	}
+}
+
+func TestUniformIsActuallyUniform(t *testing.T) {
+	r := rng.New(2, 3)
+	u := Uniform{N: 8}
+	counts := make([]int, 8)
+	const n = 70000
+	for i := 0; i < n; i++ {
+		counts[u.Pick(0, r)]++
+	}
+	want := float64(n) / 7
+	for d := 1; d < 8; d++ {
+		if math.Abs(float64(counts[d])-want) > 0.05*want {
+			t.Fatalf("destination %d drawn %d times, want ~%v", d, counts[d], want)
+		}
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	r := rng.New(5, 7)
+	h := Hotspot{N: 100, Hot: 42, P: 0.3}
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if h.Pick(0, r) == 42 {
+			hits++
+		}
+	}
+	// P + (1−P)/99 of draws should hit node 42.
+	want := (0.3 + 0.7/99) * n
+	if math.Abs(float64(hits)-want) > 0.06*want {
+		t.Fatalf("hotspot hit %d times, want ~%v", hits, want)
+	}
+	// The hot node itself never self-addresses.
+	for i := 0; i < 1000; i++ {
+		if h.Pick(42, r) == 42 {
+			t.Fatal("hotspot source picked itself")
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	p := NewPartition([]int{8, 32, 128})
+	if p.Total() != 168 || p.NumClusters() != 3 {
+		t.Fatalf("total=%d clusters=%d", p.Total(), p.NumClusters())
+	}
+	cases := map[int]int{0: 0, 7: 0, 8: 1, 39: 1, 40: 2, 167: 2}
+	for node, want := range cases {
+		if got := p.ClusterOf(node); got != want {
+			t.Errorf("ClusterOf(%d) = %d, want %d", node, got, want)
+		}
+	}
+	lo, hi := p.Range(1)
+	if lo != 8 || hi != 40 {
+		t.Fatalf("Range(1) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestPartitionClusterOfProperty(t *testing.T) {
+	p := NewPartition([]int{3, 9, 1, 20, 5})
+	f := func(raw uint16) bool {
+		node := int(raw) % p.Total()
+		c := p.ClusterOf(node)
+		lo, hi := p.Range(c)
+		return node >= lo && node < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPartition([]int{4, 0}) },
+		func() { NewPartition([]int{4, -2}) },
+		func() { NewPartition([]int{4}).ClusterOf(4) },
+		func() { NewPartition([]int{4}).ClusterOf(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestClusterLocalLocality(t *testing.T) {
+	r := rng.New(9, 11)
+	p := NewPartition([]int{10, 10, 10})
+	c := ClusterLocal{Part: p, PLocal: 0.8}
+	local, remote := 0, 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		src := 15 // cluster 1
+		d := c.Pick(src, r)
+		if d == src {
+			t.Fatal("cluster-local picked the source")
+		}
+		if p.ClusterOf(d) == 1 {
+			local++
+		} else {
+			remote++
+		}
+	}
+	frac := float64(local) / n
+	if math.Abs(frac-0.8) > 0.02 {
+		t.Fatalf("local fraction %v, want ~0.8", frac)
+	}
+	if remote == 0 {
+		t.Fatal("no remote traffic generated")
+	}
+}
+
+func TestClusterLocalRemoteSkipsOwnCluster(t *testing.T) {
+	r := rng.New(13, 17)
+	p := NewPartition([]int{4, 4, 4})
+	c := ClusterLocal{Part: p, PLocal: 0}
+	for i := 0; i < 5000; i++ {
+		d := c.Pick(5, r) // cluster 1
+		if p.ClusterOf(d) == 1 {
+			t.Fatalf("PLocal=0 produced intra-cluster destination %d", d)
+		}
+	}
+}
+
+func TestSourcePoissonProperties(t *testing.T) {
+	r := rng.New(19, 23)
+	const rate = 0.001
+	const nodes = 50
+	s := NewSource(rate, nodes, r)
+	const n = 100000
+	var prev float64
+	var sumGap float64
+	srcCounts := make([]int, nodes)
+	for i := 0; i < n; i++ {
+		tm, src := s.Next()
+		if tm <= prev {
+			t.Fatal("arrival times must strictly increase")
+		}
+		sumGap += tm - prev
+		prev = tm
+		srcCounts[src]++
+	}
+	meanGap := sumGap / n
+	wantGap := 1 / (rate * nodes)
+	if math.Abs(meanGap-wantGap) > 0.02*wantGap {
+		t.Fatalf("mean inter-arrival %v, want ~%v", meanGap, wantGap)
+	}
+	// Sources uniform.
+	want := float64(n) / nodes
+	for src, c := range srcCounts {
+		if math.Abs(float64(c)-want) > 0.12*want {
+			t.Fatalf("source %d generated %d messages, want ~%v", src, c, want)
+		}
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	r := rng.New(1, 2)
+	for _, f := range []func(){
+		func() { NewSource(0, 10, r) },
+		func() { NewSource(-1, 10, r) },
+		func() { NewSource(0.1, 0, r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	p := NewPartition([]int{2, 2})
+	for _, pat := range []Pattern{Uniform{N: 4}, Hotspot{N: 4, Hot: 1, P: 0.1}, ClusterLocal{Part: p, PLocal: 0.5}} {
+		if pat.Name() == "" || pat.Nodes() != 4 {
+			t.Errorf("pattern %T misreports name/nodes", pat)
+		}
+	}
+}

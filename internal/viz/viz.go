@@ -1,0 +1,143 @@
+// Package viz renders series data as ASCII line charts, so the repository
+// can display the paper's latency-versus-load figures directly in a
+// terminal without any plotting stack.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Label string
+	X, Y  []float64 // equal length; NaN/Inf points are skipped
+}
+
+// Options control chart geometry.
+type Options struct {
+	Width, Height int    // plot area in characters (default 64×20)
+	XLabel        string // axis captions
+	YLabel        string
+	// YMax clips the vertical axis (0 = auto). Useful when saturated
+	// points would flatten everything else.
+	YMax float64
+}
+
+func (o *Options) defaults() {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	if o.Width < 16 {
+		o.Width = 16
+	}
+	if o.Height < 4 {
+		o.Height = 4
+	}
+}
+
+// glyphs mark successive series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Chart renders the series into a multi-line string: a bordered plot area
+// with y ticks, an x axis, and a legend. Series points are plotted at
+// their nearest cell and joined visually by proximity (no interpolation —
+// honest about sampling).
+func Chart(series []Series, opt Options) string {
+	opt.defaults()
+
+	// Data extent over finite points only.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			panic(fmt.Sprintf("viz: series %q has %d x values and %d y values", s.Label, len(s.X), len(s.Y)))
+		}
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			if opt.YMax > 0 && s.Y[i] > opt.YMax {
+				continue
+			}
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "(no finite points to plot)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Ground the y axis at zero when the data lives near it — latency
+	// charts read better from zero.
+	if ymin > 0 && ymin < 0.5*ymax {
+		ymin = 0
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			if opt.YMax > 0 && s.Y[i] > opt.YMax {
+				continue
+			}
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(opt.Width-1)))
+			row := opt.Height - 1 - int(math.Round((s.Y[i]-ymin)/(ymax-ymin)*float64(opt.Height-1)))
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opt.YLabel)
+	}
+	for r := 0; r < opt.Height; r++ {
+		// Y tick on the top, middle and bottom rows.
+		var tick string
+		switch r {
+		case 0:
+			tick = fmt.Sprintf("%9.3g", ymax)
+		case opt.Height / 2:
+			tick = fmt.Sprintf("%9.3g", ymin+(ymax-ymin)/2)
+		case opt.Height - 1:
+			tick = fmt.Sprintf("%9.3g", ymin)
+		default:
+			tick = strings.Repeat(" ", 9)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", tick, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g\n", strings.Repeat(" ", 9), opt.Width/2, xmin, opt.Width-opt.Width/2, xmax)
+	if opt.XLabel != "" {
+		pad := 10 + (opt.Width-len(opt.XLabel))/2
+		if pad < 0 {
+			pad = 0
+		}
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat(" ", pad), opt.XLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Label)
+	}
+	return b.String()
+}

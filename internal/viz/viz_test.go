@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	s := []Series{
+		{Label: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 20, 30}},
+		{Label: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{15, 15, 15, 15}},
+	}
+	out := Chart(s, Options{Width: 40, Height: 10, XLabel: "load", YLabel: "latency"})
+	for _, want := range []string{"latency", "load", "linear", "flat", "*", "o", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The max tick must reflect the data.
+	if !strings.Contains(out, "30") {
+		t.Errorf("chart missing y max tick:\n%s", out)
+	}
+}
+
+func TestChartSkipsNonFinite(t *testing.T) {
+	s := []Series{{
+		Label: "saturating",
+		X:     []float64{1, 2, 3, 4},
+		Y:     []float64{10, 20, math.Inf(1), math.NaN()},
+	}}
+	out := Chart(s, Options{Width: 30, Height: 8})
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Fatalf("non-finite values leaked into chart:\n%s", out)
+	}
+	// Scale must come from the finite points only.
+	if !strings.Contains(out, "20") {
+		t.Fatalf("y scale ignored finite max:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart([]Series{{Label: "empty", X: nil, Y: nil}}, Options{})
+	if !strings.Contains(out, "no finite points") {
+		t.Fatalf("empty chart output unexpected: %q", out)
+	}
+}
+
+func TestChartYMaxClip(t *testing.T) {
+	s := []Series{{
+		Label: "spiky",
+		X:     []float64{1, 2, 3},
+		Y:     []float64{10, 20, 100000},
+	}}
+	out := Chart(s, Options{Width: 30, Height: 8, YMax: 50})
+	if strings.Contains(out, "1e+05") {
+		t.Fatalf("YMax did not clip outliers:\n%s", out)
+	}
+}
+
+func TestChartMonotoneCurvePlacement(t *testing.T) {
+	// The highest point of a monotone curve must appear on an earlier
+	// (higher) row than its lowest point.
+	s := []Series{{Label: "up", X: []float64{0, 1}, Y: []float64{0, 100}}}
+	out := Chart(s, Options{Width: 20, Height: 10})
+	lines := strings.Split(out, "\n")
+	firstStar, lastStar := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "*") && strings.Contains(l, "|") {
+			if firstStar == -1 {
+				firstStar = i
+			}
+			lastStar = i
+		}
+	}
+	if firstStar == -1 || firstStar == lastStar {
+		t.Fatalf("monotone curve not spread across rows:\n%s", out)
+	}
+}
+
+func TestChartPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series did not panic")
+		}
+	}()
+	Chart([]Series{{Label: "bad", X: []float64{1, 2}, Y: []float64{1}}}, Options{})
+}
+
+func TestManySeriesGlyphsCycle(t *testing.T) {
+	var ss []Series
+	for i := 0; i < 10; i++ {
+		ss = append(ss, Series{Label: "s", X: []float64{0, 1}, Y: []float64{float64(i), float64(i + 1)}})
+	}
+	out := Chart(ss, Options{Width: 20, Height: 8})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("glyphs not assigned:\n%s", out)
+	}
+}

@@ -1,0 +1,334 @@
+// Package wormhole simulates wormhole flow control at channel granularity
+// with exact flit timing, matching the paper's switch model: input-buffered
+// switches, a single flit buffer per channel (generalized to configurable
+// depth), and FIFO arbitration.
+//
+// A message traverses a Journey — an ordered sequence of Channels. Its
+// head flit acquires channels one by one (waiting FIFO when a channel is
+// held by another message); body flits follow in pipeline, each constrained
+// by the input buffering of the next stage. Rather than simulating every
+// flit as an event, the engine solves the exact flit recurrence: with a_k
+// the (event-driven, contention-dependent) acquisition time of channel k,
+// s_k its per-flit time, and B_k the flit capacity of the buffer feeding
+// channel k,
+//
+//	start(0,k) = a_k                                          head
+//	start(j,k) = max( d(j,k−1) or Avail[j] for k=0,           arrival
+//	                  d(j−1,k),                               link serializes
+//	                  start(j−B_{k+1}, k+1) )                 buffer space
+//	d(j,k)     = start(j,k) + s_k
+//
+// Channel k is released when the tail crosses it, at d(M−1,k); the message
+// is delivered at d(M−1,L−1). Cells are evaluated eagerly, the moment their
+// dependencies are determined (per-column frontiers), so releases are
+// scheduled exactly when they become causally known — including releases
+// that precede later head acquisitions (short messages, deep buffers). The
+// engine reproduces the defining wormhole behaviours: the pipeline streams
+// at the rate of the slowest held channel, and a blocked head stalls its
+// body flits in place, holding every upstream channel whose buffers cannot
+// absorb them; with B ≥ message length the behaviour becomes virtual
+// cut-through.
+//
+// Journeys may be chained through store-and-forward points (the paper's
+// concentrator/dispatcher buffers) by feeding one journey's per-flit exit
+// times into the next journey's Avail vector.
+package wormhole
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ccnet/ccnet/internal/des"
+)
+
+// Channel is a unidirectional link (or gateway port) that one message
+// holds at a time.
+type Channel struct {
+	Name     string  // diagnostic label
+	FlitTime float64 // s_k: time to move one flit across this channel
+
+	// BufferDepth is the number of flit slots in the input buffer feeding
+	// this channel: a flit may start crossing the *previous* channel only
+	// once the flit BufferDepth positions ahead of it has started
+	// crossing this one. The paper's assumption 6 is depth 1 (pure
+	// wormhole); depths ≥ message length give virtual-cut-through
+	// behaviour. NewChannel sets 1.
+	BufferDepth int
+
+	busy    bool
+	waiters fifo
+
+	// Statistics.
+	Acquisitions uint64  // messages that have held the channel
+	BusyTime     float64 // total held time (updated on release)
+	MaxQueue     int     // peak number of waiting messages
+	lastAcquire  float64
+}
+
+// Utilization returns the fraction of [0,now] the channel was held.
+func (c *Channel) Utilization(now float64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	b := c.BusyTime
+	if c.busy {
+		b += now - c.lastAcquire
+	}
+	return b / now
+}
+
+// QueueLen returns the number of messages currently waiting on the channel.
+func (c *Channel) QueueLen() int { return c.waiters.len() }
+
+// Journey is one wormhole traversal of a channel sequence by a message of
+// Flits flits.
+type Journey struct {
+	Channels []*Channel
+	Flits    int
+
+	// Avail[j], when non-nil, is the earliest time flit j can enter
+	// Channels[0] (it is still arriving from an upstream journey). A nil
+	// Avail means the whole message is ready at start time.
+	Avail []float64
+
+	// OnComplete, if non-nil, is invoked once the head has acquired the
+	// full path and the flit recurrence has been resolved. exits[j] is the
+	// time flit j fully crosses the last channel; exits[Flits−1] is the
+	// delivery time. It is called at the simulation instant of the last
+	// acquisition, which always precedes every exit time.
+	OnComplete func(j *Journey, exits []float64)
+
+	// Acquire[k], filled in by the engine, is the time the head acquired
+	// Channels[k]. Exposed for latency decomposition in tests and stats.
+	Acquire []float64
+
+	idx      int // next channel index to acquire
+	acquired int // channels acquired so far
+
+	// Flit-recurrence state, allocated at first acquisition. start is the
+	// start(j,k) matrix stored column-major (start[k][j]); computed[k]
+	// counts the settled rows of column k. Columns advance as ragged
+	// frontiers: a cell is evaluated the moment its dependencies exist.
+	start    [][]float64
+	computed []int
+	exits    []float64 // d(j, L−1)
+	done     bool
+}
+
+// Engine drives journeys over a shared event kernel.
+type Engine struct {
+	K *des.Kernel
+
+	// Started and Completed count journeys, for conservation checks.
+	Started, Completed uint64
+}
+
+// NewEngine returns an Engine bound to kernel k.
+func NewEngine(k *des.Kernel) *Engine { return &Engine{K: k} }
+
+// NewChannel creates a channel with the given per-flit time and the
+// paper's single-flit input buffer.
+func (e *Engine) NewChannel(name string, flitTime float64) *Channel {
+	return e.NewBufferedChannel(name, flitTime, 1)
+}
+
+// NewBufferedChannel creates a channel whose input buffer holds depth
+// flits (depth >= 1).
+func (e *Engine) NewBufferedChannel(name string, flitTime float64, depth int) *Channel {
+	if flitTime <= 0 || math.IsNaN(flitTime) || math.IsInf(flitTime, 0) {
+		panic(fmt.Sprintf("wormhole: invalid flit time %v for %s", flitTime, name))
+	}
+	if depth < 1 {
+		panic(fmt.Sprintf("wormhole: invalid buffer depth %d for %s", depth, name))
+	}
+	return &Channel{Name: name, FlitTime: flitTime, BufferDepth: depth}
+}
+
+// Start schedules journey j to begin requesting its first channel at
+// absolute time at.
+func (e *Engine) Start(j *Journey, at float64) {
+	if len(j.Channels) == 0 {
+		panic("wormhole: journey with no channels")
+	}
+	if j.Flits <= 0 {
+		panic(fmt.Sprintf("wormhole: journey with %d flits", j.Flits))
+	}
+	if j.Avail != nil && len(j.Avail) != j.Flits {
+		panic(fmt.Sprintf("wormhole: Avail has %d entries for %d flits", len(j.Avail), j.Flits))
+	}
+	for _, ch := range j.Channels {
+		if ch.BufferDepth < 1 {
+			panic(fmt.Sprintf("wormhole: channel %s has buffer depth %d", ch.Name, ch.BufferDepth))
+		}
+	}
+	j.idx = 0
+	j.acquired = 0
+	j.done = false
+	e.Started++
+	e.K.ScheduleAt(at, func() { e.request(j) })
+}
+
+// request tries to acquire j's next channel, queueing FIFO if held.
+func (e *Engine) request(j *Journey) {
+	ch := j.Channels[j.idx]
+	if ch.busy || ch.waiters.len() > 0 {
+		ch.waiters.push(j)
+		if n := ch.waiters.len(); n > ch.MaxQueue {
+			ch.MaxQueue = n
+		}
+		return
+	}
+	e.grant(ch, j)
+}
+
+func (e *Engine) grant(ch *Channel, j *Journey) {
+	if ch.busy {
+		panic("wormhole: granting a busy channel")
+	}
+	now := e.K.Now()
+	ch.busy = true
+	ch.lastAcquire = now
+	ch.Acquisitions++
+
+	if j.start == nil {
+		// Allocated on first grant, not Start: journeys queued at their
+		// first channel (the source queue) cost no recurrence state.
+		L := len(j.Channels)
+		j.Acquire = make([]float64, L)
+		j.computed = make([]int, L)
+		j.exits = make([]float64, j.Flits)
+		slab := make([]float64, L*j.Flits)
+		j.start = make([][]float64, L)
+		for k := range j.start {
+			j.start[k] = slab[k*j.Flits : (k+1)*j.Flits]
+		}
+	}
+	j.Acquire[j.idx] = now
+	j.acquired++
+
+	last := j.acquired == len(j.Channels)
+	if !last {
+		j.idx++
+		// The head flit reaches the next switch after one flit time.
+		e.K.Schedule(ch.FlitTime, func() { e.request(j) })
+	}
+	e.advance(j)
+	if last {
+		if !j.done {
+			panic("wormhole: recurrence incomplete after final acquisition")
+		}
+		e.Completed++
+		if j.OnComplete != nil {
+			j.OnComplete(j, j.exits)
+		}
+	}
+}
+
+// advance extends every column's frontier as far as current knowledge
+// allows, scheduling releases and recording exits as cells settle. Cells
+// computed during the event triggered by acquisition a_q depend on column
+// q, so their times are >= now: releases are never scheduled into the
+// past.
+func (e *Engine) advance(j *Journey) {
+	L := len(j.Channels)
+	M := j.Flits
+	for progress := true; progress; {
+		progress = false
+		for k := 0; k < j.acquired; k++ {
+			sk := j.Channels[k].FlitTime
+			col := j.start[k]
+			for j.computed[k] < M {
+				fl := j.computed[k]
+				var st float64
+				if fl == 0 {
+					st = j.Acquire[k]
+				} else {
+					// Arrival at this channel's switch.
+					if k == 0 {
+						if j.Avail != nil {
+							st = j.Avail[fl]
+						}
+					} else {
+						if j.computed[k-1] <= fl {
+							break // need d(fl, k−1)
+						}
+						st = j.start[k-1][fl] + j.Channels[k-1].FlitTime
+					}
+					// Link serialization: d(fl−1, k).
+					if ls := col[fl-1] + sk; ls > st {
+						st = ls
+					}
+					// Buffer space at the next stage.
+					if k < L-1 {
+						b := j.Channels[k+1].BufferDepth
+						if fl-b >= 0 {
+							if j.computed[k+1] <= fl-b {
+								break // need start(fl−b, k+1)
+							}
+							if bo := j.start[k+1][fl-b]; bo > st {
+								st = bo
+							}
+						}
+					}
+				}
+				col[fl] = st
+				j.computed[k]++
+				progress = true
+				if k == L-1 {
+					j.exits[fl] = st + sk
+				}
+				if fl == M-1 {
+					ch := j.Channels[k]
+					e.K.ScheduleAt(st+sk, func() { e.release(ch) })
+				}
+			}
+		}
+	}
+	if j.computed[L-1] == M {
+		j.done = true
+	}
+}
+
+func (e *Engine) release(ch *Channel) {
+	if !ch.busy {
+		panic("wormhole: releasing an idle channel")
+	}
+	ch.busy = false
+	ch.BusyTime += e.K.Now() - ch.lastAcquire
+	if next, ok := ch.waiters.pop(); ok {
+		e.grant(ch, next)
+	}
+}
+
+// fifo is a ring-buffer queue of journeys that avoids the unbounded
+// backing-array growth of slice-shifting under saturation.
+type fifo struct {
+	buf        []*Journey
+	head, size int
+}
+
+func (f *fifo) len() int { return f.size }
+
+func (f *fifo) push(j *Journey) {
+	if f.size == len(f.buf) {
+		grown := make([]*Journey, max(8, 2*len(f.buf)))
+		for i := 0; i < f.size; i++ {
+			grown[i] = f.buf[(f.head+i)%len(f.buf)]
+		}
+		f.buf = grown
+		f.head = 0
+	}
+	f.buf[(f.head+f.size)%len(f.buf)] = j
+	f.size++
+}
+
+func (f *fifo) pop() (*Journey, bool) {
+	if f.size == 0 {
+		return nil, false
+	}
+	j := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.size--
+	return j, true
+}
