@@ -118,6 +118,41 @@ func BenchmarkModelEvaluate1120(b *testing.B) {
 	}
 }
 
+// sweepGrid is the shared grid for the serial-versus-parallel sweep
+// benchmarks: 64 stable points of the N=1120, M=32, Lm=256 model.
+func sweepModel(b *testing.B) (*core.Model, []float64) {
+	b.Helper()
+	m, err := core.New(cluster.System1120(), netchar.MessageSpec{Flits: 32, FlitBytes: 256}, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, core.LambdaGrid(1e-5, 4.5e-4, 64)
+}
+
+// BenchmarkSweepSerial is the baseline for BenchmarkSweepParallel: the
+// same 64-point grid swept on one goroutine.
+func BenchmarkSweepSerial(b *testing.B) {
+	m, grid := sweepModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(m.Sweep(grid)) != len(grid) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// BenchmarkSweepParallel sweeps the same grid through the worker pool at
+// GOMAXPROCS; compare ns/op against BenchmarkSweepSerial for the speedup.
+func BenchmarkSweepParallel(b *testing.B) {
+	m, grid := sweepModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(m.SweepParallel(grid, 0)) != len(grid) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
 // BenchmarkModelSaturation1120 measures the bisection search.
 func BenchmarkModelSaturation1120(b *testing.B) {
 	m, err := core.New(cluster.System1120(), netchar.MessageSpec{Flits: 32, FlitBytes: 256}, core.Options{})

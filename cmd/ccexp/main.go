@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/ccnet/ccnet/internal/experiments"
@@ -49,11 +50,7 @@ func main() {
 		fmt.Print(experiments.Table2(256))
 		return
 	case "all":
-		ids := make([]string, 0, len(experiments.All()))
-		for id := range experiments.All() {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
+		ids := sortedIDs()
 		fmt.Print(experiments.Table1())
 		fmt.Println()
 		fmt.Print(experiments.Table2(256))
@@ -63,16 +60,29 @@ func main() {
 		}
 		return
 	case "":
-		fmt.Fprintln(os.Stderr, "ccexp: -exp is required (table1, table2, fig3..fig7, ablation, nonuniform, bufferdepth, all)")
+		fmt.Fprintf(os.Stderr, "ccexp: -exp is required (table1, table2, all, %s)\n",
+			strings.Join(sortedIDs(), ", "))
 		os.Exit(2)
 	default:
 		runner := experiments.All()[*exp]
 		if runner == nil {
 			fmt.Fprintf(os.Stderr, "ccexp: unknown experiment %q\n", *exp)
+			fmt.Fprintf(os.Stderr, "valid experiments: table1, table2, all, %s\n", strings.Join(sortedIDs(), ", "))
+			fmt.Fprintln(os.Stderr, "for configurations beyond the paper's figures, describe them as scenario files and run `ccscen run <file.json>` (see examples/scenarios/)")
 			os.Exit(2)
 		}
 		runOne(*exp, opt, *csvPath)
 	}
+}
+
+// sortedIDs returns the experiment ids in stable order.
+func sortedIDs() []string {
+	ids := make([]string, 0, len(experiments.All()))
+	for id := range experiments.All() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 func csvForID(outdir, id string) string {

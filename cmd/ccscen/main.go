@@ -1,0 +1,204 @@
+// Command ccscen runs declarative what-if scenarios: JSON files that
+// describe a heterogeneous cluster-of-clusters system, a traffic section,
+// the engines to run (analytical model, simulator, or both) and optional
+// assertions. A campaign of several scenarios — or one scenario's load
+// grid — fans out across a worker pool with deterministic per-job seeds,
+// so results are bit-identical for any -workers value.
+//
+// Verbs:
+//
+//	ccscen run [flags] <file.json|dir> [...]   run scenarios, print results
+//	ccscen validate <file.json|dir> [...]      check files without running
+//	ccscen list [dir]                          summarize a scenario directory
+//
+// Examples:
+//
+//	ccscen run examples/scenarios/fig3.json
+//	ccscen run -workers 8 -quick -outdir results/ examples/scenarios
+//	ccscen validate examples/scenarios
+//	ccscen list examples/scenarios
+//
+// The scenario file format is documented in README.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ccnet/ccnet/internal/experiments"
+	"github.com/ccnet/ccnet/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "validate":
+		validateCmd(os.Args[2:])
+	case "list":
+		listCmd(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ccscen: unknown verb %q (valid: run, validate, list)\n", os.Args[1])
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  ccscen run [flags] <file.json|dir> [...]   run scenarios, print results
+  ccscen validate <file.json|dir> [...]      check scenario files
+  ccscen list [dir]                          summarize a scenario directory
+
+run flags:
+  -workers N   worker goroutines (default GOMAXPROCS); results are
+               identical for every N
+  -quick       reduced simulation message counts (fast, less precise)
+  -outdir DIR  write one CSV per scenario into DIR
+  -plot        render an ASCII chart of each scenario
+`)
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("ccscen run", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker goroutines (default GOMAXPROCS)")
+	quick := fs.Bool("quick", false, "reduced simulation message counts (fast, less precise)")
+	outdir := fs.String("outdir", "", "write one CSV per scenario into this directory")
+	plot := fs.Bool("plot", false, "render an ASCII chart of each scenario")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "ccscen run: at least one scenario file or directory required")
+		os.Exit(2)
+	}
+
+	specs, err := scenario.LoadAll(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccscen:", err)
+		os.Exit(1)
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ccscen:", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	r := &scenario.Runner{Workers: *workers, Quick: *quick}
+	outcomes := r.Run(specs)
+
+	failures := 0
+	for _, o := range outcomes {
+		if !o.Passed() {
+			failures++
+		}
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "ccscen: scenario %s failed: %v\n", o.Spec.Name, o.Err)
+			continue
+		}
+		if err := experiments.Render(os.Stdout, o.Result); err != nil {
+			fmt.Fprintln(os.Stderr, "ccscen:", err)
+			os.Exit(1)
+		}
+		if *plot {
+			if err := experiments.RenderChart(os.Stdout, o.Result, 72, 22); err != nil {
+				fmt.Fprintln(os.Stderr, "ccscen:", err)
+				os.Exit(1)
+			}
+		}
+		for _, a := range o.Assertions {
+			status := "PASS"
+			if !a.Pass {
+				status = "FAIL"
+			}
+			fmt.Printf("assert %-12s %s  %s\n", a.Spec.Type, status, a.Detail)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", o.Spec.Name, o.Elapsed.Round(time.Millisecond))
+		if *outdir != "" {
+			path := filepath.Join(*outdir, o.Spec.Name+".csv")
+			if err := writeCSV(path, o.Result); err != nil {
+				fmt.Fprintln(os.Stderr, "ccscen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	fmt.Printf("campaign: %d scenario(s), %d failed, %v total\n",
+		len(outcomes), failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeCSV(path string, res *experiments.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteCSV(f, res); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func validateCmd(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "ccscen validate: at least one scenario file or directory required")
+		os.Exit(2)
+	}
+	specs, err := scenario.LoadAll(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccscen:", err)
+		os.Exit(1)
+	}
+	// Validation also dry-builds each system: structural constraints
+	// (C = 2(m/2)^n) only the cluster layer can check.
+	bad := 0
+	for _, s := range specs {
+		if _, err := s.BuildSystem(); err != nil {
+			fmt.Fprintf(os.Stderr, "ccscen: scenario %s: %v\n", s.Name, err)
+			bad++
+			continue
+		}
+		fmt.Printf("ok: %s\n", s.Name)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func listCmd(args []string) {
+	dir := "examples/scenarios"
+	if len(args) > 0 {
+		dir = args[0]
+	}
+	sums, err := scenario.ListDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccscen:", err)
+		os.Exit(1)
+	}
+	if len(sums) == 0 {
+		fmt.Fprintf(os.Stderr, "ccscen: no *.json scenarios in %s\n", dir)
+		os.Exit(1)
+	}
+	for _, s := range sums {
+		if s.Err != nil {
+			fmt.Printf("%-28s INVALID: %v\n", filepath.Base(s.Path), s.Err)
+			continue
+		}
+		desc := s.Description
+		if desc == "" {
+			desc = s.Title
+		}
+		fmt.Printf("%-28s %-24s %s\n", filepath.Base(s.Path), s.Name, desc)
+	}
+}

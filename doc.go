@@ -6,9 +6,12 @@
 // against.
 //
 // The library lives under internal/: see internal/core for the analytical
-// model, internal/sim for the simulator, and internal/experiments for the
-// table/figure regeneration harness. The cmd/ binaries (ccmodel, ccsim,
-// ccexp) and examples/ directories are the entry points; bench_test.go in
-// this directory regenerates every table and figure of the paper under
-// `go test -bench`.
+// model, internal/sim for the simulator, internal/experiments for the
+// table/figure regeneration harness, and internal/scenario for the
+// declarative scenario engine — JSON what-if specs run by a parallel,
+// deterministically seeded campaign runner. The cmd/ binaries (ccmodel,
+// ccsim, ccexp, ccscen) and examples/ directories are the entry points
+// (examples/scenarios holds ready-to-run scenario files, including
+// reproductions of Figs 3–6); bench_test.go in this directory regenerates
+// every table and figure of the paper under `go test -bench`.
 package ccnet

@@ -1,0 +1,3 @@
+module github.com/ccnet/ccnet
+
+go 1.24

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/netchar"
+)
+
+// TestSweepParallelMatchesSweep checks that the worker-pool sweep is
+// bit-identical to the serial one for every worker count, including the
+// degenerate and oversubscribed cases.
+func TestSweepParallelMatchesSweep(t *testing.T) {
+	m, err := New(cluster.System1120(), netchar.MessageSpec{Flits: 32, FlitBytes: 256}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := LambdaGrid(1e-5, 6e-4, 17) // spans stable and saturated rates
+	want := m.Sweep(grid)
+	for _, workers := range []int{0, 1, 2, 3, 16, 64} {
+		got := m.SweepParallel(grid, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].MeanLatency != want[i].MeanLatency && // NaN-safe: both Inf compare equal
+				!(got[i].Saturated && want[i].Saturated) {
+				t.Errorf("workers=%d λ=%g: latency %v, want %v",
+					workers, grid[i], got[i].MeanLatency, want[i].MeanLatency)
+			}
+			if got[i].Saturated != want[i].Saturated {
+				t.Errorf("workers=%d λ=%g: saturated %v, want %v",
+					workers, grid[i], got[i].Saturated, want[i].Saturated)
+			}
+		}
+	}
+}

@@ -106,12 +106,14 @@ func latencyFigure(id, title string, sys *cluster.System, flits int, flitBytes [
 		if err != nil {
 			return nil, err
 		}
+		analysis := paper.SweepParallel(grid, 0)
+		analysisSF := sf.SweepParallel(grid, 0)
 		series := Series{Label: fmt.Sprintf("Lm=%d", dm)}
 		for gi, l := range grid {
 			p := Point{
 				Lambda:     l,
-				Analysis:   paper.Evaluate(l).MeanLatency,
-				AnalysisSF: sf.Evaluate(l).MeanLatency,
+				Analysis:   analysis[gi].MeanLatency,
+				AnalysisSF: analysisSF[gi].MeanLatency,
 				Simulation: math.NaN(),
 			}
 			if opt.SimEvery > 0 && gi%opt.SimEvery == 0 {

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/core"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/traffic"
+)
+
+// BuildSystem materializes the system description. The spec must have
+// passed Validate; structural constraints only the cluster package can
+// check (C = 2(m/2)^n, per-network sanity) still surface here with the
+// system field path attached.
+func (s *Spec) BuildSystem() (*cluster.System, error) {
+	sys, err := s.baseSystem()
+	if err != nil {
+		return nil, err
+	}
+	if f := s.System.ICN2BandwidthScale; f != 0 && f != 1 {
+		sys = sys.ScaleICN2Bandwidth(f)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fieldErr("system", "%v", err)
+	}
+	return sys, nil
+}
+
+func (s *Spec) baseSystem() (*cluster.System, error) {
+	spec := &s.System
+	if spec.Preset != "" {
+		switch spec.Preset {
+		case "N=1120":
+			return cluster.System1120(), nil
+		case "N=544":
+			return cluster.System544(), nil
+		case "small":
+			return cluster.SmallTestSystem(), nil
+		}
+		return nil, fieldErr("system.preset", "unknown preset %q", spec.Preset)
+	}
+
+	sys := &cluster.System{Name: s.Name, Ports: spec.Ports}
+	icn2 := netchar.Net1
+	if spec.ICN2 != nil {
+		c, err := spec.ICN2.resolve("system.icn2")
+		if err != nil {
+			return nil, err
+		}
+		icn2 = c
+	}
+	sys.ICN2 = icn2
+	for i, g := range spec.Clusters {
+		p := fmt.Sprintf("system.clusters[%d]", i)
+		icn1, ecn1 := netchar.Net1, netchar.Net2
+		if g.ICN1 != nil {
+			c, err := g.ICN1.resolve(p + ".icn1")
+			if err != nil {
+				return nil, err
+			}
+			icn1 = c
+		}
+		if g.ECN1 != nil {
+			c, err := g.ECN1.resolve(p + ".ecn1")
+			if err != nil {
+				return nil, err
+			}
+			ecn1 = c
+		}
+		for n := 0; n < groupCount(g); n++ {
+			sys.Clusters = append(sys.Clusters, cluster.Config{
+				TreeLevels: g.TreeLevels, ICN1: icn1, ECN1: ecn1,
+			})
+		}
+	}
+	return sys, nil
+}
+
+// ModelOptions maps the model section (and the traffic pattern, for the
+// locality extension) to core.Options. storeAndForward selects the
+// analysisSF column's gateway correction.
+func (s *Spec) ModelOptions(storeAndForward bool) core.Options {
+	opt := core.Options{
+		InvertRelaxFactor:      s.Model.InvertRelaxFactor,
+		CalibratedECNCrossing:  s.Model.CalibratedECNCrossing,
+		GatewayStoreAndForward: storeAndForward,
+	}
+	if s.Model.Variant == "paper-literal" {
+		opt.Variant = core.PaperLiteral
+	}
+	// The cluster-local pattern has an analytical counterpart (the
+	// paper's future-work extension); use it so model and simulator
+	// describe the same workload. Hotspot has none — its analytical
+	// columns keep the uniform assumption, which the docs call out.
+	if s.Traffic.Pattern == "cluster-local" {
+		opt.UseLocality = true
+		opt.LocalityFraction = s.Traffic.LocalFraction
+	}
+	return opt
+}
+
+// Pattern builds the simulator's destination pattern; nil means the
+// paper's uniform pattern.
+func (s *Spec) Pattern(sys *cluster.System) (traffic.Pattern, error) {
+	switch s.Traffic.Pattern {
+	case "", "uniform":
+		return nil, nil
+	case "hotspot":
+		if s.Traffic.HotNode >= sys.TotalNodes() {
+			return nil, fieldErr("traffic.hotNode", "node %d outside system of %d nodes",
+				s.Traffic.HotNode, sys.TotalNodes())
+		}
+		return traffic.Hotspot{N: sys.TotalNodes(), Hot: s.Traffic.HotNode, P: s.Traffic.HotFraction}, nil
+	case "cluster-local":
+		sizes := make([]int, sys.NumClusters())
+		for i := range sizes {
+			sizes[i] = sys.ClusterNodes(i)
+		}
+		return traffic.ClusterLocal{Part: traffic.NewPartition(sizes), PLocal: s.Traffic.LocalFraction}, nil
+	}
+	return nil, fieldErr("traffic.pattern", "unknown pattern %q", s.Traffic.Pattern)
+}
+
+// grid materializes the lambda grid. models holds the per-series paper
+// models, consulted only by the auto grid (Max = AutoFraction × the
+// smallest per-series saturation point, so every series' curve fits).
+func (s *Spec) grid(models []*core.Model) ([]float64, error) {
+	la := &s.Traffic.Lambda
+	if len(la.Values) > 0 {
+		return append([]float64(nil), la.Values...), nil
+	}
+	max := la.Max
+	if la.Auto {
+		frac := la.AutoFraction
+		if frac == 0 {
+			frac = 0.95
+		}
+		sat := 0.0
+		for i, m := range models {
+			p := m.SaturationPoint(1.0, 1e-4)
+			if p <= 0 {
+				return nil, fieldErr("traffic.lambda.auto",
+					"series %d (Lm=%d) saturates at any positive rate", i, s.Traffic.FlitBytes[i])
+			}
+			if sat == 0 || p < sat {
+				sat = p
+			}
+		}
+		max = frac * sat
+	}
+	min := la.Min
+	if min == 0 {
+		min = max / float64(la.Points)
+	}
+	// Validate() bounds min and points, but with an auto grid the max is
+	// only known here — reject an explicit min at or past it rather than
+	// letting core.LambdaGrid panic.
+	if min >= max {
+		return nil, fieldErr("traffic.lambda.min",
+			"%v is not below the derived max %v", min, max)
+	}
+	return core.LambdaGrid(min, max, la.Points), nil
+}

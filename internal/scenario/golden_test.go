@@ -1,0 +1,106 @@
+package scenario_test
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/experiments"
+	"github.com/ccnet/ccnet/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fig3Analysis runs the shipped fig3 scenario with simulation stripped,
+// leaving the pure analytical reproduction.
+func fig3Analysis(t *testing.T) *experiments.Result {
+	t.Helper()
+	s, err := scenario.Load(filepath.Join("..", "..", "examples", "scenarios", "fig3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engines.Simulation = false
+	s.Assertions = nil
+	o := (&scenario.Runner{Workers: 4}).Run([]*scenario.Spec{s})[0]
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	return o.Result
+}
+
+// TestFig3ScenarioMatchesExperiment pins the scenario path to the
+// experiment harness: the shipped fig3.json must reproduce
+// experiments.Fig3's analytical curves point for point.
+func TestFig3ScenarioMatchesExperiment(t *testing.T) {
+	got := fig3Analysis(t)
+	want, err := experiments.Fig3(experiments.RunOptions{SimEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("%d series, want %d", len(got.Series), len(want.Series))
+	}
+	for si, ws := range want.Series {
+		gs := got.Series[si]
+		if gs.Label != ws.Label {
+			t.Errorf("series %d label %q, want %q", si, gs.Label, ws.Label)
+		}
+		if len(gs.Points) != len(ws.Points) {
+			t.Fatalf("series %s: %d points, want %d", ws.Label, len(gs.Points), len(ws.Points))
+		}
+		for pi, wp := range ws.Points {
+			gp := gs.Points[pi]
+			if !approxEqual(gp.Lambda, wp.Lambda) {
+				t.Errorf("%s[%d]: λ=%g, want %g", ws.Label, pi, gp.Lambda, wp.Lambda)
+			}
+			if !approxEqual(gp.Analysis, wp.Analysis) {
+				t.Errorf("%s λ=%g: analysis %g, want %g", ws.Label, wp.Lambda, gp.Analysis, wp.Analysis)
+			}
+			if !approxEqual(gp.AnalysisSF, wp.AnalysisSF) {
+				t.Errorf("%s λ=%g: analysisSF %g, want %g", ws.Label, wp.Lambda, gp.AnalysisSF, wp.AnalysisSF)
+			}
+		}
+	}
+}
+
+// approxEqual compares within 1e-9 relative tolerance (the scenario grid comes
+// from JSON literals, the experiment grid from runtime division — the
+// values may differ in the last ulp).
+func approxEqual(a, b float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestFig3GoldenCSV pins the rendered CSV of the fig3 analytical
+// reproduction to a golden file; regenerate with `go test -run Golden
+// -update ./internal/scenario`.
+func TestFig3GoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := experiments.WriteCSV(&buf, fig3Analysis(t)); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fig3_analysis.golden.csv")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("fig3 CSV drifted from %s:\n got:\n%s\nwant:\n%s", golden, buf.String(), want)
+	}
+}

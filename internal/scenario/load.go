@@ -1,0 +1,133 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Parse decodes and validates one scenario from r. Unknown JSON fields
+// are rejected (catching typos like "flitsBytes"), and validation errors
+// carry field paths; name labels the source in error messages (a file
+// name, "<stdin>", …).
+func Parse(r io.Reader, name string) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, decodeErr(err))
+	}
+	// A second document in the same stream is almost always a mistake.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario %s: trailing data after the scenario object", name)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: invalid spec:\n%w", name, err)
+	}
+	return &s, nil
+}
+
+// decodeErr rewrites encoding/json's errors into loader language.
+func decodeErr(err error) error {
+	if te, ok := err.(*json.UnmarshalTypeError); ok && te.Field != "" {
+		return fmt.Errorf("%s: expected %s, got JSON %s", te.Field, te.Type, te.Value)
+	}
+	return err
+}
+
+// Load reads and validates one scenario file.
+func Load(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return Parse(f, filepath.Base(path))
+}
+
+// LoadAll expands the arguments into scenario files — each argument is a
+// .json file or a directory searched (non-recursively) for *.json — and
+// loads every one. Scenarios are returned in sorted path order so
+// campaigns are reproducible regardless of argument order; duplicate
+// names across files are an error because results are keyed by name.
+func LoadAll(args []string) ([]*Spec, error) {
+	var paths []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(arg, "*.json"))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("scenario: no *.json files in %s", arg)
+		}
+		paths = append(paths, matches...)
+	}
+	sort.Strings(paths)
+
+	var specs []*Spec
+	seen := map[string]string{}
+	for _, p := range paths {
+		s, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[s.Name]; dup {
+			return nil, fmt.Errorf("scenario: duplicate name %q in %s and %s", s.Name, prev, p)
+		}
+		seen[s.Name] = p
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// Summary is one line of `ccscen list` output.
+type Summary struct {
+	Path        string
+	Name        string
+	Title       string
+	Description string
+	Err         error // non-nil when the file does not load
+}
+
+// ListDir summarizes every *.json scenario in dir, including broken ones
+// (with their load error) so `ccscen list` doubles as a directory health
+// check.
+func ListDir(dir string) ([]Summary, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sort.Strings(matches)
+	var out []Summary
+	for _, p := range matches {
+		sum := Summary{Path: p}
+		s, err := Load(p)
+		if err != nil {
+			sum.Err = err
+		} else {
+			sum.Name, sum.Title, sum.Description = s.Name, s.effectiveTitle(), s.Description
+		}
+		out = append(out, sum)
+	}
+	return out, nil
+}
+
+// effectiveTitle returns Title, falling back to Name.
+func (s *Spec) effectiveTitle() string {
+	if strings.TrimSpace(s.Title) != "" {
+		return s.Title
+	}
+	return s.Name
+}
