@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,22 +22,40 @@ import (
 	"time"
 
 	"github.com/ccnet/ccnet/internal/experiments"
+	"github.com/ccnet/ccnet/internal/version"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses flags and dispatches; split from main so the table-driven
+// CLI tests can exercise exit codes and usage output without exec'ing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "", "experiment: table1, table2, fig3..fig7, ablation, nonuniform, bufferdepth, all")
-		csvPath = flag.String("csv", "", "write CSV to this file")
-		outdir  = flag.String("outdir", "", "with -exp all: write one CSV per experiment here")
-		quick   = flag.Bool("quick", false, "reduced message counts (fast, less precise)")
-		warmup  = flag.Uint64("warmup", 0, "override warm-up message count")
-		measure = flag.Uint64("measure", 0, "override measured message count")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		reps    = flag.Int("reps", 0, "simulation replications per point (t-based CI)")
-		plot    = flag.Bool("plot", false, "render an ASCII chart of each figure")
+		exp         = fs.String("exp", "", "experiment: table1, table2, fig3..fig7, ablation, nonuniform, bufferdepth, all")
+		csvPath     = fs.String("csv", "", "write CSV to this file")
+		outdir      = fs.String("outdir", "", "with -exp all: write one CSV per experiment here")
+		quick       = fs.Bool("quick", false, "reduced message counts (fast, less precise)")
+		warmup      = fs.Uint64("warmup", 0, "override warm-up message count")
+		measure     = fs.Uint64("measure", 0, "override measured message count")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		reps        = fs.Int("reps", 0, "simulation replications per point (t-based CI)")
+		plot        = fs.Bool("plot", false, "render an ASCII chart of each figure")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
-	plotFigures = *plot
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String("ccexp"))
+		return 0
+	}
 
 	opt := experiments.RunOptions{Seed: *seed, WarmupCount: *warmup, MeasureCount: *measure, Replications: *reps}
 	if *quick && *warmup == 0 && *measure == 0 {
@@ -44,34 +64,35 @@ func main() {
 
 	switch *exp {
 	case "table1":
-		fmt.Print(experiments.Table1())
-		return
+		fmt.Fprint(stdout, experiments.Table1())
+		return 0
 	case "table2":
-		fmt.Print(experiments.Table2(256))
-		return
+		fmt.Fprint(stdout, experiments.Table2(256))
+		return 0
 	case "all":
-		ids := sortedIDs()
-		fmt.Print(experiments.Table1())
-		fmt.Println()
-		fmt.Print(experiments.Table2(256))
-		fmt.Println()
-		for _, id := range ids {
-			runOne(id, opt, csvForID(*outdir, id))
+		fmt.Fprint(stdout, experiments.Table1())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, experiments.Table2(256))
+		fmt.Fprintln(stdout)
+		for _, id := range sortedIDs() {
+			if code := runOne(id, opt, csvForID(*outdir, id), *plot, stdout, stderr); code != 0 {
+				return code
+			}
 		}
-		return
+		return 0
 	case "":
-		fmt.Fprintf(os.Stderr, "ccexp: -exp is required (table1, table2, all, %s)\n",
+		fmt.Fprintf(stderr, "ccexp: -exp is required (table1, table2, all, %s)\n",
 			strings.Join(sortedIDs(), ", "))
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	default:
-		runner := experiments.All()[*exp]
-		if runner == nil {
-			fmt.Fprintf(os.Stderr, "ccexp: unknown experiment %q\n", *exp)
-			fmt.Fprintf(os.Stderr, "valid experiments: table1, table2, all, %s\n", strings.Join(sortedIDs(), ", "))
-			fmt.Fprintln(os.Stderr, "for configurations beyond the paper's figures, describe them as scenario files and run `ccscen run <file.json>` (see examples/scenarios/)")
-			os.Exit(2)
+		if experiments.All()[*exp] == nil {
+			fmt.Fprintf(stderr, "ccexp: unknown experiment %q\n", *exp)
+			fmt.Fprintf(stderr, "valid experiments: table1, table2, all, %s\n", strings.Join(sortedIDs(), ", "))
+			fmt.Fprintln(stderr, "for configurations beyond the paper's figures, describe them as scenario files and run `ccscen run <file.json>` (see examples/scenarios/)")
+			return 2
 		}
-		runOne(*exp, opt, *csvPath)
+		return runOne(*exp, opt, *csvPath, *plot, stdout, stderr)
 	}
 }
 
@@ -92,37 +113,42 @@ func csvForID(outdir, id string) string {
 	return filepath.Join(outdir, id+".csv")
 }
 
-var plotFigures bool
-
-func runOne(id string, opt experiments.RunOptions, csvPath string) {
+func runOne(id string, opt experiments.RunOptions, csvPath string, plot bool, stdout, stderr io.Writer) int {
 	start := time.Now()
 	res, err := experiments.All()[id](opt)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ccexp: %s: %v\n", id, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ccexp: %s: %v\n", id, err)
+		return 1
 	}
-	if err := experiments.Render(os.Stdout, res); err != nil {
-		fmt.Fprintln(os.Stderr, "ccexp:", err)
-		os.Exit(1)
+	if err := experiments.Render(stdout, res); err != nil {
+		fmt.Fprintln(stderr, "ccexp:", err)
+		return 1
 	}
-	if plotFigures {
-		if err := experiments.RenderChart(os.Stdout, res, 72, 22); err != nil {
-			fmt.Fprintln(os.Stderr, "ccexp:", err)
-			os.Exit(1)
+	if plot {
+		if err := experiments.RenderChart(stdout, res, 72, 22); err != nil {
+			fmt.Fprintln(stderr, "ccexp:", err)
+			return 1
 		}
 	}
-	fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ccexp:", err)
-			os.Exit(1)
+		if err := writeCSV(csvPath, res); err != nil {
+			fmt.Fprintln(stderr, "ccexp:", err)
+			return 1
 		}
-		defer f.Close()
-		if err := experiments.WriteCSV(f, res); err != nil {
-			fmt.Fprintln(os.Stderr, "ccexp:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", csvPath)
+		fmt.Fprintf(stdout, "wrote %s\n", csvPath)
 	}
+	return 0
+}
+
+func writeCSV(path string, res *experiments.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteCSV(f, res); err != nil {
+		return err
+	}
+	return f.Close()
 }

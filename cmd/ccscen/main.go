@@ -22,41 +22,56 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
 	"github.com/ccnet/ccnet/internal/experiments"
 	"github.com/ccnet/ccnet/internal/scenario"
+	"github.com/ccnet/ccnet/internal/version"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches verbs; split from main so the table-driven CLI tests
+// can exercise exit codes and usage output without exec'ing.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "run":
-		runCmd(os.Args[2:])
+		return runCmd(args[1:], stdout, stderr)
 	case "validate":
-		validateCmd(os.Args[2:])
+		return validateCmd(args[1:], stdout, stderr)
 	case "list":
-		listCmd(os.Args[2:])
+		return listCmd(args[1:], stdout, stderr)
+	case "-version", "--version":
+		fmt.Fprintln(stdout, version.String("ccscen"))
+		return 0
 	case "-h", "-help", "--help", "help":
-		usage()
+		usage(stdout)
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "ccscen: unknown verb %q (valid: run, validate, list)\n", os.Args[1])
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ccscen: unknown verb %q (valid: run, validate, list)\n", args[0])
+		usage(stderr)
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `usage:
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
   ccscen run [flags] <file.json|dir> [...]   run scenarios, print results
   ccscen validate <file.json|dir> [...]      check scenario files
   ccscen list [dir]                          summarize a scenario directory
+  ccscen -version                            print version and exit
 
 run flags:
   -workers N   worker goroutines (default GOMAXPROCS); results are
@@ -67,27 +82,33 @@ run flags:
 `)
 }
 
-func runCmd(args []string) {
-	fs := flag.NewFlagSet("ccscen run", flag.ExitOnError)
+func runCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccscen run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	workers := fs.Int("workers", 0, "worker goroutines (default GOMAXPROCS)")
 	quick := fs.Bool("quick", false, "reduced simulation message counts (fast, less precise)")
 	outdir := fs.String("outdir", "", "write one CSV per scenario into this directory")
 	plot := fs.Bool("plot", false, "render an ASCII chart of each scenario")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "ccscen run: at least one scenario file or directory required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ccscen run: at least one scenario file or directory required")
+		return 2
 	}
 
 	specs, err := scenario.LoadAll(fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccscen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
 	}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "ccscen:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "ccscen:", err)
+			return 1
 		}
 	}
 
@@ -101,17 +122,17 @@ func runCmd(args []string) {
 			failures++
 		}
 		if o.Err != nil {
-			fmt.Fprintf(os.Stderr, "ccscen: scenario %s failed: %v\n", o.Spec.Name, o.Err)
+			fmt.Fprintf(stderr, "ccscen: scenario %s failed: %v\n", o.Spec.Name, o.Err)
 			continue
 		}
-		if err := experiments.Render(os.Stdout, o.Result); err != nil {
-			fmt.Fprintln(os.Stderr, "ccscen:", err)
-			os.Exit(1)
+		if err := experiments.Render(stdout, o.Result); err != nil {
+			fmt.Fprintln(stderr, "ccscen:", err)
+			return 1
 		}
 		if *plot {
-			if err := experiments.RenderChart(os.Stdout, o.Result, 72, 22); err != nil {
-				fmt.Fprintln(os.Stderr, "ccscen:", err)
-				os.Exit(1)
+			if err := experiments.RenderChart(stdout, o.Result, 72, 22); err != nil {
+				fmt.Fprintln(stderr, "ccscen:", err)
+				return 1
 			}
 		}
 		for _, a := range o.Assertions {
@@ -119,23 +140,24 @@ func runCmd(args []string) {
 			if !a.Pass {
 				status = "FAIL"
 			}
-			fmt.Printf("assert %-12s %s  %s\n", a.Spec.Type, status, a.Detail)
+			fmt.Fprintf(stdout, "assert %-12s %s  %s\n", a.Spec.Type, status, a.Detail)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", o.Spec.Name, o.Elapsed.Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", o.Spec.Name, o.Elapsed.Round(time.Millisecond))
 		if *outdir != "" {
 			path := filepath.Join(*outdir, o.Spec.Name+".csv")
 			if err := writeCSV(path, o.Result); err != nil {
-				fmt.Fprintln(os.Stderr, "ccscen:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "ccscen:", err)
+				return 1
 			}
-			fmt.Printf("wrote %s\n\n", path)
+			fmt.Fprintf(stdout, "wrote %s\n\n", path)
 		}
 	}
-	fmt.Printf("campaign: %d scenario(s), %d failed, %v total\n",
+	fmt.Fprintf(stdout, "campaign: %d scenario(s), %d failed, %v total\n",
 		len(outcomes), failures, time.Since(start).Round(time.Millisecond))
 	if failures > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func writeCSV(path string, res *experiments.Result) error {
@@ -150,55 +172,57 @@ func writeCSV(path string, res *experiments.Result) error {
 	return f.Close()
 }
 
-func validateCmd(args []string) {
+func validateCmd(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "ccscen validate: at least one scenario file or directory required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ccscen validate: at least one scenario file or directory required")
+		return 2
 	}
 	specs, err := scenario.LoadAll(args)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccscen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
 	}
 	// Validation also dry-builds each system: structural constraints
 	// (C = 2(m/2)^n) only the cluster layer can check.
 	bad := 0
 	for _, s := range specs {
 		if _, err := s.BuildSystem(); err != nil {
-			fmt.Fprintf(os.Stderr, "ccscen: scenario %s: %v\n", s.Name, err)
+			fmt.Fprintf(stderr, "ccscen: scenario %s: %v\n", s.Name, err)
 			bad++
 			continue
 		}
-		fmt.Printf("ok: %s\n", s.Name)
+		fmt.Fprintf(stdout, "ok: %s\n", s.Name)
 	}
 	if bad > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func listCmd(args []string) {
+func listCmd(args []string, stdout, stderr io.Writer) int {
 	dir := "examples/scenarios"
 	if len(args) > 0 {
 		dir = args[0]
 	}
 	sums, err := scenario.ListDir(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccscen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
 	}
 	if len(sums) == 0 {
-		fmt.Fprintf(os.Stderr, "ccscen: no *.json scenarios in %s\n", dir)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ccscen: no *.json scenarios in %s\n", dir)
+		return 1
 	}
 	for _, s := range sums {
 		if s.Err != nil {
-			fmt.Printf("%-28s INVALID: %v\n", filepath.Base(s.Path), s.Err)
+			fmt.Fprintf(stdout, "%-28s INVALID: %v\n", filepath.Base(s.Path), s.Err)
 			continue
 		}
 		desc := s.Description
 		if desc == "" {
 			desc = s.Title
 		}
-		fmt.Printf("%-28s %-24s %s\n", filepath.Base(s.Path), s.Name, desc)
+		fmt.Fprintf(stdout, "%-28s %-24s %s\n", filepath.Base(s.Path), s.Name, desc)
 	}
+	return 0
 }

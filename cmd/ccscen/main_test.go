@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun exercises the CLI contract: -version exits 0, bad verbs and
+// bad flags exit 2 with usage text, and validate works against the
+// shipped example scenarios.
+func TestRun(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStdout string
+		wantStderr string
+	}{
+		{"version", []string{"-version"}, 0, "ccscen version", ""},
+		{"noArgs", []string{}, 2, "", "usage:"},
+		{"unknownVerb", []string{"frobnicate"}, 2, "", `unknown verb "frobnicate"`},
+		{"help", []string{"help"}, 0, "usage:", ""},
+		{"runBadFlag", []string{"run", "-no-such-flag"}, 2, "", "flag provided but not defined"},
+		{"runNoFiles", []string{"run"}, 2, "", "at least one scenario file"},
+		{"validateNoFiles", []string{"validate"}, 2, "", "at least one scenario file"},
+		{"validateMissing", []string{"validate", "no-such-file.json"}, 1, "", "no-such-file.json"},
+		{"validateExamples", []string{"validate", "../../examples/scenarios/fig3.json"}, 0, "ok: fig3", ""},
+		{"listExamples", []string{"list", "../../examples/scenarios"}, 0, "fig3", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout %q does not contain %q", stdout.String(), tc.wantStdout)
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.wantStderr)
+			}
+		})
+	}
+}

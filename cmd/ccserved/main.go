@@ -1,0 +1,106 @@
+// Command ccserved serves the analytical model and the scenario engine
+// over HTTP, fronted by a canonical-spec result cache: requests are
+// canonicalized and hashed, identical in-flight requests compute once,
+// and finished results are reused until evicted (LRU over entries and
+// bytes) or expired (TTL).
+//
+// Endpoints:
+//
+//	POST /v1/evaluate   one analytical evaluation at a single rate
+//	POST /v1/sweep      an analytical sweep over a lambda grid
+//	POST /v1/campaign   a full scenario spec (same JSON as ccscen files)
+//	GET  /v1/healthz    liveness + version
+//	GET  /v1/stats      request and cache counters
+//
+// Examples:
+//
+//	ccserved -addr :8080
+//	ccserved -addr :8080 -cache-entries 4096 -cache-bytes 268435456 -ttl 1h
+//	curl -s localhost:8080/v1/healthz
+//
+// The request formats are documented in README.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ccnet/ccnet/internal/service"
+	"github.com/ccnet/ccnet/internal/version"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses flags and serves; split from main (and from the listen
+// loop) so the table-driven CLI tests can exercise flag handling.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		cacheEntries = fs.Int("cache-entries", 1024, "result cache capacity in entries")
+		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "result cache capacity in bytes")
+		ttl          = fs.Duration("ttl", 15*time.Minute, "result cache entry lifetime (negative disables expiry)")
+		workers      = fs.Int("workers", 0, "sweep/campaign worker goroutines (default GOMAXPROCS)")
+		showVersion  = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String("ccserved"))
+		return 0
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ccserved: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+
+	srv := service.New(service.Options{
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
+		CacheTTL:     *ttl,
+		Workers:      *workers,
+	})
+	return serve(*addr, srv.Handler(), stdout, stderr)
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight
+// requests for up to 10 seconds.
+func serve(addr string, h http.Handler, stdout, stderr io.Writer) int {
+	hs := &http.Server{Addr: addr, Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(stdout, "ccserved %s listening on %s\n", version.Version, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(stderr, "ccserved:", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stdout, "ccserved: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, "ccserved:", err)
+			return 1
+		}
+	}
+	return 0
+}

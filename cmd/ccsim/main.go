@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -23,29 +25,53 @@ import (
 	"github.com/ccnet/ccnet/internal/sim"
 	"github.com/ccnet/ccnet/internal/trace"
 	"github.com/ccnet/ccnet/internal/traffic"
+	"github.com/ccnet/ccnet/internal/version"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses flags and simulates; split from main so the table-driven
+// CLI tests can exercise exit codes and usage output without exec'ing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		system    = flag.String("system", "1120", "system organization: 1120, 544 or small")
-		lambda    = flag.Float64("lambda", 1e-4, "λ_g: messages per node per time unit")
-		flits     = flag.Int("flits", 32, "message length M in flits")
-		flitBytes = flag.Int("flitbytes", 256, "flit size d_m in bytes")
-		warmup    = flag.Uint64("warmup", 10000, "warm-up messages (discarded)")
-		measure   = flag.Uint64("measure", 100000, "measured messages")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		pattern   = flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, local")
-		hotspotP  = flag.Float64("hotspot-p", 0.1, "fraction of traffic to the hot node")
-		localP    = flag.Float64("local-p", 0.5, "fraction of traffic kept intra-cluster")
-		topN      = flag.Int("top-channels", 0, "print the N most utilized channels")
-		traceOut  = flag.String("trace", "", "write per-message trace to this file (.csv or .jsonl)")
-		depth     = flag.Int("buffer-depth", 1, "channel input buffer depth in flits (paper: 1)")
+		system      = fs.String("system", "1120", "system organization: 1120, 544 or small")
+		lambda      = fs.Float64("lambda", 1e-4, "λ_g: messages per node per time unit")
+		flits       = fs.Int("flits", 32, "message length M in flits")
+		flitBytes   = fs.Int("flitbytes", 256, "flit size d_m in bytes")
+		warmup      = fs.Uint64("warmup", 10000, "warm-up messages (discarded)")
+		measure     = fs.Uint64("measure", 100000, "measured messages")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		pattern     = fs.String("pattern", "uniform", "traffic pattern: uniform, hotspot, local")
+		hotspotP    = fs.Float64("hotspot-p", 0.1, "fraction of traffic to the hot node")
+		localP      = fs.Float64("local-p", 0.5, "fraction of traffic kept intra-cluster")
+		topN        = fs.Int("top-channels", 0, "print the N most utilized channels")
+		traceOut    = fs.String("trace", "", "write per-message trace to this file (.csv or .jsonl)")
+		depth       = fs.Int("buffer-depth", 1, "channel input buffer depth in flits (paper: 1)")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String("ccsim"))
+		return 0
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "ccsim:", err)
+		return 1
+	}
 
 	sys, err := systemByName(*system)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	cfg := sim.Config{
@@ -61,7 +87,7 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		if strings.HasSuffix(*traceOut, ".jsonl") {
@@ -81,29 +107,29 @@ func main() {
 		}
 		cfg.Pattern = traffic.ClusterLocal{Part: traffic.NewPartition(sizes), PLocal: *localP}
 	default:
-		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+		return fail(fmt.Errorf("unknown pattern %q", *pattern))
 	}
 
 	start := time.Now()
 	m, err := sim.Run(cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("system %s (N=%d), λ_g=%.4g, M=%d×%dB, pattern=%s\n",
+	fmt.Fprintf(stdout, "system %s (N=%d), λ_g=%.4g, M=%d×%dB, pattern=%s\n",
 		sys.Name, sys.TotalNodes(), *lambda, *flits, *flitBytes, *pattern)
 	if m.Saturated {
-		fmt.Printf("SATURATED: offered load exceeds capacity (backlog peaked at %d)\n", m.PeakBacklog)
+		fmt.Fprintf(stdout, "SATURATED: offered load exceeds capacity (backlog peaked at %d)\n", m.PeakBacklog)
 	}
-	fmt.Printf("mean latency : %.3f ± %.3f (95%% CI), sd %.3f\n",
+	fmt.Fprintf(stdout, "mean latency : %.3f ± %.3f (95%% CI), sd %.3f\n",
 		m.Latency.Mean(), m.Latency.CI95(), m.Latency.StdDev())
-	fmt.Printf("intra        : %s\n", m.Intra.String())
-	fmt.Printf("inter        : %s\n", m.Inter.String())
-	fmt.Printf("generated    : %d messages, sim time %.1f units\n", m.Generated, m.SimTime)
-	fmt.Printf("bottlenecks  : gateway util %.3f, max channel util %.3f\n",
+	fmt.Fprintf(stdout, "intra        : %s\n", m.Intra.String())
+	fmt.Fprintf(stdout, "inter        : %s\n", m.Inter.String())
+	fmt.Fprintf(stdout, "generated    : %d messages, sim time %.1f units\n", m.Generated, m.SimTime)
+	fmt.Fprintf(stdout, "bottlenecks  : gateway util %.3f, max channel util %.3f\n",
 		m.MaxGatewayUtil, m.MaxChannelUtil)
-	fmt.Printf("cost         : %d events in %v (%.2fM events/s)\n",
+	fmt.Fprintf(stdout, "cost         : %d events in %v (%.2fM events/s)\n",
 		m.Events, elapsed.Round(time.Millisecond), float64(m.Events)/1e6/elapsed.Seconds())
 
 	if *topN > 0 {
@@ -116,11 +142,12 @@ func main() {
 			all = append(all, kv{n, u})
 		}
 		sort.Slice(all, func(i, j int) bool { return all[i].u > all[j].u })
-		fmt.Printf("\ntop %d channels by utilization:\n", *topN)
+		fmt.Fprintf(stdout, "\ntop %d channels by utilization:\n", *topN)
 		for i := 0; i < *topN && i < len(all); i++ {
-			fmt.Printf("  %6.3f  %s\n", all[i].u, all[i].name)
+			fmt.Fprintf(stdout, "  %6.3f  %s\n", all[i].u, all[i].name)
 		}
 	}
+	return 0
 }
 
 func systemByName(name string) (*cluster.System, error) {
@@ -133,9 +160,4 @@ func systemByName(name string) (*cluster.System, error) {
 		return cluster.SmallTestSystem(), nil
 	}
 	return nil, fmt.Errorf("unknown system %q (want 1120, 544 or small)", name)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ccsim:", err)
-	os.Exit(1)
 }

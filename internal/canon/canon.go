@@ -1,0 +1,154 @@
+// Package canon derives deterministic cache keys from evaluation
+// requests: a canonical JSON form (stable across Go map iteration order,
+// JSON key order and number spelling) is hashed with SHA-256 into an
+// opaque versioned Key. The service layer keys its result cache on
+// Hash(system spec, message spec, resolved model options, lambda grid),
+// so two requests that mean the same evaluation — however they were
+// spelled — coalesce onto one cache entry, while any semantic change to
+// any part yields a different key.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// scheme versions the canonicalization itself: bump it when the
+// canonical form changes so stale persisted keys can never alias.
+const scheme = "v1"
+
+// Key is a canonical cache key: "v1:" + hex SHA-256 of the canonical
+// encoding. The zero value is invalid.
+type Key string
+
+// Valid reports whether k has the current scheme prefix and digest length.
+func (k Key) Valid() bool {
+	s := string(k)
+	return strings.HasPrefix(s, scheme+":") && len(s) == len(scheme)+1+2*sha256.Size
+}
+
+// Hash canonicalizes each part and returns the joint key. Parts are
+// length-prefixed before hashing, so ("ab", "c") and ("a", "bc") — or one
+// part versus two — can never collide. Any value encodable by
+// encoding/json is accepted; NaN or ±Inf numbers anywhere in a part are
+// an error (they have no JSON form, so they cannot round-trip stably).
+func Hash(parts ...any) (Key, error) {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for i, part := range parts {
+		c, err := Canonicalize(part)
+		if err != nil {
+			return "", fmt.Errorf("canon: part %d: %w", i, err)
+		}
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(c)))
+		h.Write(lenBuf[:])
+		h.Write(c)
+	}
+	return Key(scheme + ":" + hex.EncodeToString(h.Sum(nil))), nil
+}
+
+// MustHash is Hash for parts known to be encodable (fixed structs with no
+// NaN/Inf floats); it panics on error.
+func MustHash(parts ...any) Key {
+	k, err := Hash(parts...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Canonicalize returns the canonical JSON encoding of v: objects with
+// keys sorted (recursively), no insignificant whitespace, and numbers in
+// Go's shortest round-trippable spelling. The value is first marshaled
+// with encoding/json (so struct tags, omitempty and custom marshalers
+// apply exactly as they do on the wire) and then rebuilt generically,
+// which erases any ordering the source value carried.
+func Canonicalize(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var generic any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	if err := writeCanonical(&b, generic); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// writeCanonical renders the generic JSON value with sorted object keys.
+// encoding/json already sorts map[string]any keys, but rendering
+// explicitly keeps the canonical form independent of that implementation
+// detail (and of future encoder changes).
+func writeCanonical(b *strings.Builder, v any) error {
+	switch x := v.(type) {
+	case nil:
+		b.WriteString("null")
+	case bool:
+		if x {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("non-finite number %v", x)
+		}
+		enc, err := json.Marshal(x)
+		if err != nil {
+			return err
+		}
+		b.Write(enc)
+	case string:
+		enc, err := json.Marshal(x)
+		if err != nil {
+			return err
+		}
+		b.Write(enc)
+	case []any:
+		b.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if err := writeCanonical(b, e); err != nil {
+				return err
+			}
+		}
+		b.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			enc, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			b.Write(enc)
+			b.WriteByte(':')
+			if err := writeCanonical(b, x[k]); err != nil {
+				return err
+			}
+		}
+		b.WriteByte('}')
+	default:
+		return fmt.Errorf("unexpected JSON value of type %T", v)
+	}
+	return nil
+}

@@ -14,11 +14,18 @@ import (
 // check (C = 2(m/2)^n, per-network sanity) still surface here with the
 // system field path attached.
 func (s *Spec) BuildSystem() (*cluster.System, error) {
-	sys, err := s.baseSystem()
+	return s.System.Build(s.Name)
+}
+
+// Build materializes a bare system section under the given name; the
+// HTTP service's evaluate and sweep endpoints build systems without a
+// surrounding scenario. The spec must have passed Validate.
+func (spec *SystemSpec) Build(name string) (*cluster.System, error) {
+	sys, err := spec.baseSystem(name)
 	if err != nil {
 		return nil, err
 	}
-	if f := s.System.ICN2BandwidthScale; f != 0 && f != 1 {
+	if f := spec.ICN2BandwidthScale; f != 0 && f != 1 {
 		sys = sys.ScaleICN2Bandwidth(f)
 	}
 	if err := sys.Validate(); err != nil {
@@ -27,8 +34,7 @@ func (s *Spec) BuildSystem() (*cluster.System, error) {
 	return sys, nil
 }
 
-func (s *Spec) baseSystem() (*cluster.System, error) {
-	spec := &s.System
+func (spec *SystemSpec) baseSystem(name string) (*cluster.System, error) {
 	if spec.Preset != "" {
 		switch spec.Preset {
 		case "N=1120":
@@ -41,7 +47,7 @@ func (s *Spec) baseSystem() (*cluster.System, error) {
 		return nil, fieldErr("system.preset", "unknown preset %q", spec.Preset)
 	}
 
-	sys := &cluster.System{Name: s.Name, Ports: spec.Ports}
+	sys := &cluster.System{Name: name, Ports: spec.Ports}
 	icn2 := netchar.Net1
 	if spec.ICN2 != nil {
 		c, err := spec.ICN2.resolve("system.icn2")
@@ -77,18 +83,28 @@ func (s *Spec) baseSystem() (*cluster.System, error) {
 	return sys, nil
 }
 
+// Options maps a bare model section to core.Options; storeAndForward
+// selects the analysisSF column's gateway correction. The HTTP service's
+// evaluate and sweep endpoints use it directly (they carry no traffic
+// pattern); the scenario path goes through Spec.ModelOptions, which adds
+// the locality extension.
+func (m *ModelSpec) Options(storeAndForward bool) core.Options {
+	opt := core.Options{
+		InvertRelaxFactor:      m.InvertRelaxFactor,
+		CalibratedECNCrossing:  m.CalibratedECNCrossing,
+		GatewayStoreAndForward: storeAndForward,
+	}
+	if m.Variant == "paper-literal" {
+		opt.Variant = core.PaperLiteral
+	}
+	return opt
+}
+
 // ModelOptions maps the model section (and the traffic pattern, for the
 // locality extension) to core.Options. storeAndForward selects the
 // analysisSF column's gateway correction.
 func (s *Spec) ModelOptions(storeAndForward bool) core.Options {
-	opt := core.Options{
-		InvertRelaxFactor:      s.Model.InvertRelaxFactor,
-		CalibratedECNCrossing:  s.Model.CalibratedECNCrossing,
-		GatewayStoreAndForward: storeAndForward,
-	}
-	if s.Model.Variant == "paper-literal" {
-		opt.Variant = core.PaperLiteral
-	}
+	opt := s.Model.Options(storeAndForward)
 	// The cluster-local pattern has an analytical counterpart (the
 	// paper's future-work extension); use it so model and simulator
 	// describe the same workload. Hotspot has none — its analytical
@@ -122,10 +138,28 @@ func (s *Spec) Pattern(sys *cluster.System) (traffic.Pattern, error) {
 	return nil, fieldErr("traffic.pattern", "unknown pattern %q", s.Traffic.Pattern)
 }
 
-// grid materializes the lambda grid. models holds the per-series paper
+// BuildModels constructs one analytical model per flit-size series
+// (traffic.flitBytes entry), in series order. storeAndForward selects the
+// analysisSF gateway correction, as in ModelOptions. The campaign runner
+// and the HTTP service share this path, so a spec evaluates identically
+// whether it arrives as a file or a request body.
+func (s *Spec) BuildModels(sys *cluster.System, storeAndForward bool) ([]*core.Model, error) {
+	models := make([]*core.Model, 0, len(s.Traffic.FlitBytes))
+	for _, dm := range s.Traffic.FlitBytes {
+		msg := netchar.MessageSpec{Flits: s.Traffic.Flits, FlitBytes: dm}
+		m, err := core.New(sys, msg, s.ModelOptions(storeAndForward))
+		if err != nil {
+			return nil, fieldErr("traffic", "%v", err)
+		}
+		models = append(models, m)
+	}
+	return models, nil
+}
+
+// Grid materializes the lambda grid. models holds the per-series paper
 // models, consulted only by the auto grid (Max = AutoFraction × the
 // smallest per-series saturation point, so every series' curve fits).
-func (s *Spec) grid(models []*core.Model) ([]float64, error) {
+func (s *Spec) Grid(models []*core.Model) ([]float64, error) {
 	la := &s.Traffic.Lambda
 	if len(la.Values) > 0 {
 		return append([]float64(nil), la.Values...), nil

@@ -19,7 +19,7 @@ func Parse(r io.Reader, name string) (*Spec, error) {
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", name, decodeErr(err))
+		return nil, fmt.Errorf("scenario %s: %w", name, DecodeError(err))
 	}
 	// A second document in the same stream is almost always a mistake.
 	if dec.More() {
@@ -31,8 +31,10 @@ func Parse(r io.Reader, name string) (*Spec, error) {
 	return &s, nil
 }
 
-// decodeErr rewrites encoding/json's errors into loader language.
-func decodeErr(err error) error {
+// DecodeError rewrites encoding/json's errors into loader language with
+// the offending field path. The HTTP service reuses it so request-body
+// decode errors read like scenario-file errors.
+func DecodeError(err error) error {
 	if te, ok := err.(*json.UnmarshalTypeError); ok && te.Field != "" {
 		return fmt.Errorf("%s: expected %s, got JSON %s", te.Field, te.Type, te.Value)
 	}

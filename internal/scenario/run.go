@@ -191,23 +191,18 @@ func (r *Runner) prepare(s *Spec, workers int) (*prepared, error) {
 	}
 	p := &prepared{spec: s, sys: sys, pattern: pattern}
 
-	for _, dm := range s.Traffic.FlitBytes {
-		msg := netchar.MessageSpec{Flits: s.Traffic.Flits, FlitBytes: dm}
-		paper, err := core.New(sys, msg, s.ModelOptions(false))
-		if err != nil {
-			return nil, fieldErr("traffic", "%v", err)
+	if p.paper, err = s.BuildModels(sys, false); err != nil {
+		return nil, err
+	}
+	if s.Engines.analysisSFOn() {
+		if p.sf, err = s.BuildModels(sys, true); err != nil {
+			return nil, err
 		}
-		p.paper = append(p.paper, paper)
-		var sf *core.Model
-		if s.Engines.analysisSFOn() {
-			if sf, err = core.New(sys, msg, s.ModelOptions(true)); err != nil {
-				return nil, fieldErr("traffic", "%v", err)
-			}
-		}
-		p.sf = append(p.sf, sf)
+	} else {
+		p.sf = make([]*core.Model, len(p.paper))
 	}
 
-	if p.grid, err = s.grid(p.paper); err != nil {
+	if p.grid, err = s.Grid(p.paper); err != nil {
 		return nil, err
 	}
 

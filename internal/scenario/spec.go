@@ -290,7 +290,135 @@ func (s *Spec) Validate() error {
 	}
 
 	// --- system ---------------------------------------------------------
-	sys := &s.System
+	errs = append(errs, s.System.validate()...)
+
+	// --- traffic --------------------------------------------------------
+	tr := &s.Traffic
+	switch tr.Pattern {
+	case "", "uniform":
+		if tr.HotFraction != 0 || tr.LocalFraction != 0 {
+			add("traffic.pattern", "uniform pattern excludes hotFraction/localFraction")
+		}
+	case "hotspot":
+		if tr.HotFraction <= 0 || tr.HotFraction > 1 || math.IsNaN(tr.HotFraction) {
+			add("traffic.hotFraction", "must be in (0,1], got %v", tr.HotFraction)
+		}
+		if tr.HotNode < 0 {
+			add("traffic.hotNode", "must be >= 0, got %d", tr.HotNode)
+		}
+	case "cluster-local":
+		if tr.LocalFraction <= 0 || tr.LocalFraction >= 1 || math.IsNaN(tr.LocalFraction) {
+			add("traffic.localFraction", "must be in (0,1), got %v", tr.LocalFraction)
+		}
+	default:
+		add("traffic.pattern", "unknown pattern %q (valid: %s)",
+			tr.Pattern, strings.Join(knownPatterns, ", "))
+	}
+	if tr.Flits <= 0 {
+		add("traffic.flits", "must be positive, got %d", tr.Flits)
+	}
+	if len(tr.FlitBytes) == 0 {
+		add("traffic.flitBytes", "at least one flit size required")
+	}
+	for i, dm := range tr.FlitBytes {
+		if dm <= 0 {
+			add(fmt.Sprintf("traffic.flitBytes[%d]", i), "must be positive, got %d", dm)
+		}
+	}
+
+	// --- traffic.lambda -------------------------------------------------
+	errs = append(errs, tr.Lambda.validate("traffic.lambda")...)
+
+	// --- engines --------------------------------------------------------
+	en := &s.Engines
+	if !en.analysisOn() && !en.analysisSFOn() && !en.Simulation {
+		add("engines", "every engine disabled; enable analysis, analysisSF or simulation")
+	}
+	if en.SimEvery < 0 {
+		add("engines.simEvery", "must be >= 1 (default 2), got %d", en.SimEvery)
+	}
+	if en.Replications < 0 {
+		add("engines.replications", "must be >= 1, got %d", en.Replications)
+	}
+	if en.MaxBacklog < 0 {
+		add("engines.maxBacklog", "must be positive, got %d", en.MaxBacklog)
+	}
+	if en.BufferDepth < 0 {
+		add("engines.bufferDepth", "must be >= 1, got %d", en.BufferDepth)
+	}
+
+	// --- model ----------------------------------------------------------
+	if err := s.Model.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+
+	// --- assertions -----------------------------------------------------
+	for i, a := range s.Assertions {
+		p := fmt.Sprintf("assertions[%d]", i)
+		switch a.Type {
+		case "saturation":
+			if a.Min == 0 && a.Max == 0 {
+				add(p, "saturation assertion needs min and/or max")
+			}
+			if a.Max != 0 && a.Min > a.Max {
+				add(p+".min", "must not exceed max (%v > %v)", a.Min, a.Max)
+			}
+			if a.Percent != 0 || a.Column != "" || a.LightLoadFraction != 0 {
+				add(p, "saturation assertion excludes percent/column/lightLoadFraction")
+			}
+		case "maxRelError":
+			if !en.Simulation {
+				add(p, "maxRelError assertion requires engines.simulation: true")
+			}
+			if a.Percent <= 0 {
+				add(p+".percent", "must be positive, got %v", a.Percent)
+			}
+			switch a.Column {
+			case "", "analysis", "analysisSF":
+			default:
+				add(p+".column", "unknown column %q (valid: analysis, analysisSF)", a.Column)
+			}
+			if a.LightLoadFraction < 0 || a.LightLoadFraction > 1 {
+				add(p+".lightLoadFraction", "must be in (0,1], got %v", a.LightLoadFraction)
+			}
+		case "monotonic":
+			if a.Min != 0 || a.Max != 0 || a.Percent != 0 {
+				add(p, "monotonic assertion takes no parameters")
+			}
+		case "":
+			add(p+".type", "required (valid: saturation, maxRelError, monotonic)")
+		default:
+			add(p+".type", "unknown assertion type %q (valid: saturation, maxRelError, monotonic)", a.Type)
+		}
+	}
+
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errors.Join(errs...)
+}
+
+// Validate checks the system section alone. The HTTP service's evaluate
+// and sweep endpoints accept a bare SystemSpec, so this is exported
+// separately from the whole-scenario Validate; field paths are rooted at
+// "system" either way.
+func (sys *SystemSpec) Validate() error {
+	errs := sys.validate()
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errors.Join(errs...)
+}
+
+// validate returns every problem with the system section as field-path
+// errors.
+func (sys *SystemSpec) validate() []error {
+	var errs []error
+	add := func(path, format string, args ...any) {
+		errs = append(errs, fieldErr(path, format, args...))
+	}
 	if sys.Preset != "" {
 		if !presetKnown(sys.Preset) {
 			add("system.preset", "unknown preset %q (valid: %s)",
@@ -339,50 +467,33 @@ func (s *Spec) Validate() error {
 	if sys.ICN2BandwidthScale < 0 {
 		add("system.icn2BandwidthScale", "must be positive, got %v", sys.ICN2BandwidthScale)
 	}
+	return errs
+}
 
-	// --- traffic --------------------------------------------------------
-	tr := &s.Traffic
-	switch tr.Pattern {
-	case "", "uniform":
-		if tr.HotFraction != 0 || tr.LocalFraction != 0 {
-			add("traffic.pattern", "uniform pattern excludes hotFraction/localFraction")
-		}
-	case "hotspot":
-		if tr.HotFraction <= 0 || tr.HotFraction > 1 || math.IsNaN(tr.HotFraction) {
-			add("traffic.hotFraction", "must be in (0,1], got %v", tr.HotFraction)
-		}
-		if tr.HotNode < 0 {
-			add("traffic.hotNode", "must be >= 0, got %d", tr.HotNode)
-		}
-	case "cluster-local":
-		if tr.LocalFraction <= 0 || tr.LocalFraction >= 1 || math.IsNaN(tr.LocalFraction) {
-			add("traffic.localFraction", "must be in (0,1), got %v", tr.LocalFraction)
-		}
-	default:
-		add("traffic.pattern", "unknown pattern %q (valid: %s)",
-			tr.Pattern, strings.Join(knownPatterns, ", "))
+// Validate checks a lambda grid description alone, with field paths
+// rooted at root (the scenario loader uses "traffic.lambda", the HTTP
+// service "lambda").
+func (la *LambdaSpec) Validate(root string) error {
+	errs := la.validate(root)
+	if len(errs) == 0 {
+		return nil
 	}
-	if tr.Flits <= 0 {
-		add("traffic.flits", "must be positive, got %d", tr.Flits)
-	}
-	if len(tr.FlitBytes) == 0 {
-		add("traffic.flitBytes", "at least one flit size required")
-	}
-	for i, dm := range tr.FlitBytes {
-		if dm <= 0 {
-			add(fmt.Sprintf("traffic.flitBytes[%d]", i), "must be positive, got %d", dm)
-		}
-	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errors.Join(errs...)
+}
 
-	// --- traffic.lambda -------------------------------------------------
-	la := &tr.Lambda
+func (la *LambdaSpec) validate(root string) []error {
+	var errs []error
+	add := func(path, format string, args ...any) {
+		errs = append(errs, fieldErr(path, format, args...))
+	}
 	switch {
 	case len(la.Values) > 0:
 		if la.Min != 0 || la.Max != 0 || la.Points != 0 || la.Auto {
-			add("traffic.lambda.values", "explicit values exclude min/max/points/auto")
+			add(root+".values", "explicit values exclude min/max/points/auto")
 		}
 		for i, v := range la.Values {
-			p := fmt.Sprintf("traffic.lambda.values[%d]", i)
+			p := fmt.Sprintf("%s.values[%d]", root, i)
 			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 				add(p, "must be a positive finite rate, got %v", v)
 			}
@@ -392,102 +503,43 @@ func (s *Spec) Validate() error {
 		}
 	case la.Auto:
 		if la.Max != 0 {
-			add("traffic.lambda.max", "auto grid excludes an explicit max")
+			add(root+".max", "auto grid excludes an explicit max")
 		}
 		if la.Points < 2 {
-			add("traffic.lambda.points", "must be >= 2, got %d", la.Points)
+			add(root+".points", "must be >= 2, got %d", la.Points)
 		}
 		if la.Min < 0 || math.IsNaN(la.Min) {
-			add("traffic.lambda.min", "must be >= 0, got %v", la.Min)
+			add(root+".min", "must be >= 0, got %v", la.Min)
 		}
 		if la.AutoFraction < 0 || la.AutoFraction > 1 {
-			add("traffic.lambda.autoFraction", "must be in (0,1], got %v", la.AutoFraction)
+			add(root+".autoFraction", "must be in (0,1], got %v", la.AutoFraction)
 		}
 	default:
 		if la.Max <= 0 || math.IsNaN(la.Max) {
-			add("traffic.lambda.max", "must be a positive rate (or set auto/values), got %v", la.Max)
+			add(root+".max", "must be a positive rate (or set auto/values), got %v", la.Max)
 		}
 		if la.Points < 2 {
-			add("traffic.lambda.points", "must be >= 2, got %d", la.Points)
+			add(root+".points", "must be >= 2, got %d", la.Points)
 		}
 		if la.Min < 0 || (la.Max > 0 && la.Min >= la.Max) {
-			add("traffic.lambda.min", "must be in [0, max), got %v", la.Min)
+			add(root+".min", "must be in [0, max), got %v", la.Min)
 		}
 		if la.AutoFraction != 0 {
-			add("traffic.lambda.autoFraction", "only meaningful with auto: true")
+			add(root+".autoFraction", "only meaningful with auto: true")
 		}
 	}
+	return errs
+}
 
-	// --- engines --------------------------------------------------------
-	en := &s.Engines
-	if !en.analysisOn() && !en.analysisSFOn() && !en.Simulation {
-		add("engines", "every engine disabled; enable analysis, analysisSF or simulation")
-	}
-	if en.SimEvery < 0 {
-		add("engines.simEvery", "must be >= 1 (default 2), got %d", en.SimEvery)
-	}
-	if en.Replications < 0 {
-		add("engines.replications", "must be >= 1, got %d", en.Replications)
-	}
-	if en.MaxBacklog < 0 {
-		add("engines.maxBacklog", "must be positive, got %d", en.MaxBacklog)
-	}
-	if en.BufferDepth < 0 {
-		add("engines.bufferDepth", "must be >= 1, got %d", en.BufferDepth)
-	}
-
-	// --- model ----------------------------------------------------------
-	switch s.Model.Variant {
+// Validate checks the model section; exported for the same service reuse
+// as SystemSpec.Validate.
+func (m *ModelSpec) Validate() error {
+	switch m.Variant {
 	case "", "reconstructed", "paper-literal":
-	default:
-		add("model.variant", "unknown variant %q (valid: reconstructed, paper-literal)", s.Model.Variant)
-	}
-
-	// --- assertions -----------------------------------------------------
-	for i, a := range s.Assertions {
-		p := fmt.Sprintf("assertions[%d]", i)
-		switch a.Type {
-		case "saturation":
-			if a.Min == 0 && a.Max == 0 {
-				add(p, "saturation assertion needs min and/or max")
-			}
-			if a.Max != 0 && a.Min > a.Max {
-				add(p+".min", "must not exceed max (%v > %v)", a.Min, a.Max)
-			}
-			if a.Percent != 0 || a.Column != "" || a.LightLoadFraction != 0 {
-				add(p, "saturation assertion excludes percent/column/lightLoadFraction")
-			}
-		case "maxRelError":
-			if !en.Simulation {
-				add(p, "maxRelError assertion requires engines.simulation: true")
-			}
-			if a.Percent <= 0 {
-				add(p+".percent", "must be positive, got %v", a.Percent)
-			}
-			switch a.Column {
-			case "", "analysis", "analysisSF":
-			default:
-				add(p+".column", "unknown column %q (valid: analysis, analysisSF)", a.Column)
-			}
-			if a.LightLoadFraction < 0 || a.LightLoadFraction > 1 {
-				add(p+".lightLoadFraction", "must be in (0,1], got %v", a.LightLoadFraction)
-			}
-		case "monotonic":
-			if a.Min != 0 || a.Max != 0 || a.Percent != 0 {
-				add(p, "monotonic assertion takes no parameters")
-			}
-		case "":
-			add(p+".type", "required (valid: saturation, maxRelError, monotonic)")
-		default:
-			add(p+".type", "unknown assertion type %q (valid: saturation, maxRelError, monotonic)", a.Type)
-		}
-	}
-
-	if len(errs) == 0 {
 		return nil
 	}
-	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
-	return errors.Join(errs...)
+	return fieldErr("model.variant",
+		"unknown variant %q (valid: reconstructed, paper-literal)", m.Variant)
 }
 
 // nameOK restricts scenario names to safe path elements.

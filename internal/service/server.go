@@ -1,0 +1,576 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/ccnet/ccnet/internal/canon"
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/core"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/scenario"
+	"github.com/ccnet/ccnet/internal/version"
+)
+
+// maxBodyBytes bounds request bodies; scenario specs are a few KB.
+const maxBodyBytes = 1 << 20
+
+// Options configure a Server. The zero value gets the documented
+// defaults.
+type Options struct {
+	// CacheEntries and CacheBytes bound the result cache (defaults 1024
+	// entries, 64 MiB). CacheTTL expires entries after insertion
+	// (default 15 minutes; negative disables expiry).
+	CacheEntries int
+	CacheBytes   int64
+	CacheTTL     time.Duration
+	// Workers bounds analytical sweep and campaign parallelism
+	// (default GOMAXPROCS).
+	Workers int
+}
+
+// Server serves the analytical model and scenario engine over HTTP.
+// Construct with New; serve via Handler.
+type Server struct {
+	opt    Options
+	cache  *Cache
+	flight flightGroup
+	start  time.Time
+
+	evaluates atomic.Uint64
+	sweeps    atomic.Uint64
+	campaigns atomic.Uint64
+	computes  atomic.Uint64
+	coalesced atomic.Uint64
+	failures  atomic.Uint64
+}
+
+// New builds a Server, applying defaults for zero Options fields.
+func New(opt Options) *Server {
+	if opt.CacheEntries == 0 {
+		opt.CacheEntries = 1024
+	}
+	if opt.CacheBytes == 0 {
+		opt.CacheBytes = 64 << 20
+	}
+	if opt.CacheTTL == 0 {
+		opt.CacheTTL = 15 * time.Minute
+	}
+	return &Server{
+		opt:   opt,
+		cache: NewCache(opt.CacheEntries, opt.CacheBytes, opt.CacheTTL),
+		start: time.Now(),
+	}
+}
+
+// Cache exposes the result cache (for stats and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Computes returns how many requests actually computed (cache misses
+// that were not coalesced onto another in-flight request).
+func (s *Server) Computes() uint64 { return s.computes.Load() }
+
+// Handler returns the route table:
+//
+//	POST /v1/evaluate   one analytical evaluation at a single rate
+//	POST /v1/sweep      an analytical sweep over a lambda grid
+//	POST /v1/campaign   a full scenario spec (same JSON as ccscen files)
+//	GET  /v1/healthz    liveness + version
+//	GET  /v1/stats      request and cache counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	return mux
+}
+
+// --- request/response types ----------------------------------------------
+
+// MessageJSON is the message geometry of an evaluate/sweep request.
+type MessageJSON struct {
+	Flits     int `json:"flits"`
+	FlitBytes int `json:"flitBytes"`
+}
+
+func (m *MessageJSON) validate() []error {
+	var errs []error
+	if m.Flits <= 0 {
+		errs = append(errs, fmt.Errorf("message.flits: must be positive, got %d", m.Flits))
+	}
+	if m.FlitBytes <= 0 {
+		errs = append(errs, fmt.Errorf("message.flitBytes: must be positive, got %d", m.FlitBytes))
+	}
+	return errs
+}
+
+// EvaluateRequest is the body of POST /v1/evaluate: one system, one
+// message geometry, one traffic rate. The system and model sections use
+// the scenario file format.
+type EvaluateRequest struct {
+	System          scenario.SystemSpec `json:"system"`
+	Message         MessageJSON         `json:"message"`
+	Model           scenario.ModelSpec  `json:"model,omitempty"`
+	StoreAndForward bool                `json:"storeAndForward,omitempty"`
+	Lambda          float64             `json:"lambda"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: like EvaluateRequest but
+// with a lambda grid (explicit values, min/max/points, or auto) instead
+// of a single rate.
+type SweepRequest struct {
+	System          scenario.SystemSpec `json:"system"`
+	Message         MessageJSON         `json:"message"`
+	Model           scenario.ModelSpec  `json:"model,omitempty"`
+	StoreAndForward bool                `json:"storeAndForward,omitempty"`
+	Lambda          scenario.LambdaSpec `json:"lambda"`
+}
+
+// SystemInfo summarizes the built system in responses.
+type SystemInfo struct {
+	Nodes    int `json:"nodes"`
+	Clusters int `json:"clusters"`
+	Ports    int `json:"ports"`
+}
+
+// PointJSON is one evaluated rate. Latencies are null when the point is
+// saturated (the model's +Inf has no JSON encoding).
+type PointJSON struct {
+	Lambda      float64  `json:"lambda"`
+	Saturated   bool     `json:"saturated"`
+	MeanLatency *float64 `json:"meanLatency"`
+	MeanIntra   *float64 `json:"meanIntra"`
+	MeanInter   *float64 `json:"meanInter"`
+}
+
+// EvaluateResult is the result field of an evaluate response.
+type EvaluateResult struct {
+	System SystemInfo `json:"system"`
+	PointJSON
+}
+
+// SweepResult is the result field of a sweep response.
+type SweepResult struct {
+	System SystemInfo `json:"system"`
+	// SaturationPoint is the largest stable rate in (0, 1] found by
+	// bisection (1 when the model never saturates below rate 1).
+	SaturationPoint float64     `json:"saturationPoint"`
+	Points          []PointJSON `json:"points"`
+}
+
+// CampaignSeries and CampaignPoint mirror the experiments result layout;
+// NaN (not simulated) and +Inf (saturated) become null.
+type CampaignPoint struct {
+	Lambda     float64  `json:"lambda"`
+	Analysis   *float64 `json:"analysis"`
+	AnalysisSF *float64 `json:"analysisSF"`
+	Simulation *float64 `json:"simulation"`
+	SimCI      *float64 `json:"simCI,omitempty"`
+}
+
+type CampaignSeries struct {
+	Label  string          `json:"label"`
+	Points []CampaignPoint `json:"points"`
+}
+
+// AssertionJSON is one evaluated scenario assertion.
+type AssertionJSON struct {
+	Type   string `json:"type"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// CampaignResult is the result field of a campaign response.
+type CampaignResult struct {
+	Name       string           `json:"name"`
+	Title      string           `json:"title"`
+	System     SystemInfo       `json:"system"`
+	Passed     bool             `json:"passed"`
+	Series     []CampaignSeries `json:"series"`
+	Assertions []AssertionJSON  `json:"assertions,omitempty"`
+	Notes      []string         `json:"notes,omitempty"`
+}
+
+// Envelope wraps every compute response: the canonical cache key, whether
+// the result came from the cache (or coalesced onto a concurrent
+// identical request), and the endpoint-specific result.
+type Envelope struct {
+	Cached bool            `json:"cached"`
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// StatsResult is the body of GET /v1/stats.
+type StatsResult struct {
+	Version       string     `json:"version"`
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	Goroutines    int        `json:"goroutines"`
+	Workers       int        `json:"workers"`
+	Evaluates     uint64     `json:"evaluates"`
+	Sweeps        uint64     `json:"sweeps"`
+	Campaigns     uint64     `json:"campaigns"`
+	Computes      uint64     `json:"computes"`
+	Coalesced     uint64     `json:"coalesced"`
+	Failures      uint64     `json:"failures"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// --- handlers --------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"version":       version.Version,
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResult{
+		Version:       version.Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Workers:       s.workers(),
+		Evaluates:     s.evaluates.Load(),
+		Sweeps:        s.sweeps.Load(),
+		Campaigns:     s.campaigns.Load(),
+		Computes:      s.computes.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Failures:      s.failures.Load(),
+		Cache:         s.cache.Stats(),
+	})
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	s.evaluates.Add(1)
+	var req EvaluateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var errs []error
+	if err := req.System.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	errs = append(errs, req.Message.validate()...)
+	if err := req.Model.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if req.Lambda <= 0 || math.IsNaN(req.Lambda) || math.IsInf(req.Lambda, 0) {
+		errs = append(errs, fmt.Errorf("lambda: must be a positive finite rate, got %v", req.Lambda))
+	}
+	if len(errs) > 0 {
+		s.fail(w, http.StatusBadRequest, errors.Join(errs...))
+		return
+	}
+	sys, err := req.System.Build("request")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	msg := netchar.MessageSpec{Flits: req.Message.Flits, FlitBytes: req.Message.FlitBytes}
+	opt := req.Model.Options(req.StoreAndForward)
+	key, err := canon.Hash("evaluate", hashableSystem(sys), msg, opt, req.Lambda)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	payload, cached, err := s.do(key, func() ([]byte, error) {
+		m, err := core.New(sys, msg, opt)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		res := m.Evaluate(req.Lambda)
+		return json.Marshal(EvaluateResult{System: systemInfo(sys), PointJSON: pointJSON(res)})
+	})
+	s.finish(w, key, payload, cached, err)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.sweeps.Add(1)
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var errs []error
+	if err := req.System.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	errs = append(errs, req.Message.validate()...)
+	if err := req.Model.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := req.Lambda.Validate("lambda"); err != nil {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		s.fail(w, http.StatusBadRequest, errors.Join(errs...))
+		return
+	}
+	sys, err := req.System.Build("request")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// A synthetic one-series spec reuses the scenario engine's model
+	// construction and grid materialization (including auto grids).
+	spec := &scenario.Spec{
+		Name:   "sweep",
+		System: req.System,
+		Traffic: scenario.TrafficSpec{
+			Flits:     req.Message.Flits,
+			FlitBytes: []int{req.Message.FlitBytes},
+			Lambda:    req.Lambda,
+		},
+		Model: req.Model,
+	}
+	msg := netchar.MessageSpec{Flits: req.Message.Flits, FlitBytes: req.Message.FlitBytes}
+	opt := req.Model.Options(req.StoreAndForward)
+
+	// Explicit grids resolve without building any model and key on the
+	// materialized rates. Auto grids would need the paper model's
+	// saturation bisection just to materialize — so they key on the
+	// resolved inputs instead (the grid is a pure function of them) and
+	// defer materialization to the compute path, keeping cache hits cheap
+	// on both shapes.
+	var grid []float64
+	var key canon.Key
+	if req.Lambda.Auto {
+		la := req.Lambda
+		if la.AutoFraction == 0 {
+			la.AutoFraction = 0.95 // the documented default; hash it resolved
+		}
+		key, err = canon.Hash("sweep-auto", hashableSystem(sys), msg, opt, la)
+	} else {
+		if grid, err = spec.Grid(nil); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		key, err = canon.Hash("sweep", hashableSystem(sys), msg, opt, grid)
+	}
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	payload, cached, err := s.do(key, func() ([]byte, error) {
+		g := grid
+		var models []*core.Model
+		if g == nil { // auto grid: materialize from the paper model
+			paper, err := spec.BuildModels(sys, false)
+			if err != nil {
+				return nil, badRequest(err)
+			}
+			if g, err = spec.Grid(paper); err != nil {
+				return nil, badRequest(err)
+			}
+			if !req.StoreAndForward {
+				models = paper
+			}
+		}
+		if models == nil {
+			var err error
+			if models, err = spec.BuildModels(sys, req.StoreAndForward); err != nil {
+				return nil, badRequest(err)
+			}
+		}
+		m := models[0]
+		out := SweepResult{
+			System:          systemInfo(sys),
+			SaturationPoint: m.SaturationPoint(1.0, 1e-4),
+		}
+		for _, res := range m.SweepParallel(g, s.workers()) {
+			out.Points = append(out.Points, pointJSON(res))
+		}
+		return json.Marshal(out)
+	})
+	s.finish(w, key, payload, cached, err)
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	s.campaigns.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	spec, err := scenario.Parse(r.Body, "request")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// Normalize the one default the runner applies itself, so "seed
+	// omitted" and "seed: 1" share a cache entry.
+	norm := *spec
+	if norm.Seed == 0 {
+		norm.Seed = 1
+	}
+	key, err := canon.Hash("campaign", norm)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	payload, cached, err := s.do(key, func() ([]byte, error) {
+		runner := &scenario.Runner{Workers: s.workers()}
+		o := runner.Run([]*scenario.Spec{spec})[0]
+		if o.Err != nil {
+			return nil, badRequest(fmt.Errorf("scenario %s: %w", spec.Name, o.Err))
+		}
+		out := CampaignResult{
+			Name:   o.Result.ID,
+			Title:  o.Result.Title,
+			System: systemInfo(o.Sys),
+			Passed: o.Passed(),
+			Notes:  o.Result.Notes,
+		}
+		for _, series := range o.Result.Series {
+			cs := CampaignSeries{Label: series.Label}
+			for _, p := range series.Points {
+				cs.Points = append(cs.Points, CampaignPoint{
+					Lambda:     p.Lambda,
+					Analysis:   num(p.Analysis),
+					AnalysisSF: num(p.AnalysisSF),
+					Simulation: num(p.Simulation),
+					SimCI:      num(p.SimCI),
+				})
+			}
+			out.Series = append(out.Series, cs)
+		}
+		for _, a := range o.Assertions {
+			out.Assertions = append(out.Assertions, AssertionJSON{
+				Type: a.Spec.Type, Pass: a.Pass, Detail: a.Detail,
+			})
+		}
+		return json.Marshal(out)
+	})
+	s.finish(w, key, payload, cached, err)
+}
+
+// --- plumbing --------------------------------------------------------------
+
+func (s *Server) workers() int {
+	if s.opt.Workers > 0 {
+		return s.opt.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// do answers key from the cache, or computes through the singleflight
+// group (so concurrent identical requests compute once) and caches the
+// successful payload. cached reports whether this call avoided its own
+// computation, via either path.
+func (s *Server) do(key canon.Key, compute func() ([]byte, error)) (payload []byte, cached bool, err error) {
+	if v, ok := s.cache.Get(key); ok {
+		return v, true, nil
+	}
+	v, err, shared := s.flight.Do(string(key), func() ([]byte, error) {
+		s.computes.Add(1)
+		v, err := compute()
+		if err == nil {
+			s.cache.Put(key, v)
+		}
+		return v, err
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	return v, shared, err
+}
+
+// finish writes the enveloped payload, or maps the compute error to its
+// status code.
+func (s *Server) finish(w http.ResponseWriter, key canon.Key, payload []byte, cached bool, err error) {
+	if err != nil {
+		code := http.StatusInternalServerError
+		var br *badRequestError
+		if errors.As(err, &br) {
+			code = http.StatusBadRequest
+		}
+		s.fail(w, code, err)
+		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, Envelope{Cached: cached, Key: string(key), Result: payload})
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.failures.Add(1)
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// badRequestError marks compute-time failures caused by the request
+// (rather than the service), so finish maps them to 400.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &badRequestError{err: err} }
+
+// decodeJSON decodes a single JSON document into dst, rejecting unknown
+// fields and trailing data, with decode errors rewritten into the
+// scenario loader's field-path language.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return scenario.DecodeError(err)
+	}
+	if dec.More() {
+		return errors.New("trailing data after the request object")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// hashableSystem strips the label from a built system so cache keys
+// depend only on structure (a preset and its explicit spelling that
+// build the same networks still differ in spec, but never in name).
+func hashableSystem(sys *cluster.System) cluster.System {
+	c := *sys
+	c.Name = ""
+	return c
+}
+
+func systemInfo(sys *cluster.System) SystemInfo {
+	return SystemInfo{Nodes: sys.TotalNodes(), Clusters: sys.NumClusters(), Ports: sys.Ports}
+}
+
+// num maps a model value to its JSON form: NaN (absent) and ±Inf
+// (saturated) become null.
+func num(f float64) *float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil
+	}
+	return &f
+}
+
+func pointJSON(res *core.Result) PointJSON {
+	return PointJSON{
+		Lambda:      res.Lambda,
+		Saturated:   res.Saturated,
+		MeanLatency: num(res.MeanLatency),
+		MeanIntra:   num(res.MeanIntra),
+		MeanInter:   num(res.MeanInter),
+	}
+}

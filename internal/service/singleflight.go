@@ -1,0 +1,60 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup coalesces concurrent computations of the same canonical
+// key: the first caller runs fn, later callers with the same key block
+// and share its result. Unlike a cache, nothing is retained once the
+// flight lands — the result cache in front of the group handles reuse
+// across time; the group only collapses the concurrent window where a
+// result is still being computed.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// Do runs fn under key, returning its payload, error, and whether this
+// caller shared another caller's in-flight computation instead of
+// running fn itself.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// The flight must land even if fn panics — otherwise the map entry
+	// and WaitGroup would wedge every future request with this key. The
+	// panic becomes an error delivered to all callers (for the HTTP
+	// server that is a 500, which beats a permanently hung endpoint).
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("service: compute panicked: %v", r)
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			c.wg.Done()
+		}()
+		c.val, c.err = fn()
+	}()
+	return c.val, c.err, false
+}

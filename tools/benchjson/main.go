@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// stable JSON document (stdout or -out) so CI can archive benchmark
+// results as artifacts and the repo can record its performance
+// trajectory (BENCH_<n>.json at the repo root).
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | go run ./tools/benchjson -out BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark line.
+type Benchmark struct {
+	// Name is the benchmark function name without the "Benchmark" prefix
+	// and the -GOMAXPROCS suffix.
+	Name       string `json:"name"`
+	Procs      int    `json:"procs,omitempty"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value, e.g. "ns/op", "B/op", "speedup-x".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the archived result set.
+type Document struct {
+	Schema     string      `json:"schema"`
+	Go         string      `json:"go"`
+	OS         string      `json:"os"`
+	Arch       string      `json:"arch"`
+	Date       string      `json:"date,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	date := flag.String("date", "", "optional ISO timestamp recorded in the document")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc.Date = *date
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts Benchmark lines; all other output (test logs, the ok
+// trailer) is ignored.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{
+		Schema: "ccnet-bench/v1",
+		Go:     runtime.Version(),
+		OS:     runtime.GOOS,
+		Arch:   runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return doc, nil
+}
+
+// parseLine parses "BenchmarkName-8  10  123 ns/op  4.5 unit ..." into a
+// Benchmark; malformed lines report !ok and are skipped.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Metrics: map[string]float64{}}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if procs, err := strconv.Atoi(name[i+1:]); err == nil {
+			b.Procs = procs
+			name = name[:i]
+		}
+	}
+	b.Name = name
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
