@@ -11,6 +11,7 @@ package ccnet_test
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -110,12 +111,32 @@ func BenchmarkNonUniform(b *testing.B) { benchFigure(b, experiments.NonUniform) 
 // --- microbenchmarks -----------------------------------------------------
 
 // BenchmarkModelEvaluate1120 measures one full analytical evaluation
-// (all 32×31 cluster pairs) of the N=1120 system.
+// (all 32×31 cluster pairs, deduplicated to the distinct cluster-class
+// pairs) of the N=1120 system.
 func BenchmarkModelEvaluate1120(b *testing.B) {
 	m, err := core.New(cluster.System1120(), netchar.MessageSpec{Flits: 32, FlitBytes: 256}, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Evaluate(3e-4).Saturated {
+			b.Fatal("unexpected saturation")
+		}
+	}
+}
+
+// BenchmarkEvaluate is the ISSUE 3 hot-path benchmark: one N=1120
+// evaluation with allocation tracking. The seed implementation spent
+// ~340 µs and 994 allocs per call (one heap PairResult per ordered
+// cluster pair plus stage-chain closures); the class-deduplicated path
+// must stay allocation-flat in the pair count.
+func BenchmarkEvaluate(b *testing.B) {
+	m, err := core.New(cluster.System1120(), netchar.MessageSpec{Flits: 32, FlitBytes: 256}, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if m.Evaluate(3e-4).Saturated {
@@ -337,6 +358,71 @@ func BenchmarkServiceEvaluateCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		servicePost(b, h, "/v1/evaluate", body)
+	}
+	b.StopTimer()
+	b.ReportMetric(srv.Cache().Stats().HitRate, "hit-rate")
+}
+
+// BenchmarkBatch64 drives a cold 64-item evaluate batch through
+// POST /v1/batch on a fresh server each iteration: every item validates,
+// hashes, computes the N=1120 model and streams one NDJSON line —
+// the bulk-evaluation counterpart of BenchmarkEvaluate.
+func BenchmarkBatch64(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString(`{"items": [`)
+	for i, l := range core.LambdaGrid(1e-5, 4.5e-4, 64) {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"kind": "evaluate", "spec": {"system": {"preset": "N=1120"}, "message": {"flits": 32, "flitBytes": 256}, "lambda": %g}}`, l)
+	}
+	sb.WriteString(`]}`)
+	body := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := service.New(service.Options{})
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		if n := strings.Count(rec.Body.String(), "\n"); n != 65 { // 64 results + summary
+			b.Fatalf("stream had %d lines, want 65", n)
+		}
+	}
+}
+
+// BenchmarkBatch64Cached measures the same batch answered entirely from
+// the canonical-spec result cache.
+func BenchmarkBatch64Cached(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString(`{"items": [`)
+	for i, l := range core.LambdaGrid(1e-5, 4.5e-4, 64) {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"kind": "evaluate", "spec": {"system": {"preset": "N=1120"}, "message": {"flits": 32, "flitBytes": 256}, "lambda": %g}}`, l)
+	}
+	sb.WriteString(`]}`)
+	body := sb.String()
+	srv := service.New(service.Options{})
+	h := srv.Handler()
+	prime := httptest.NewRecorder()
+	h.ServeHTTP(prime, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body)))
+	if prime.Code != http.StatusOK {
+		b.Fatalf("prime status %d", prime.Code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
 	}
 	b.StopTimer()
 	b.ReportMetric(srv.Cache().Stats().HitRate, "hit-rate")

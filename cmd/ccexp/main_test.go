@@ -1,43 +1,23 @@
 package main
 
 import (
-	"strings"
 	"testing"
+
+	"github.com/ccnet/ccnet/internal/clitest"
 )
 
 // TestRun exercises the CLI contract: -version exits 0, bad flags and
 // bad experiment names exit 2 with guidance, and the cheap table
 // experiments render.
 func TestRun(t *testing.T) {
-	cases := []struct {
-		name       string
-		args       []string
-		wantCode   int
-		wantStdout string
-		wantStderr string
-	}{
-		{"version", []string{"-version"}, 0, "ccexp version", ""},
-		{"help", []string{"-h"}, 0, "", "Usage of ccexp"},
-		{"badFlag", []string{"-no-such-flag"}, 2, "", "flag provided but not defined"},
-		{"badFlagUsage", []string{"-no-such-flag"}, 2, "", "Usage of ccexp"},
-		{"missingExp", []string{}, 2, "", "-exp is required"},
-		{"unknownExp", []string{"-exp", "fig99"}, 2, "", `unknown experiment "fig99"`},
-		{"table1", []string{"-exp", "table1"}, 0, "Table 1", ""},
-		{"table2", []string{"-exp", "table2"}, 0, "Table 2", ""},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			var stdout, stderr strings.Builder
-			code := run(tc.args, &stdout, &stderr)
-			if code != tc.wantCode {
-				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
-			}
-			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
-				t.Errorf("stdout %q does not contain %q", stdout.String(), tc.wantStdout)
-			}
-			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
-				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.wantStderr)
-			}
-		})
-	}
+	clitest.Table(t, run, []clitest.Case{
+		{Name: "version", Args: []string{"-version"}, WantCode: 0, WantStdout: "ccexp version"},
+		{Name: "help", Args: []string{"-h"}, WantCode: 0, WantStderr: "Usage of ccexp"},
+		{Name: "badFlag", Args: []string{"-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
+		{Name: "badFlagUsage", Args: []string{"-no-such-flag"}, WantCode: 2, WantStderr: "Usage of ccexp"},
+		{Name: "missingExp", Args: []string{}, WantCode: 2, WantStderr: "-exp is required"},
+		{Name: "unknownExp", Args: []string{"-exp", "fig99"}, WantCode: 2, WantStderr: `unknown experiment "fig99"`},
+		{Name: "table1", Args: []string{"-exp", "table1"}, WantCode: 0, WantStdout: "Table 1"},
+		{Name: "table2", Args: []string{"-exp", "table2"}, WantCode: 0, WantStdout: "Table 2"},
+	})
 }

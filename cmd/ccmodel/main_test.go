@@ -1,42 +1,22 @@
 package main
 
 import (
-	"strings"
 	"testing"
+
+	"github.com/ccnet/ccnet/internal/clitest"
 )
 
 // TestRun exercises the CLI contract: -version exits 0, bad flags exit 2
 // with usage text, bad values exit 1 with a named error, and a small
 // real sweep succeeds.
 func TestRun(t *testing.T) {
-	cases := []struct {
-		name       string
-		args       []string
-		wantCode   int
-		wantStdout string
-		wantStderr string
-	}{
-		{"version", []string{"-version"}, 0, "ccmodel version", ""},
-		{"help", []string{"-h"}, 0, "", "Usage of ccmodel"},
-		{"badFlag", []string{"-no-such-flag"}, 2, "", "flag provided but not defined"},
-		{"badFlagUsage", []string{"-no-such-flag"}, 2, "", "Usage of ccmodel"},
-		{"unknownSystem", []string{"-system", "bogus"}, 1, "", `unknown system "bogus"`},
-		{"unknownVariant", []string{"-system", "small", "-variant", "bogus"}, 1, "", `unknown variant "bogus"`},
-		{"smallSweep", []string{"-system", "small", "-from", "1e-5", "-to", "1e-4", "-points", "3"}, 0, "saturation point", ""},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			var stdout, stderr strings.Builder
-			code := run(tc.args, &stdout, &stderr)
-			if code != tc.wantCode {
-				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
-			}
-			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
-				t.Errorf("stdout %q does not contain %q", stdout.String(), tc.wantStdout)
-			}
-			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
-				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.wantStderr)
-			}
-		})
-	}
+	clitest.Table(t, run, []clitest.Case{
+		{Name: "version", Args: []string{"-version"}, WantCode: 0, WantStdout: "ccmodel version"},
+		{Name: "help", Args: []string{"-h"}, WantCode: 0, WantStderr: "Usage of ccmodel"},
+		{Name: "badFlag", Args: []string{"-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
+		{Name: "badFlagUsage", Args: []string{"-no-such-flag"}, WantCode: 2, WantStderr: "Usage of ccmodel"},
+		{Name: "unknownSystem", Args: []string{"-system", "bogus"}, WantCode: 1, WantStderr: `unknown system "bogus"`},
+		{Name: "unknownVariant", Args: []string{"-system", "small", "-variant", "bogus"}, WantCode: 1, WantStderr: `unknown variant "bogus"`},
+		{Name: "smallSweep", Args: []string{"-system", "small", "-from", "1e-5", "-to", "1e-4", "-points", "3"}, WantCode: 0, WantStdout: "saturation point"},
+	})
 }

@@ -8,6 +8,7 @@
 // Verbs:
 //
 //	ccscen run [flags] <file.json|dir> [...]   run scenarios, print results
+//	ccscen batch [flags] <file.json|->         run a batch request, stream NDJSON
 //	ccscen validate <file.json|dir> [...]      check files without running
 //	ccscen list [dir]                          summarize a scenario directory
 //
@@ -15,13 +16,19 @@
 //
 //	ccscen run examples/scenarios/fig3.json
 //	ccscen run -workers 8 -quick -outdir results/ examples/scenarios
+//	ccscen batch batchfile.json
+//	ccscen batch - < batchfile.json
 //	ccscen validate examples/scenarios
 //	ccscen list examples/scenarios
 //
-// The scenario file format is documented in README.md.
+// The scenario file format and the batch request/NDJSON stream formats
+// are documented in README.md. `ccscen batch` evaluates the same
+// documents POST /v1/batch accepts, through the same engine and result
+// cache, without a server.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,6 +39,7 @@ import (
 
 	"github.com/ccnet/ccnet/internal/experiments"
 	"github.com/ccnet/ccnet/internal/scenario"
+	"github.com/ccnet/ccnet/internal/service"
 	"github.com/ccnet/ccnet/internal/version"
 )
 
@@ -49,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch args[0] {
 	case "run":
 		return runCmd(args[1:], stdout, stderr)
+	case "batch":
+		return batchCmd(args[1:], stdout, stderr)
 	case "validate":
 		return validateCmd(args[1:], stdout, stderr)
 	case "list":
@@ -60,7 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stdout)
 		return 0
 	default:
-		fmt.Fprintf(stderr, "ccscen: unknown verb %q (valid: run, validate, list)\n", args[0])
+		fmt.Fprintf(stderr, "ccscen: unknown verb %q (valid: run, batch, validate, list)\n", args[0])
 		usage(stderr)
 		return 2
 	}
@@ -69,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   ccscen run [flags] <file.json|dir> [...]   run scenarios, print results
+  ccscen batch [flags] <file.json|->         run a batch request, stream NDJSON
   ccscen validate <file.json|dir> [...]      check scenario files
   ccscen list [dir]                          summarize a scenario directory
   ccscen -version                            print version and exit
@@ -79,7 +90,59 @@ run flags:
   -quick       reduced simulation message counts (fast, less precise)
   -outdir DIR  write one CSV per scenario into DIR
   -plot        render an ASCII chart of each scenario
+
+batch flags:
+  -workers N   worker goroutines sharding the batch (default GOMAXPROCS)
 `)
+}
+
+// batchCmd runs a POST /v1/batch request document offline: items are
+// sharded across the worker pool, results stream to stdout as NDJSON in
+// item order (identical to the HTTP stream), and repeated specs within
+// the batch hit the same canonical-spec result cache the server uses.
+func batchCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccscen batch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workers := fs.Int("workers", 0, "worker goroutines sharding the batch (default GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "ccscen batch: exactly one batch file (or - for stdin) required")
+		return 2
+	}
+
+	in := io.Reader(os.Stdin)
+	name := "<stdin>"
+	if arg := fs.Arg(0); arg != "-" {
+		f, err := os.Open(arg)
+		if err != nil {
+			fmt.Fprintln(stderr, "ccscen:", err)
+			return 1
+		}
+		defer f.Close()
+		in, name = f, arg
+	}
+	req, err := service.ParseBatch(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccscen: batch %s: %v\n", name, err)
+		return 1
+	}
+
+	srv := service.New(service.Options{Workers: *workers})
+	sum, err := srv.RunBatch(context.Background(), req.Items, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	if sum.Failed > 0 {
+		fmt.Fprintf(stderr, "ccscen: %d of %d batch item(s) failed\n", sum.Failed, sum.Items)
+		return 1
+	}
+	return 0
 }
 
 func runCmd(args []string, stdout, stderr io.Writer) int {

@@ -1,45 +1,82 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/ccnet/ccnet/internal/clitest"
 )
 
 // TestRun exercises the CLI contract: -version exits 0, bad verbs and
 // bad flags exit 2 with usage text, and validate works against the
 // shipped example scenarios.
 func TestRun(t *testing.T) {
-	cases := []struct {
-		name       string
-		args       []string
-		wantCode   int
-		wantStdout string
-		wantStderr string
-	}{
-		{"version", []string{"-version"}, 0, "ccscen version", ""},
-		{"noArgs", []string{}, 2, "", "usage:"},
-		{"unknownVerb", []string{"frobnicate"}, 2, "", `unknown verb "frobnicate"`},
-		{"help", []string{"help"}, 0, "usage:", ""},
-		{"runBadFlag", []string{"run", "-no-such-flag"}, 2, "", "flag provided but not defined"},
-		{"runNoFiles", []string{"run"}, 2, "", "at least one scenario file"},
-		{"validateNoFiles", []string{"validate"}, 2, "", "at least one scenario file"},
-		{"validateMissing", []string{"validate", "no-such-file.json"}, 1, "", "no-such-file.json"},
-		{"validateExamples", []string{"validate", "../../examples/scenarios/fig3.json"}, 0, "ok: fig3", ""},
-		{"listExamples", []string{"list", "../../examples/scenarios"}, 0, "fig3", ""},
+	clitest.Table(t, run, []clitest.Case{
+		{Name: "version", Args: []string{"-version"}, WantCode: 0, WantStdout: "ccscen version"},
+		{Name: "noArgs", Args: []string{}, WantCode: 2, WantStderr: "usage:"},
+		{Name: "unknownVerb", Args: []string{"frobnicate"}, WantCode: 2, WantStderr: `unknown verb "frobnicate"`},
+		{Name: "help", Args: []string{"help"}, WantCode: 0, WantStdout: "usage:"},
+		{Name: "runBadFlag", Args: []string{"run", "-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
+		{Name: "runNoFiles", Args: []string{"run"}, WantCode: 2, WantStderr: "at least one scenario file"},
+		{Name: "validateNoFiles", Args: []string{"validate"}, WantCode: 2, WantStderr: "at least one scenario file"},
+		{Name: "validateMissing", Args: []string{"validate", "no-such-file.json"}, WantCode: 1, WantStderr: "no-such-file.json"},
+		{Name: "validateExamples", Args: []string{"validate", "../../examples/scenarios/fig3.json"}, WantCode: 0, WantStdout: "ok: fig3"},
+		{Name: "listExamples", Args: []string{"list", "../../examples/scenarios"}, WantCode: 0, WantStdout: "fig3"},
+		{Name: "batchBadFlag", Args: []string{"batch", "-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
+		{Name: "batchNoFile", Args: []string{"batch"}, WantCode: 2, WantStderr: "exactly one batch file"},
+		{Name: "batchMissing", Args: []string{"batch", "no-such-file.json"}, WantCode: 1, WantStderr: "no-such-file.json"},
+	})
+}
+
+// TestBatchVerb runs a real mixed batch file and checks the NDJSON
+// stream: one result line per item in order, a summary line, and a
+// cache hit for the repeated spec.
+func TestBatchVerb(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.json")
+	doc := `{"items": [
+		{"id": "one", "kind": "evaluate", "spec": {"system": {"preset": "small"}, "message": {"flits": 16, "flitBytes": 128}, "lambda": 1e-4}},
+		{"id": "two", "kind": "evaluate", "spec": {"system": {"preset": "small"}, "message": {"flits": 16, "flitBytes": 128}, "lambda": 1e-4}}
+	]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			var stdout, stderr strings.Builder
-			code := run(tc.args, &stdout, &stderr)
-			if code != tc.wantCode {
-				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
-			}
-			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
-				t.Errorf("stdout %q does not contain %q", stdout.String(), tc.wantStdout)
-			}
-			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
-				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.wantStderr)
-			}
-		})
+	got := clitest.Run(run, "batch", "-workers", "1", path)
+	if got.Code != 0 {
+		t.Fatalf("exit %d: %s", got.Code, got.Stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(got.Stdout), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d NDJSON lines, want 3:\n%s", len(lines), got.Stdout)
+	}
+	if !strings.Contains(lines[0], `"id":"one"`) || !strings.Contains(lines[1], `"id":"two"`) {
+		t.Fatalf("result lines out of order:\n%s", got.Stdout)
+	}
+	if !strings.Contains(lines[1], `"cached":true`) {
+		t.Fatalf("repeated spec not answered from cache: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], `"type":"summary"`) || !strings.Contains(lines[2], `"cacheHits":1`) {
+		t.Fatalf("bad summary line: %s", lines[2])
+	}
+
+	// A batch with a failing item exits 1 but still streams all lines.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	doc = `{"items": [
+		{"kind": "evaluate", "spec": {"system": {"preset": "small"}, "message": {"flits": 16, "flitBytes": 128}, "lambda": 1e-4}},
+		{"kind": "nope", "spec": {}}
+	]}`
+	if err := os.WriteFile(bad, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = clitest.Run(run, "batch", bad)
+	if got.Code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", got.Code, got.Stderr)
+	}
+	if !strings.Contains(got.Stdout, `unknown kind \"nope\"`) {
+		t.Fatalf("item error missing from stream:\n%s", got.Stdout)
+	}
+	if !strings.Contains(got.Stderr, "1 of 2 batch item(s) failed") {
+		t.Fatalf("stderr %q lacks the failure count", got.Stderr)
 	}
 }

@@ -9,6 +9,11 @@
 //	POST /v1/evaluate   one analytical evaluation at a single rate
 //	POST /v1/sweep      an analytical sweep over a lambda grid
 //	POST /v1/campaign   a full scenario spec (same JSON as ccscen files)
+//	POST /v1/batch      a batch of evaluate/sweep/campaign items, streamed
+//	                    back incrementally as NDJSON (one result line per
+//	                    completed item, in item order, plus a summary line);
+//	                    a client that disconnects stops the batch — items
+//	                    not yet started never run (in-flight items finish)
 //	GET  /v1/healthz    liveness + version
 //	GET  /v1/stats      request and cache counters
 //
@@ -17,6 +22,7 @@
 //	ccserved -addr :8080
 //	ccserved -addr :8080 -cache-entries 4096 -cache-bytes 268435456 -ttl 1h
 //	curl -s localhost:8080/v1/healthz
+//	curl -sN localhost:8080/v1/batch -d @batchfile.json
 //
 // The request formats are documented in README.md.
 package main

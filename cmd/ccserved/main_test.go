@@ -1,41 +1,21 @@
 package main
 
 import (
-	"strings"
 	"testing"
+
+	"github.com/ccnet/ccnet/internal/clitest"
 )
 
 // TestRun exercises the flag surface without binding a port: -version
 // exits 0, bad flags and stray arguments exit 2 with usage text.
 func TestRun(t *testing.T) {
-	cases := []struct {
-		name       string
-		args       []string
-		wantCode   int
-		wantStdout string
-		wantStderr string
-	}{
-		{"version", []string{"-version"}, 0, "ccserved version", ""},
-		{"help", []string{"-h"}, 0, "", "Usage of ccserved"},
-		{"badFlag", []string{"-no-such-flag"}, 2, "", "flag provided but not defined"},
-		{"badFlagUsage", []string{"-no-such-flag"}, 2, "", "Usage of ccserved"},
-		{"badTTL", []string{"-ttl", "bogus"}, 2, "", "invalid value"},
-		{"strayArg", []string{"-version", "extra"}, 0, "ccserved version", ""},
-		{"strayArgNoVersion", []string{"serve"}, 2, "", `unexpected argument "serve"`},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			var stdout, stderr strings.Builder
-			code := run(tc.args, &stdout, &stderr)
-			if code != tc.wantCode {
-				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
-			}
-			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
-				t.Errorf("stdout %q does not contain %q", stdout.String(), tc.wantStdout)
-			}
-			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
-				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.wantStderr)
-			}
-		})
-	}
+	clitest.Table(t, run, []clitest.Case{
+		{Name: "version", Args: []string{"-version"}, WantCode: 0, WantStdout: "ccserved version"},
+		{Name: "help", Args: []string{"-h"}, WantCode: 0, WantStderr: "Usage of ccserved"},
+		{Name: "badFlag", Args: []string{"-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
+		{Name: "badFlagUsage", Args: []string{"-no-such-flag"}, WantCode: 2, WantStderr: "Usage of ccserved"},
+		{Name: "badTTL", Args: []string{"-ttl", "bogus"}, WantCode: 2, WantStderr: "invalid value"},
+		{Name: "strayArg", Args: []string{"-version", "extra"}, WantCode: 0, WantStdout: "ccserved version"},
+		{Name: "strayArgNoVersion", Args: []string{"serve"}, WantCode: 2, WantStderr: `unexpected argument "serve"`},
+	})
 }

@@ -1,42 +1,22 @@
 package main
 
 import (
-	"strings"
 	"testing"
+
+	"github.com/ccnet/ccnet/internal/clitest"
 )
 
 // TestRun exercises the CLI contract: -version exits 0, bad flags exit 2
 // with usage text, bad values exit 1 with a named error, and a tiny
 // simulation succeeds.
 func TestRun(t *testing.T) {
-	cases := []struct {
-		name       string
-		args       []string
-		wantCode   int
-		wantStdout string
-		wantStderr string
-	}{
-		{"version", []string{"-version"}, 0, "ccsim version", ""},
-		{"help", []string{"-h"}, 0, "", "Usage of ccsim"},
-		{"badFlag", []string{"-no-such-flag"}, 2, "", "flag provided but not defined"},
-		{"badFlagUsage", []string{"-no-such-flag"}, 2, "", "Usage of ccsim"},
-		{"unknownSystem", []string{"-system", "bogus"}, 1, "", `unknown system "bogus"`},
-		{"unknownPattern", []string{"-system", "small", "-pattern", "bogus"}, 1, "", `unknown pattern "bogus"`},
-		{"tinySim", []string{"-system", "small", "-lambda", "1e-4", "-warmup", "10", "-measure", "100"}, 0, "mean latency", ""},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			var stdout, stderr strings.Builder
-			code := run(tc.args, &stdout, &stderr)
-			if code != tc.wantCode {
-				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
-			}
-			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
-				t.Errorf("stdout %q does not contain %q", stdout.String(), tc.wantStdout)
-			}
-			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
-				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.wantStderr)
-			}
-		})
-	}
+	clitest.Table(t, run, []clitest.Case{
+		{Name: "version", Args: []string{"-version"}, WantCode: 0, WantStdout: "ccsim version"},
+		{Name: "help", Args: []string{"-h"}, WantCode: 0, WantStderr: "Usage of ccsim"},
+		{Name: "badFlag", Args: []string{"-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
+		{Name: "badFlagUsage", Args: []string{"-no-such-flag"}, WantCode: 2, WantStderr: "Usage of ccsim"},
+		{Name: "unknownSystem", Args: []string{"-system", "bogus"}, WantCode: 1, WantStderr: `unknown system "bogus"`},
+		{Name: "unknownPattern", Args: []string{"-system", "small", "-pattern", "bogus"}, WantCode: 1, WantStderr: `unknown pattern "bogus"`},
+		{Name: "tinySim", Args: []string{"-system", "small", "-lambda", "1e-4", "-warmup", "10", "-measure", "100"}, WantCode: 0, WantStdout: "mean latency"},
+	})
 }

@@ -1,0 +1,221 @@
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func items(n int) []Item {
+	out := make([]Item, n)
+	for i := range out {
+		out[i] = Item{ID: fmt.Sprintf("it-%d", i), Kind: "evaluate", Spec: json.RawMessage(`{}`)}
+	}
+	return out
+}
+
+// TestRunEmitsInItemOrder proves deterministic ordering: workers finish
+// items in reverse order (item 0 is gated until every later item has
+// completed), yet outcomes are emitted 0, 1, 2, … regardless.
+func TestRunEmitsInItemOrder(t *testing.T) {
+	const n = 8
+	var completed atomic.Int64
+	release := make(chan struct{})
+	e := &Engine{Workers: n, Exec: func(_ context.Context, i int, it Item) Outcome {
+		if i == 0 {
+			<-release // block item 0 until the rest are done
+		}
+		if completed.Add(1) == n-1 && i != 0 {
+			close(release)
+		}
+		return Outcome{Payload: json.RawMessage(`1`), Cached: i%2 == 0}
+	}}
+	var got []int
+	sum, err := e.Run(context.Background(), items(n), func(o Outcome) error {
+		got = append(got, o.Index)
+		if o.ID != fmt.Sprintf("it-%d", o.Index) || o.Kind != "evaluate" {
+			t.Errorf("outcome %d lost its identity: %+v", o.Index, o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("emission order %v, want ascending indices", got)
+		}
+	}
+	if sum.Items != n || sum.Emitted != n || sum.Succeeded != n || sum.Failed != 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.CacheHits != n/2 || sum.HitRate != 0.5 {
+		t.Fatalf("cache accounting %+v", sum)
+	}
+}
+
+// TestRunStreamsIncrementally proves the first outcome is emitted before
+// the last item finishes: item 0 completes immediately, the final item
+// blocks until the first emission has been observed.
+func TestRunStreamsIncrementally(t *testing.T) {
+	const n = 4
+	firstEmitted := make(chan struct{})
+	var lastRanAfterFirstEmit atomic.Bool
+	e := &Engine{Workers: 2, Exec: func(_ context.Context, i int, it Item) Outcome {
+		if i == n-1 {
+			<-firstEmitted
+			lastRanAfterFirstEmit.Store(true)
+		}
+		return Outcome{Payload: json.RawMessage(`1`)}
+	}}
+	emitted := 0
+	_, err := e.Run(context.Background(), items(n), func(o Outcome) error {
+		if emitted == 0 {
+			close(firstEmitted)
+		}
+		emitted++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lastRanAfterFirstEmit.Load() {
+		t.Fatal("last item finished before the first outcome was emitted")
+	}
+	if emitted != n {
+		t.Fatalf("emitted %d outcomes, want %d", emitted, n)
+	}
+}
+
+// TestRunBoundsWorkers proves no more than Workers Exec calls run
+// concurrently even for a much larger batch.
+func TestRunBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	e := &Engine{Workers: workers, Exec: func(context.Context, int, Item) Outcome {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		return Outcome{}
+	}}
+	if _, err := e.Run(context.Background(), items(24), func(Outcome) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestRunCancellationStopsWork proves a canceled context stops the pool:
+// the single worker executes item 0, holds item 1 until the caller
+// cancels mid-stream, and items 2…n−1 never execute.
+func TestRunCancellationStopsWork(t *testing.T) {
+	const n = 16
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int64
+	e := &Engine{Workers: 1, Exec: func(ctx context.Context, i int, it Item) Outcome {
+		executed.Add(1)
+		if i == 1 {
+			<-ctx.Done() // hold the single worker until the caller cancels
+		}
+		return Outcome{}
+	}}
+	sum, err := e.Run(ctx, items(n), func(o Outcome) error {
+		if o.Index == 0 {
+			cancel() // client walks away after the first result
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !sum.Canceled {
+		t.Fatalf("summary not marked canceled: %+v", sum)
+	}
+	if got := executed.Load(); got != 2 {
+		t.Fatalf("executed %d items, want exactly 2 (item 0 and the in-flight item 1)", got)
+	}
+}
+
+// TestRunEmitErrorStopsPool proves a failed emission (client hung up)
+// cancels the remaining work. Execution is token-gated so the worker
+// cannot race past the emitter: 2 initial tokens plus 1 per successful
+// emission bound how many items may ever start.
+func TestRunEmitErrorStopsPool(t *testing.T) {
+	tokens := make(chan struct{}, 64)
+	tokens <- struct{}{}
+	tokens <- struct{}{}
+	var executed atomic.Int64
+	e := &Engine{Workers: 1, Exec: func(ctx context.Context, i int, it Item) Outcome {
+		select {
+		case <-tokens:
+		case <-ctx.Done():
+			return Outcome{Err: ctx.Err()}
+		}
+		executed.Add(1)
+		return Outcome{}
+	}}
+	boom := errors.New("client gone")
+	_, err := e.Run(context.Background(), items(32), func(o Outcome) error {
+		if o.Index == 1 {
+			return boom // emit(0) succeeded, emit(1) fails
+		}
+		tokens <- struct{}{}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	// Tokens issued: 2 initial + 1 for the successful emit of item 0.
+	if got := executed.Load(); got > 3 {
+		t.Fatalf("%d items executed after the emit error, want <= 3", got)
+	}
+}
+
+// TestRunItemErrorsAreCounted proves per-item failures are emitted and
+// counted without stopping the batch.
+func TestRunItemErrorsAreCounted(t *testing.T) {
+	e := &Engine{Workers: 2, Exec: func(_ context.Context, i int, it Item) Outcome {
+		if i%3 == 0 {
+			return Outcome{Err: fmt.Errorf("item %d bad", i)}
+		}
+		return Outcome{Payload: json.RawMessage(`1`), Cached: true}
+	}}
+	sum, err := e.Run(context.Background(), items(9), func(Outcome) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 3 || sum.Succeeded != 6 || sum.Emitted != 9 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.CacheHits != 6 || sum.HitRate != 6.0/9 {
+		t.Fatalf("cache accounting %+v", sum)
+	}
+}
+
+// TestRunRejectsBadInput covers the nil-exec and oversized batches.
+func TestRunRejectsBadInput(t *testing.T) {
+	e := &Engine{}
+	if _, err := e.Run(context.Background(), items(1), func(Outcome) error { return nil }); err == nil {
+		t.Fatal("nil Exec accepted")
+	}
+	e.Exec = func(context.Context, int, Item) Outcome { return Outcome{} }
+	if _, err := e.Run(context.Background(), make([]Item, MaxItems+1), func(Outcome) error { return nil }); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	sum, err := e.Run(context.Background(), nil, func(Outcome) error { return nil })
+	if err != nil || sum.Items != 0 {
+		t.Fatalf("empty batch: %+v, %v", sum, err)
+	}
+}

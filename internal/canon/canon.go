@@ -67,9 +67,34 @@ func MustHash(parts ...any) Key {
 // keys sorted (recursively), no insignificant whitespace, and numbers in
 // Go's shortest round-trippable spelling. The value is first marshaled
 // with encoding/json (so struct tags, omitempty and custom marshalers
-// apply exactly as they do on the wire) and then rebuilt generically,
-// which erases any ordering the source value carried.
+// apply exactly as they do on the wire) and then canonicalized by a
+// single pass over the marshaled bytes, which erases any ordering the
+// source value carried.
+//
+// The scanner path produces byte-identical output to the original
+// build-a-generic-tree implementation (kept as canonicalizeReference and
+// enforced by differential and fuzz tests) at a fraction of its
+// allocations — key derivation sits on the hot path of every cache hit.
 func Canonicalize(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]byte, 0, len(raw))
+	dst, rest, err := appendCanonical(dst, raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(skipSpace(rest)) != 0 {
+		return nil, fmt.Errorf("trailing data after JSON value")
+	}
+	return dst, nil
+}
+
+// canonicalizeReference is the original generic-tree implementation,
+// retained as the specification the scanner path is differentially
+// tested against.
+func canonicalizeReference(v any) ([]byte, error) {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return nil, err

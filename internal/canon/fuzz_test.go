@@ -1,0 +1,83 @@
+package canon
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzCanonicalize feeds arbitrary JSON documents through the
+// canonicalizer and checks its contract on whatever parses: never
+// panic, deterministic output, idempotence (canonical form is a fixed
+// point), and round-trip equivalence (the canonical form decodes to a
+// value that canonicalizes identically).
+func FuzzCanonicalize(f *testing.F) {
+	for _, seed := range []string{
+		`null`, `true`, `0`, `-0`, `1e300`, `0.1`, `""`, `"é"`,
+		`[]`, `{}`, `[1,2,3]`, `{"b":1,"a":2}`,
+		`{"system":{"preset":"N=1120"},"message":{"flits":32,"flitBytes":256},"lambda":3e-4}`,
+		`{"nested":{"z":[{"y":1},{"x":[null,false]}],"a":{"k":"v"}}}`,
+		`{"dup":1,"dup":2}`,
+		`[1.0, 1, 100e-2]`,
+		`"\ud800"`, // lone surrogate
+		"{\"\u0000\":\"nul key\"}",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			return // not JSON; Canonicalize's contract starts at encodable values
+		}
+		c1, err := Canonicalize(v)
+		if err != nil {
+			// Only non-finite numbers are rejected, and those cannot
+			// come from json.Unmarshal.
+			t.Fatalf("Canonicalize failed on decoded JSON %q: %v", data, err)
+		}
+		c2, err := Canonicalize(v)
+		if err != nil || !bytes.Equal(c1, c2) {
+			t.Fatalf("non-deterministic: %q vs %q (err %v)", c1, c2, err)
+		}
+		// Idempotence: canonicalizing the canonical form is a no-op.
+		var round any
+		if err := json.Unmarshal(c1, &round); err != nil {
+			t.Fatalf("canonical form %q is not JSON: %v", c1, err)
+		}
+		c3, err := Canonicalize(round)
+		if err != nil {
+			t.Fatalf("re-canonicalize failed: %v", err)
+		}
+		if !bytes.Equal(c1, c3) {
+			t.Fatalf("not idempotent: %q vs %q", c1, c3)
+		}
+	})
+}
+
+// FuzzHash checks key derivation over arbitrary part pairs: never
+// panic, deterministic, valid key shape, and sensitivity to the part
+// split (the length prefix must keep ("ab","c") and ("a","bc") apart).
+func FuzzHash(f *testing.F) {
+	f.Add("evaluate", `{"lambda":1}`)
+	f.Add("", "")
+	f.Add("ab", "c")
+	f.Add("a", "bc")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		k1, err := Hash(a, b)
+		if err != nil {
+			t.Fatalf("Hash(%q, %q): %v", a, b, err)
+		}
+		if !k1.Valid() {
+			t.Fatalf("invalid key %q", k1)
+		}
+		k2, err := Hash(a, b)
+		if err != nil || k1 != k2 {
+			t.Fatalf("non-deterministic: %q vs %q (err %v)", k1, k2, err)
+		}
+		if joined, err := Hash(a + b); err == nil && len(a) > 0 {
+			if joined == k1 {
+				t.Fatalf("part split not separated: Hash(%q,%q) == Hash(%q)", a, b, a+b)
+			}
+		}
+	})
+}

@@ -1,0 +1,62 @@
+// Package clitest is the shared table-driven harness for the cmd/*
+// CLIs. Every command splits its flag handling into
+//
+//	func run(args []string, stdout, stderr io.Writer) int
+//
+// so tests can exercise exit codes and output without exec'ing; this
+// package holds the once-duplicated loop that drives such a function
+// through a case table and checks code, stdout and stderr.
+package clitest
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// RunFunc is the testable entrypoint shape shared by the cmd/* mains.
+type RunFunc func(args []string, stdout, stderr io.Writer) int
+
+// Case is one CLI invocation and its expectations. Empty WantStdout /
+// WantStderr mean "not checked"; non-empty values are substring matches.
+type Case struct {
+	Name       string
+	Args       []string
+	WantCode   int
+	WantStdout string
+	WantStderr string
+}
+
+// Result captures one invocation for cases that need extra checks
+// beyond the table's substring matches.
+type Result struct {
+	Code   int
+	Stdout string
+	Stderr string
+}
+
+// Run invokes fn once with args, capturing everything.
+func Run(fn RunFunc, args ...string) Result {
+	var stdout, stderr strings.Builder
+	code := fn(args, &stdout, &stderr)
+	return Result{Code: code, Stdout: stdout.String(), Stderr: stderr.String()}
+}
+
+// Table runs every case as a subtest.
+func Table(t *testing.T, fn RunFunc, cases []Case) {
+	t.Helper()
+	for _, tc := range cases {
+		t.Run(tc.Name, func(t *testing.T) {
+			got := Run(fn, tc.Args...)
+			if got.Code != tc.WantCode {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", got.Code, tc.WantCode, got.Stderr)
+			}
+			if tc.WantStdout != "" && !strings.Contains(got.Stdout, tc.WantStdout) {
+				t.Errorf("stdout %q does not contain %q", got.Stdout, tc.WantStdout)
+			}
+			if tc.WantStderr != "" && !strings.Contains(got.Stderr, tc.WantStderr) {
+				t.Errorf("stderr %q does not contain %q", got.Stderr, tc.WantStderr)
+			}
+		})
+	}
+}

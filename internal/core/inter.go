@@ -27,26 +27,72 @@ func (p *PairResult) LEx() float64 { return p.WEx + p.TEx + p.EEx + p.SF }
 // Total returns the pair latency including both gateway queue waits.
 func (p *PairResult) Total() float64 { return p.LEx() + 2*p.WC }
 
-// PairLatency evaluates the inter-cluster latency of the ordered pair
-// (i → j) at rate lambdaG — the analytical counterpart of the trace
-// summary's per-pair statistics. It panics on out-of-range or equal
-// indices.
-func (m *Model) PairLatency(lambdaG float64, i, j int) *PairResult {
-	if i == j || i < 0 || j < 0 || i >= len(m.cl) || j >= len(m.cl) {
-		panic(fmt.Sprintf("core: invalid cluster pair (%d,%d)", i, j))
-	}
-	if lambdaG < 0 || math.IsNaN(lambdaG) {
-		panic(fmt.Sprintf("core: invalid traffic rate %v", lambdaG))
-	}
-	return m.pairLatency(lambdaG, i, j)
+// pairCell is one (r, v, l) crossing-length combination of the merged
+// ECN1(i)→ICN2→ECN1(j) unit: its probability and the stage-chain shape
+// of Eqs 26–30. Cells are λ-independent and precomputed in New.
+type pairCell struct {
+	p      float64 // pr·pv·pl
+	k      int     // stage count K = r+2l+v−1
+	lo, hi int     // ICN2 segment bounds: stages [lo,hi) run on the ICN2
 }
 
-// pairLatency computes the Eqs 20–37 terms for one ordered pair.
-func (m *Model) pairLatency(lambdaG float64, i, j int) *PairResult {
+// pairClass caches everything about an ordered class pair that does not
+// depend on λ: the crossing-length cells, the Eq 33/34 tail sum, the
+// per-channel rate coefficients of Eqs 22–25 (rates are linear in λ),
+// Eq 28's relaxing factor, and the service-time constants.
+type pairClass struct {
+	cells []pairCell
+	eex   float64 // Eq 33/34 tail sum (λ-independent)
+	sf    float64 // gateway serialization term (0 unless S&F)
+
+	lamE1Cof  float64 // Eq 22: λ_E1 = λ·lamE1Cof
+	etaSrcCof float64 // Eq 24: η_E1(src) = λ·etaSrcCof
+	etaDstCof float64 // Eq 25: η_E1(dst) = λ·etaDstCof
+	etaI2Cof  float64 // Eq 23/25: η_I2·δ = λ·etaI2Cof (relax factor folded in)
+	srcCof    float64 // Eq 31 source-queue rate = λ·srcCof
+	wcCof     float64 // Eq 36 C/D arrival rate = λ·wcCof
+
+	tcsE1Src, tcsE1Dst float64
+	tcnE1Src, tcnE1Dst float64
+	varCD              float64 // Eq 37 service variance (λ-independent)
+}
+
+// precomputePairs fills m.pairs for every ordered class pair that can
+// occur (src ≠ dst cluster; a class pairs with itself only when it has
+// at least two members).
+func (m *Model) precomputePairs() {
+	members := make([]int, m.nClasses)
+	rep := make([]int, m.nClasses)
+	for i, c := range m.classOf {
+		if members[c] == 0 {
+			rep[c] = i
+		}
+		members[c]++
+	}
+	m.pairs = make([]pairClass, m.nClasses*m.nClasses)
+	for a := 0; a < m.nClasses; a++ {
+		for b := 0; b < m.nClasses; b++ {
+			if a == b && members[a] < 2 {
+				continue // no ordered pair of distinct clusters exists
+			}
+			m.pairs[a*m.nClasses+b] = m.buildPairClass(rep[a], rep[b])
+		}
+	}
+}
+
+// buildPairClass derives the λ-independent pair terms from a
+// representative cluster pair (i, j) of the two classes.
+func (m *Model) buildPairClass(i, j int) pairClass {
 	src := &m.cl[i]
 	dst := &m.cl[j]
 	M := float64(m.Msg.Flits)
-	tcsI2 := m.Sys.ICN2.SwitchChannelTime(m.Msg.FlitBytes)
+
+	pc := pairClass{
+		tcsE1Src: src.tcsE1,
+		tcsE1Dst: dst.tcsE1,
+		tcnE1Src: src.tcnE1,
+		tcnE1Dst: dst.tcnE1,
+	}
 
 	// Eq 28: relaxing factor. The text says entering a faster ICN2
 	// *decreases* the waiting "proportional to the capacity", hence
@@ -56,23 +102,35 @@ func (m *Model) pairLatency(lambdaG float64, i, j int) *PairResult {
 		delta = 1 / delta
 	}
 
-	// Eq 22: traffic carried by the ECN1 networks of the (i,j) pair.
-	lambdaE1 := lambdaG * (float64(src.nodes)*src.u + float64(dst.nodes)*dst.u)
-	// Eq 23 (reconstructed): average per-gateway rate of the pair.
-	lambdaI2 := lambdaE1 / 2
+	// Eq 22: traffic carried by the ECN1 networks of the (i,j) pair,
+	// per unit λ; Eq 23 (reconstructed): average per-gateway rate.
+	pc.lamE1Cof = float64(src.nodes)*src.u + float64(dst.nodes)*dst.u
 
-	// Eqs 24–25: per-channel rates.
-	etaE1Src := lambdaE1 * src.dMean / (4 * float64(src.n) * float64(src.nodes))
-	etaE1Dst := lambdaE1 * dst.dMean / (4 * float64(dst.n) * float64(dst.nodes))
+	// Eqs 24–25: per-channel rates per unit λ.
+	pc.etaSrcCof = pc.lamE1Cof * src.dMean / (4 * float64(src.n) * float64(src.nodes))
+	pc.etaDstCof = pc.lamE1Cof * dst.dMean / (4 * float64(dst.n) * float64(dst.nodes))
 	if m.Opt.Variant == PaperLiteral {
 		// The paper's Eq 24 derives one rate from the source side.
-		etaE1Dst = etaE1Src
+		pc.etaDstCof = pc.etaSrcCof
 	}
-	etaI2 := lambdaI2 * m.meanDistI2() / (4 * float64(m.nc))
+	pc.etaI2Cof = (pc.lamE1Cof / 2) * m.meanI2 / (4 * float64(m.nc)) * delta
 
-	res := &PairResult{Src: i, Dst: j}
+	// Eq 31: source queue of the inter-cluster branch.
+	pc.srcCof = src.u
+	if m.Opt.Variant == PaperLiteral {
+		pc.srcCof = pc.lamE1Cof
+	}
+	// Eqs 36–37: concentrate/dispatch buffers.
+	pc.wcCof = pc.lamE1Cof / 2
+	sigmaCD := M*m.tcsI2 - M*src.tcsE1
+	pc.varCD = sigmaCD * sigmaCD
 
-	// Eqs 20–21, 26–30: average the merged-unit latency over the
+	if m.Opt.GatewayStoreAndForward {
+		// Serialization of the full message at each gateway buffer.
+		pc.sf = M * (m.tcsI2 + dst.tcsE1)
+	}
+
+	// Eqs 20–21, 26–30 shapes and the Eq 33/34 tail sum over the
 	// (r, v, l) crossing-length distribution.
 	for r := 1; r <= src.n; r++ {
 		pr := src.p[r-1]
@@ -88,46 +146,63 @@ func (m *Model) pairLatency(lambdaG float64, i, j int) *PairResult {
 			}
 			for l := 1; l <= m.nc; l++ {
 				p := pr * pv * m.pI2[l-1]
-				k := rLinks + 2*l + vLinks - 1 // stage count (Eq: K = r+2l+v−1)
-				icn2Lo := rLinks
-				icn2Hi := rLinks + 2*l - 1
-				t := stageChain(k, M, dst.tcnE1,
-					func(s int) float64 {
-						switch {
-						case s < icn2Lo:
-							return src.tcsE1
-						case s < icn2Hi:
-							return tcsI2
-						default:
-							return dst.tcsE1
-						}
-					},
-					func(s int) float64 {
-						switch {
-						case s < icn2Lo:
-							return etaE1Src
-						case s < icn2Hi:
-							return etaI2 * delta
-						default:
-							return etaE1Dst
-						}
-					})
-				res.TEx += p * t
+				pc.cells = append(pc.cells, pairCell{
+					p:  p,
+					k:  rLinks + 2*l + vLinks - 1, // K = r+2l+v−1
+					lo: rLinks,
+					hi: rLinks + 2*l - 1,
+				})
 				// Eq 34: tail time across the three networks.
-				res.EEx += p * (float64(rLinks-1)*src.tcsE1 +
+				pc.eex += p * (float64(rLinks-1)*src.tcsE1 +
 					float64(vLinks-1)*dst.tcsE1 +
-					2*float64(l)*tcsI2 + dst.tcnE1)
+					2*float64(l)*m.tcsI2 + dst.tcnE1)
 			}
 		}
 	}
+	return pc
+}
+
+// PairLatency evaluates the inter-cluster latency of the ordered pair
+// (i → j) at rate lambdaG — the analytical counterpart of the trace
+// summary's per-pair statistics. It panics on out-of-range or equal
+// indices.
+func (m *Model) PairLatency(lambdaG float64, i, j int) *PairResult {
+	if i == j || i < 0 || j < 0 || i >= len(m.cl) || j >= len(m.cl) {
+		panic(fmt.Sprintf("core: invalid cluster pair (%d,%d)", i, j))
+	}
+	if lambdaG < 0 || math.IsNaN(lambdaG) {
+		panic(fmt.Sprintf("core: invalid traffic rate %v", lambdaG))
+	}
+	res := &PairResult{}
+	m.pairLatency(lambdaG, m.classOf[i]*m.nClasses+m.classOf[j], res)
+	res.Src, res.Dst = i, j
+	return res
+}
+
+// pairLatency computes the Eqs 20–37 terms for one ordered class pair
+// into res (Src/Dst are left for the caller). The per-λ work is pure
+// arithmetic over the precomputed pairClass tables.
+func (m *Model) pairLatency(lambdaG float64, classPair int, res *PairResult) {
+	pc := &m.pairs[classPair]
+	M := float64(m.Msg.Flits)
+
+	etaSrc := lambdaG * pc.etaSrcCof
+	etaDst := lambdaG * pc.etaDstCof
+	etaI2 := lambdaG * pc.etaI2Cof // Eq 28's relaxing factor folded in
+
+	*res = PairResult{EEx: pc.eex, SF: pc.sf}
+
+	// Eqs 20–21, 26–30: average the merged-unit latency over the
+	// (r, v, l) crossing-length distribution.
+	for _, c := range pc.cells {
+		t := stageChain3(c.k, c.lo, c.hi, M, pc.tcnE1Dst,
+			pc.tcsE1Src, m.tcsI2, pc.tcsE1Dst, etaSrc, etaI2, etaDst)
+		res.TEx += c.p * t
+	}
 
 	// Eq 31: source queue of the inter-cluster branch.
-	srcRate := lambdaG * src.u
-	if m.Opt.Variant == PaperLiteral {
-		srcRate = lambdaE1
-	}
-	sigma := res.TEx - M*src.tcnE1
-	q := queueing.MG1{Lambda: srcRate, MeanService: res.TEx, VarService: sigma * sigma}
+	sigma := res.TEx - M*pc.tcnE1Src
+	q := queueing.MG1{Lambda: lambdaG * pc.srcCof, MeanService: res.TEx, VarService: sigma * sigma}
 	wEx, err := q.Wait()
 	if err != nil {
 		res.Saturated = true
@@ -135,27 +210,35 @@ func (m *Model) pairLatency(lambdaG float64, i, j int) *PairResult {
 	res.WEx = wEx
 
 	// Eqs 36–37: concentrate/dispatch buffers, service M·t_cs^{I2}.
-	sigmaCD := M*tcsI2 - M*src.tcsE1
-	qcd := queueing.MG1{Lambda: lambdaI2, MeanService: M * tcsI2, VarService: sigmaCD * sigmaCD}
+	qcd := queueing.MG1{Lambda: lambdaG * pc.wcCof, MeanService: M * m.tcsI2, VarService: pc.varCD}
 	wc, errCD := qcd.Wait()
 	if errCD != nil {
 		res.Saturated = true
 	}
 	res.WC = wc
+}
 
-	if m.Opt.GatewayStoreAndForward {
-		// Serialization of the full message at each gateway buffer.
-		res.SF = M * (tcsI2 + dst.tcsE1)
+// pairScratch holds one λ's class-pair evaluations so every (i,j) with
+// the same classes shares one computation.
+type pairScratch struct {
+	res  []PairResult
+	done []bool
+}
+
+func newPairScratch(nClasses int) *pairScratch {
+	return &pairScratch{
+		res:  make([]PairResult, nClasses*nClasses),
+		done: make([]bool, nClasses*nClasses),
 	}
-	return res
 }
 
 // interCluster fills the Eq 39 terms (Section 3.2): the merged
 // ECN1(i)→ICN2→ECN1(j) wormhole unit (Eqs 20–34), the source queue
 // (Eq 31), and the concentrator/dispatcher queues (Eqs 36–38), averaged
 // over destination clusters (Eqs 35, 38).
-func (m *Model) interCluster(lambdaG float64, i int, cr *ClusterResult) {
+func (m *Model) interCluster(lambdaG float64, i int, cr *ClusterResult, scratch *pairScratch) {
 	C := len(m.cl)
+	base := m.classOf[i] * m.nClasses
 	var sumLEx, sumWd float64
 	saturated := false
 
@@ -163,7 +246,12 @@ func (m *Model) interCluster(lambdaG float64, i int, cr *ClusterResult) {
 		if j == i {
 			continue
 		}
-		pr := m.pairLatency(lambdaG, i, j)
+		cp := base + m.classOf[j]
+		pr := &scratch.res[cp]
+		if !scratch.done[cp] {
+			m.pairLatency(lambdaG, cp, pr)
+			scratch.done[cp] = true
+		}
 		if pr.Saturated {
 			saturated = true
 		}
@@ -182,13 +270,4 @@ func (m *Model) interCluster(lambdaG float64, i int, cr *ClusterResult) {
 	// Eqs 35, 38, 39.
 	cr.WD = sumWd / float64(C-1)
 	cr.LOut = sumLEx/float64(C-1) + cr.WD
-}
-
-// meanDistI2 returns Eq 8's mean link count for the ICN2 tree.
-func (m *Model) meanDistI2() float64 {
-	var d float64
-	for h, p := range m.pI2 {
-		d += 2 * float64(h+1) * p
-	}
-	return d
 }

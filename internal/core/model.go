@@ -87,15 +87,30 @@ type Options struct {
 }
 
 // Model evaluates the analytical latency for one system and message
-// geometry across traffic rates.
+// geometry across traffic rates. Everything that does not depend on the
+// traffic rate λ — distance distributions, stage-chain shapes, the
+// λ-independent tail sums of Eqs 19/34, per-channel rate coefficients —
+// is computed once in New, so Evaluate's per-λ path is pure arithmetic
+// over precomputed tables. A Model is immutable after New; concurrent
+// Evaluate calls are safe.
 type Model struct {
 	Sys *cluster.System
 	Msg netchar.MessageSpec
 	Opt Options
 
-	nc  int       // ICN2 tree height
-	pI2 []float64 // Eq 6 distribution for the ICN2 tree
-	cl  []clusterDerived
+	nc     int       // ICN2 tree height
+	pI2    []float64 // Eq 6 distribution for the ICN2 tree
+	meanI2 float64   // Eq 8 mean link count for the ICN2 tree
+	tcsI2  float64   // ICN2 switch-channel service time
+	cl     []clusterDerived
+
+	// Clusters with identical (TreeLevels, ICN1, ECN1) are analytically
+	// indistinguishable, so pair terms are computed once per ordered
+	// class pair and reused — Table 1's 32-cluster system has only three
+	// classes, collapsing 992 pair evaluations per λ into at most 9.
+	classOf  []int // cluster index → class index
+	nClasses int
+	pairs    []pairClass // [src*nClasses+dst]; zero when the pair cannot occur
 }
 
 // clusterDerived caches per-cluster constants.
@@ -108,6 +123,9 @@ type clusterDerived struct {
 
 	tcnI1, tcsI1 float64
 	tcnE1, tcsE1 float64
+
+	eIn      float64 // Eq 19 tail pipeline time (λ-independent)
+	etaI1Cof float64 // Eq 10 per-channel rate / λ: (1−U)·dMean/(4n)
 }
 
 // New validates the system and precomputes per-cluster constants.
@@ -127,6 +145,10 @@ func New(sys *cluster.System, msg netchar.MessageSpec, opt Options) (*Model, err
 	}
 	m := &Model{Sys: sys, Msg: msg, Opt: opt, nc: nc}
 	m.pI2 = distanceDist(sys.K(), nc)
+	for h, p := range m.pI2 {
+		m.meanI2 += 2 * float64(h+1) * p
+	}
+	m.tcsI2 = sys.ICN2.SwitchChannelTime(msg.FlitBytes)
 	m.cl = make([]clusterDerived, sys.NumClusters())
 	for i := range m.cl {
 		cc := sys.Clusters[i]
@@ -145,8 +167,39 @@ func New(sys *cluster.System, msg netchar.MessageSpec, opt Options) (*Model, err
 		d.tcsI1 = cc.ICN1.SwitchChannelTime(msg.FlitBytes)
 		d.tcnE1 = cc.ECN1.NodeChannelTime(msg.FlitBytes)
 		d.tcsE1 = cc.ECN1.SwitchChannelTime(msg.FlitBytes)
+		// Eq 19: the tail pipeline time depends only on geometry.
+		for h := 1; h <= d.n; h++ {
+			d.eIn += d.p[h-1] * (2*float64(h-1)*d.tcsI1 + d.tcnI1)
+		}
+		d.etaI1Cof = (1 - d.u) * d.dMean / (4 * float64(d.n))
 	}
+	m.classifyClusters()
+	m.precomputePairs()
 	return m, nil
+}
+
+// classifyClusters groups analytically identical clusters: same tree
+// height and same ICN1/ECN1 network classes imply identical derived
+// constants (N_i follows from the height, U^(i) from N_i and the shared
+// total), hence identical intra terms and pair terms.
+func (m *Model) classifyClusters() {
+	type class struct {
+		n          int
+		icn1, ecn1 netchar.Characteristics
+	}
+	index := make(map[class]int)
+	m.classOf = make([]int, len(m.cl))
+	for i := range m.cl {
+		cc := m.Sys.Clusters[i]
+		c := class{n: cc.TreeLevels, icn1: cc.ICN1, ecn1: cc.ECN1}
+		id, ok := index[c]
+		if !ok {
+			id = len(index)
+			index[c] = id
+		}
+		m.classOf[i] = id
+	}
+	m.nClasses = len(index)
 }
 
 // distanceDist is Eq 6 as pure arithmetic (k = m/2, tree height n); the
@@ -204,13 +257,18 @@ func (m *Model) Evaluate(lambdaG float64) *Result {
 	res := &Result{Lambda: lambdaG, PerCluster: make([]ClusterResult, len(m.cl))}
 	totalNodes := float64(m.Sys.TotalNodes())
 
+	// Pair terms depend only on the source and destination cluster
+	// classes, so each distinct class pair is evaluated once per λ and
+	// shared across every (i,j) with those classes.
+	scratch := newPairScratch(m.nClasses)
+
 	var intraWeight, interWeight float64
 	for i := range m.cl {
 		cr := &res.PerCluster[i]
 		cr.U = m.cl[i].u
 
 		m.intraCluster(lambdaG, i, cr)
-		m.interCluster(lambdaG, i, cr)
+		m.interCluster(lambdaG, i, cr, scratch)
 
 		cr.Mean = (1-cr.U)*cr.LIn + cr.U*cr.LOut
 		if math.IsInf(cr.LIn, 1) || math.IsInf(cr.LOut, 1) {
@@ -255,14 +313,58 @@ func stageChain(k int, flits float64, lastService float64,
 	return t
 }
 
+// stageChainUniform is stageChain specialized to the intra-cluster case
+// (Eqs 13–14): every earlier stage shares one service time and one
+// per-channel rate. Identical arithmetic, no closures — Evaluate's hot
+// path allocates nothing here.
+func stageChainUniform(k int, flits, lastService, service, eta float64) float64 {
+	t := flits * lastService
+	wSum := 0.5 * eta * t * t
+	for s := k - 2; s >= 0; s-- {
+		t = flits*service + wSum
+		wSum += 0.5 * eta * t * t
+	}
+	return t
+}
+
+// stageChain3 is stageChain specialized to the inter-cluster merged unit
+// (Eqs 26–29): stages [0,lo) run on the source ECN1, [lo,hi) on the
+// ICN2 (eta already includes Eq 28's relaxing factor), and [hi,k−1) on
+// the destination ECN1. Identical arithmetic to the closure form.
+func stageChain3(k, lo, hi int, flits, lastService float64,
+	svcA, svcB, svcC, etaA, etaB, etaC float64) float64 {
+	etaLast := etaC
+	switch {
+	case k-1 < lo:
+		etaLast = etaA
+	case k-1 < hi:
+		etaLast = etaB
+	}
+	t := flits * lastService
+	wSum := 0.5 * etaLast * t * t
+	for s := k - 2; s >= 0; s-- {
+		var sv, et float64
+		switch {
+		case s < lo:
+			sv, et = svcA, etaA
+		case s < hi:
+			sv, et = svcB, etaB
+		default:
+			sv, et = svcC, etaC
+		}
+		t = flits*sv + wSum
+		wSum += 0.5 * et * t * t
+	}
+	return t
+}
+
 // intraCluster fills the Eq 4 terms (Section 3.1).
 func (m *Model) intraCluster(lambdaG float64, i int, cr *ClusterResult) {
 	d := &m.cl[i]
 	M := float64(m.Msg.Flits)
 
 	// Eq 7: traffic offered to ICN1(i); Eq 10: per-channel rate.
-	lambdaI1 := float64(d.nodes) * lambdaG * (1 - d.u)
-	etaI1 := lambdaI1 * d.dMean / (4 * float64(d.n) * float64(d.nodes))
+	etaI1 := lambdaG * d.etaI1Cof
 
 	// Eqs 5, 13, 14: mean network latency.
 	var tIn float64
@@ -272,25 +374,20 @@ func (m *Model) intraCluster(lambdaG float64, i int, cr *ClusterResult) {
 		if k == 1 {
 			th = M * d.tcnI1
 		} else {
-			th = stageChain(k, M, d.tcnI1,
-				func(int) float64 { return d.tcsI1 },
-				func(int) float64 { return etaI1 })
+			th = stageChainUniform(k, M, d.tcnI1, d.tcsI1, etaI1)
 		}
 		tIn += d.p[h-1] * th
 	}
 	cr.TIn = tIn
 
-	// Eq 19: tail pipeline time.
-	var eIn float64
-	for h := 1; h <= d.n; h++ {
-		eIn += d.p[h-1] * (2*float64(h-1)*d.tcsI1 + d.tcnI1)
-	}
-	cr.EIn = eIn
+	// Eq 19: tail pipeline time (precomputed in New).
+	cr.EIn = d.eIn
 
 	// Eqs 15–18: the source queue.
 	srcRate := lambdaG * (1 - d.u)
 	if m.Opt.Variant == PaperLiteral {
-		srcRate = lambdaI1
+		// Eq 7's network-aggregate rate, as printed.
+		srcRate = float64(d.nodes) * lambdaG * (1 - d.u)
 	}
 	sigma := tIn - M*d.tcnI1
 	q := queueing.MG1{Lambda: srcRate, MeanService: tIn, VarService: sigma * sigma}

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes through the scenario loader: malformed
+// documents must come back as errors — with a field path whenever the
+// document was JSON but the wrong shape — and never as panics. Whatever
+// parses must satisfy Validate (Parse's postcondition) and survive a
+// second parse identically.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`not json`,
+		`{"name": "x"}`,
+		`{"name": "ok", "system": {"preset": "small"},
+		  "traffic": {"flits": 16, "flitBytes": [128], "lambda": {"max": 1e-4, "points": 3}},
+		  "engines": {}, "model": {}}`,
+		`{"name": "bad", "system": {"preset": "nope"},
+		  "traffic": {"flits": -1, "flitBytes": [], "lambda": {}}, "engines": {}, "model": {}}`,
+		`{"name": "types", "system": {"ports": "four"}}`,
+		`{"name": "net", "system": {"ports": 4, "clusters": [{"treeLevels": 1, "icn1": {"bandwidth": -1}}]}}`,
+		`{"name": "trail", "system": {"preset": "small"}, "traffic": {"flits": 16, "flitBytes": [128], "lambda": {"max": 1e-4, "points": 3}}, "engines": {}, "model": {}} {"second": true}`,
+		`{"name": "λ", "assertions": [{"type": "saturation"}]}`,
+		`{"flitsBytes": [128]}`,
+		`{"name": "dup", "seed": 18446744073709551615}`,
+		`[1, 2, 3]`,
+		`{"name": "deep", "system": {"icn2": {"bandwidth": 1e308, "networkLatency": 1e-300, "switchLatency": 0}}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("error %v returned alongside a spec", err)
+			}
+			// Shape errors must carry the loader's field-path language,
+			// not encoding/json's "json: cannot unmarshal" prefix.
+			if strings.Contains(err.Error(), "json: cannot unmarshal") &&
+				strings.Contains(err.Error(), "field") {
+				t.Fatalf("undecorated type error escaped DecodeError: %v", err)
+			}
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a spec that fails Validate: %v", verr)
+		}
+		// Determinism: the same bytes parse to the same outcome.
+		again, err2 := Parse(bytes.NewReader(data), "fuzz")
+		if err2 != nil {
+			t.Fatalf("second parse failed: %v", err2)
+		}
+		if again.Name != spec.Name || again.Seed != spec.Seed {
+			t.Fatalf("non-deterministic parse: %+v vs %+v", spec, again)
+		}
+	})
+}

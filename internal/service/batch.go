@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/ccnet/ccnet/internal/batch"
+	"github.com/ccnet/ccnet/internal/canon"
+	"github.com/ccnet/ccnet/internal/scenario"
+)
+
+// maxBatchBytes bounds a whole batch request body; individual items are
+// small (the per-request limit is maxBodyBytes) but a batch carries many.
+const maxBatchBytes = 16 << 20
+
+// BatchRequest is the body of POST /v1/batch (and the document `ccscen
+// batch` reads): an ordered list of heterogeneous work items. Results
+// stream back as NDJSON in item order — one BatchResultLine per item,
+// then one BatchSummaryLine.
+type BatchRequest struct {
+	Items []batch.Item `json:"items"`
+}
+
+// BatchResultLine is one NDJSON result line: the item's position and
+// identity, how it was answered (cache hit or computed), and either the
+// endpoint-specific result document or the item's error.
+type BatchResultLine struct {
+	Type    string          `json:"type"` // always "result"
+	Index   int             `json:"index"`
+	ID      string          `json:"id,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+	Cached  bool            `json:"cached"`
+	Key     string          `json:"key,omitempty"`
+	Seconds float64         `json:"seconds"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// BatchSummaryLine is the terminal NDJSON line.
+type BatchSummaryLine struct {
+	Type string `json:"type"` // always "summary"
+	batch.Summary
+}
+
+// ParseBatch decodes one batch request document, rejecting unknown
+// fields and trailing data, and checks the item envelope (kinds are
+// validated per item at execution so one bad item fails alone, but an
+// empty or oversized batch fails the whole request).
+func ParseBatch(r io.Reader) (*BatchRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req BatchRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, scenario.DecodeError(err)
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after the batch object")
+	}
+	if len(req.Items) == 0 {
+		return nil, errors.New("items: at least one work item required")
+	}
+	if len(req.Items) > batch.MaxItems {
+		return nil, fmt.Errorf("items: %d items exceed the %d-item limit", len(req.Items), batch.MaxItems)
+	}
+	return &req, nil
+}
+
+// RunBatch shards the items across the server's worker pool and streams
+// one NDJSON result line per item (in item order, each line written as
+// soon as its item — and all earlier ones — complete) followed by a
+// summary line to w, flushing after every line when w is an
+// http.Flusher. Each item consults the canonical-spec result cache
+// exactly like its single-request endpoint. Cancelling ctx (a streaming
+// client hanging up) stops the batch: items not yet started never run,
+// items already computing finish (the model evaluation itself is not
+// interruptible) and are discarded. The error reports why the stream
+// ended early, while per-item failures are reported inline and do not
+// abort the batch.
+func (s *Server) RunBatch(ctx context.Context, items []batch.Item, w io.Writer) (batch.Summary, error) {
+	s.batches.Add(1)
+	s.batchItems.Add(uint64(len(items)))
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	eng := &batch.Engine{Workers: s.workers(), Exec: s.exec}
+	sum, err := eng.Run(ctx, items, func(o batch.Outcome) error {
+		line := BatchResultLine{
+			Type:    "result",
+			Index:   o.Index,
+			ID:      o.ID,
+			Kind:    o.Kind,
+			Cached:  o.Cached,
+			Key:     o.Key,
+			Seconds: o.Elapsed.Seconds(),
+			Result:  o.Payload,
+		}
+		if o.Err != nil {
+			line.Error = o.Err.Error()
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return sum, err
+	}
+	if err := enc.Encode(BatchSummaryLine{Type: "summary", Summary: sum}); err != nil {
+		return sum, err
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return sum, nil
+}
+
+// execBatchItem dispatches one item to the kind's shared compute path.
+// Item errors come back in the Outcome; the batch itself never fails on
+// one item.
+func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batch.Outcome {
+	o := batch.Outcome{}
+	fail := func(err error) batch.Outcome {
+		s.failures.Add(1)
+		o.Err = err
+		return o
+	}
+	if len(it.Spec) == 0 {
+		return fail(fmt.Errorf("item %d: spec: required", index))
+	}
+	var payload []byte
+	var key canon.Key
+	var cached bool
+	var err error
+	switch it.Kind {
+	case "evaluate":
+		var req EvaluateRequest
+		if derr := decodeSpec(it.Spec, &req); derr != nil {
+			return fail(fmt.Errorf("item %d: %w", index, derr))
+		}
+		payload, key, cached, err = s.evaluate(&req)
+	case "sweep":
+		var req SweepRequest
+		if derr := decodeSpec(it.Spec, &req); derr != nil {
+			return fail(fmt.Errorf("item %d: %w", index, derr))
+		}
+		payload, key, cached, err = s.sweep(&req)
+	case "campaign":
+		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
+		if perr != nil {
+			return fail(perr)
+		}
+		payload, key, cached, err = s.campaign(spec)
+	default:
+		return fail(fmt.Errorf("item %d: kind: unknown kind %q (valid: evaluate, sweep, campaign)", index, it.Kind))
+	}
+	if err != nil {
+		return fail(fmt.Errorf("item %d: %w", index, err))
+	}
+	o.Payload = payload
+	o.Key = string(key)
+	o.Cached = cached
+	return o
+}
+
+// decodeSpec strictly decodes one item spec document.
+func decodeSpec(spec json.RawMessage, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(spec))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return scenario.DecodeError(err)
+	}
+	if dec.More() {
+		return errors.New("trailing data after the spec object")
+	}
+	return nil
+}
+
+// handleBatch serves POST /v1/batch: the request is decoded up front
+// (any envelope problem is a plain 400), then results stream back
+// incrementally as chunked NDJSON. A client that disconnects stops the
+// remaining (not yet started) work via the request context.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	req, err := ParseBatch(r.Body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	// Streaming has begun: errors from here on (client gone, encode
+	// failure) cannot change the status; the absent summary line tells
+	// the client the stream was truncated.
+	_, _ = s.RunBatch(r.Context(), req.Items, w)
+}

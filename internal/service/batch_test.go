@@ -1,0 +1,301 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ccnet/ccnet/internal/batch"
+)
+
+// smallBatch mixes all three item kinds against the small preset; the
+// campaign item is analysis-only so the test stays fast.
+const smallBatch = `{"items": [
+	{"id": "ev", "kind": "evaluate", "spec": {
+		"system": {"preset": "small"}, "message": {"flits": 16, "flitBytes": 128}, "lambda": 1e-4}},
+	{"id": "sw", "kind": "sweep", "spec": {
+		"system": {"preset": "small"}, "message": {"flits": 16, "flitBytes": 128},
+		"lambda": {"min": 1e-5, "max": 2e-4, "points": 5}}},
+	{"id": "ca", "kind": "campaign", "spec": {
+		"name": "batch-camp", "system": {"preset": "small"},
+		"traffic": {"flits": 16, "flitBytes": [128], "lambda": {"max": 2e-4, "points": 4}},
+		"engines": {"simulation": false}, "model": {}}}
+]}`
+
+// readLines splits an NDJSON body into decoded lines.
+func readLines(t *testing.T, body string) (results []BatchResultLine, summary *BatchSummaryLine) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch probe.Type {
+		case "result":
+			var r BatchResultLine
+			if err := json.Unmarshal([]byte(line), &r); err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, r)
+		case "summary":
+			var s BatchSummaryLine
+			if err := json.Unmarshal([]byte(line), &s); err != nil {
+				t.Fatal(err)
+			}
+			summary = &s
+		default:
+			t.Fatalf("unknown line type %q", probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return results, summary
+}
+
+// TestBatchMixedKindsInOrder drives a mixed evaluate/sweep/campaign
+// batch through the real executor and checks ordering, identity and the
+// summary accounting.
+func TestBatchMixedKindsInOrder(t *testing.T) {
+	srv := New(Options{Workers: 2})
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(smallBatch)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	results, summary := readLines(t, rec.Body.String())
+	if len(results) != 3 || summary == nil {
+		t.Fatalf("got %d result lines, summary %v", len(results), summary)
+	}
+	wantIDs := []string{"ev", "sw", "ca"}
+	wantKinds := []string{"evaluate", "sweep", "campaign"}
+	for i, r := range results {
+		if r.Index != i || r.ID != wantIDs[i] || r.Kind != wantKinds[i] {
+			t.Fatalf("line %d out of order or mislabeled: %+v", i, r)
+		}
+		if r.Error != "" || len(r.Result) == 0 || r.Key == "" {
+			t.Fatalf("line %d incomplete: %+v", i, r)
+		}
+		if r.Cached {
+			t.Fatalf("line %d cached on a cold server", i)
+		}
+	}
+	if summary.Items != 3 || summary.Succeeded != 3 || summary.Failed != 0 || summary.CacheHits != 0 {
+		t.Fatalf("summary %+v", summary.Summary)
+	}
+	if summary.WallSecs <= 0 {
+		t.Fatalf("summary wall time %v", summary.WallSecs)
+	}
+
+	// The per-kind results decode as their endpoint documents.
+	var ev EvaluateResult
+	if err := json.Unmarshal(results[0].Result, &ev); err != nil || ev.System.Nodes == 0 {
+		t.Fatalf("evaluate result %s: %v", results[0].Result, err)
+	}
+	var sw SweepResult
+	if err := json.Unmarshal(results[1].Result, &sw); err != nil || len(sw.Points) != 5 {
+		t.Fatalf("sweep result %s: %v", results[1].Result, err)
+	}
+	var ca CampaignResult
+	if err := json.Unmarshal(results[2].Result, &ca); err != nil || ca.Name != "batch-camp" {
+		t.Fatalf("campaign result %s: %v", results[2].Result, err)
+	}
+}
+
+// TestBatchRepeatHitsCache proves a repeated batch answers every item
+// from the canonical-spec cache.
+func TestBatchRepeatHitsCache(t *testing.T) {
+	srv := New(Options{Workers: 2})
+	h := srv.Handler()
+	for round := 0; round < 2; round++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(smallBatch)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, rec.Code, rec.Body.String())
+		}
+		results, summary := readLines(t, rec.Body.String())
+		for i, r := range results {
+			if want := round == 1; r.Cached != want {
+				t.Fatalf("round %d line %d cached=%v, want %v", round, i, r.Cached, want)
+			}
+		}
+		if round == 1 && (summary.CacheHits != 3 || summary.HitRate != 1.0) {
+			t.Fatalf("repeat summary %+v", summary.Summary)
+		}
+	}
+	if got := srv.Computes(); got != 3 {
+		t.Fatalf("computed %d times across both rounds, want 3", got)
+	}
+	// The single-request endpoints share the same cache entries.
+	rec := httptest.NewRecorder()
+	body := `{"system": {"preset": "small"}, "message": {"flits": 16, "flitBytes": 128}, "lambda": 1e-4}`
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/evaluate", strings.NewReader(body)))
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("single evaluate after batch: %d, X-Cache=%q", rec.Code, rec.Header().Get("X-Cache"))
+	}
+}
+
+// TestBatchItemErrorsDoNotAbort proves one bad item fails alone, with
+// its field-path error inline, while the rest of the batch completes.
+func TestBatchItemErrorsDoNotAbort(t *testing.T) {
+	body := `{"items": [
+		{"kind": "evaluate", "spec": {"system": {"preset": "small"}, "message": {"flits": 16, "flitBytes": 128}, "lambda": 1e-4}},
+		{"kind": "evaluate", "spec": {"system": {"preset": "small"}, "message": {"flits": -1, "flitBytes": 128}, "lambda": 1e-4}},
+		{"kind": "frobnicate", "spec": {}},
+		{"kind": "campaign", "spec": {"name": "x", "system": {"preset": "small"}, "traffic": {"flits": 0, "flitBytes": [128], "lambda": {"max": 1e-4, "points": 3}}, "engines": {}, "model": {}}}
+	]}`
+	srv := New(Options{})
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body)))
+	results, summary := readLines(t, rec.Body.String())
+	if len(results) != 4 || summary == nil {
+		t.Fatalf("got %d lines, summary %v", len(results), summary)
+	}
+	if results[0].Error != "" {
+		t.Fatalf("good item failed: %s", results[0].Error)
+	}
+	for i, want := range map[int]string{
+		1: "message.flits: must be positive",
+		2: `unknown kind "frobnicate"`,
+		3: "traffic.flits: must be positive",
+	} {
+		if !strings.Contains(results[i].Error, want) {
+			t.Errorf("item %d error %q does not contain %q", i, results[i].Error, want)
+		}
+	}
+	if summary.Succeeded != 1 || summary.Failed != 3 {
+		t.Fatalf("summary %+v", summary.Summary)
+	}
+}
+
+// TestBatchEnvelopeErrors covers whole-request failures: bad JSON, no
+// items, unknown fields — all plain 400s before any streaming begins.
+func TestBatchEnvelopeErrors(t *testing.T) {
+	srv := New(Options{})
+	h := srv.Handler()
+	for name, body := range map[string]string{
+		"malformed":    `{"items": [`,
+		"empty":        `{"items": []}`,
+		"unknownField": `{"items": [{"kind": "evaluate", "spec": {}}], "mode": "fast"}`,
+		"trailing":     `{"items": [{"kind": "evaluate", "spec": {}}]} {}`,
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestBatchHTTPStreamsIncrementally proves the acceptance property over
+// a real HTTP connection: the first NDJSON result line reaches the
+// client before the last item finishes. The last item is gated on the
+// client having read the first line, so the test cannot pass unless the
+// server flushes results incrementally.
+func TestBatchHTTPStreamsIncrementally(t *testing.T) {
+	srv := New(Options{Workers: 2})
+	firstLineRead := make(chan struct{})
+	lastFinished := make(chan struct{})
+	srv.exec = func(ctx context.Context, i int, it batch.Item) batch.Outcome {
+		if i == 2 {
+			select {
+			case <-firstLineRead:
+			case <-time.After(10 * time.Second):
+				return batch.Outcome{Err: fmt.Errorf("gate timeout: first line never read")}
+			}
+			close(lastFinished)
+		}
+		return batch.Outcome{Payload: json.RawMessage(fmt.Sprintf(`{"item":%d}`, i))}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"items": [{"kind": "evaluate", "spec": {}}, {"kind": "evaluate", "spec": {}}, {"kind": "evaluate", "spec": {}}]}`
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+	var first BatchResultLine
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil || first.Index != 0 {
+		t.Fatalf("first line %q: %v", sc.Text(), err)
+	}
+	select {
+	case <-lastFinished:
+		t.Fatal("last item finished before the client read the first line")
+	default:
+	}
+	close(firstLineRead) // now let the last item complete
+	n := 1
+	for sc.Scan() {
+		n++
+	}
+	if n != 4 { // 3 results + summary
+		t.Fatalf("stream had %d lines, want 4", n)
+	}
+	select {
+	case <-lastFinished:
+	default:
+		t.Fatal("stream ended but the last item never ran")
+	}
+}
+
+// TestBatchClientDisconnectCancelsWork proves a dropped streaming client
+// stops in-flight work via the request context.
+func TestBatchClientDisconnectCancelsWork(t *testing.T) {
+	srv := New(Options{Workers: 1})
+	sawCancel := make(chan struct{})
+	srv.exec = func(ctx context.Context, i int, it batch.Item) batch.Outcome {
+		if i == 1 {
+			<-ctx.Done() // second item outlives the client
+			close(sawCancel)
+			return batch.Outcome{Err: ctx.Err()}
+		}
+		return batch.Outcome{Payload: json.RawMessage(`{}`)}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body := `{"items": [{"kind": "evaluate", "spec": {}}, {"kind": "evaluate", "spec": {}}, {"kind": "evaluate", "spec": {}}]}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+	cancel() // hang up mid-stream
+	resp.Body.Close()
+	select {
+	case <-sawCancel:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never observed the client disconnect")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ccnet/ccnet/internal/batch"
 	"github.com/ccnet/ccnet/internal/canon"
 	"github.com/ccnet/ccnet/internal/cluster"
 	"github.com/ccnet/ccnet/internal/core"
@@ -43,12 +44,18 @@ type Server struct {
 	flight flightGroup
 	start  time.Time
 
-	evaluates atomic.Uint64
-	sweeps    atomic.Uint64
-	campaigns atomic.Uint64
-	computes  atomic.Uint64
-	coalesced atomic.Uint64
-	failures  atomic.Uint64
+	// exec computes one batch item; New points it at execBatchItem,
+	// streaming tests substitute gated executors.
+	exec batch.Exec
+
+	evaluates  atomic.Uint64
+	sweeps     atomic.Uint64
+	campaigns  atomic.Uint64
+	batches    atomic.Uint64
+	batchItems atomic.Uint64
+	computes   atomic.Uint64
+	coalesced  atomic.Uint64
+	failures   atomic.Uint64
 }
 
 // New builds a Server, applying defaults for zero Options fields.
@@ -62,11 +69,13 @@ func New(opt Options) *Server {
 	if opt.CacheTTL == 0 {
 		opt.CacheTTL = 15 * time.Minute
 	}
-	return &Server{
+	s := &Server{
 		opt:   opt,
 		cache: NewCache(opt.CacheEntries, opt.CacheBytes, opt.CacheTTL),
 		start: time.Now(),
 	}
+	s.exec = s.execBatchItem
+	return s
 }
 
 // Cache exposes the result cache (for stats and tests).
@@ -81,6 +90,7 @@ func (s *Server) Computes() uint64 { return s.computes.Load() }
 //	POST /v1/evaluate   one analytical evaluation at a single rate
 //	POST /v1/sweep      an analytical sweep over a lambda grid
 //	POST /v1/campaign   a full scenario spec (same JSON as ccscen files)
+//	POST /v1/batch      a batch of evaluate/sweep/campaign items (NDJSON stream)
 //	GET  /v1/healthz    liveness + version
 //	GET  /v1/stats      request and cache counters
 func (s *Server) Handler() http.Handler {
@@ -90,6 +100,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	return mux
 }
 
@@ -217,6 +228,8 @@ type StatsResult struct {
 	Evaluates     uint64     `json:"evaluates"`
 	Sweeps        uint64     `json:"sweeps"`
 	Campaigns     uint64     `json:"campaigns"`
+	Batches       uint64     `json:"batches"`
+	BatchItems    uint64     `json:"batchItems"`
 	Computes      uint64     `json:"computes"`
 	Coalesced     uint64     `json:"coalesced"`
 	Failures      uint64     `json:"failures"`
@@ -242,6 +255,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Evaluates:     s.evaluates.Load(),
 		Sweeps:        s.sweeps.Load(),
 		Campaigns:     s.campaigns.Load(),
+		Batches:       s.batches.Load(),
+		BatchItems:    s.batchItems.Load(),
 		Computes:      s.computes.Load(),
 		Coalesced:     s.coalesced.Load(),
 		Failures:      s.failures.Load(),
@@ -256,6 +271,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	payload, key, cached, err := s.evaluate(&req)
+	s.finish(w, key, payload, cached, err)
+}
+
+// evaluate validates and computes one evaluate request through the
+// cache; the HTTP handler and the batch executor share it. Errors caused
+// by the request are badRequest-tagged.
+func (s *Server) evaluate(req *EvaluateRequest) (payload []byte, key canon.Key, cached bool, err error) {
 	var errs []error
 	if err := req.System.Validate(); err != nil {
 		errs = append(errs, err)
@@ -268,24 +291,21 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		errs = append(errs, fmt.Errorf("lambda: must be a positive finite rate, got %v", req.Lambda))
 	}
 	if len(errs) > 0 {
-		s.fail(w, http.StatusBadRequest, errors.Join(errs...))
-		return
+		return nil, "", false, badRequest(errors.Join(errs...))
 	}
 	sys, err := req.System.Build("request")
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+		return nil, "", false, badRequest(err)
 	}
 
 	msg := netchar.MessageSpec{Flits: req.Message.Flits, FlitBytes: req.Message.FlitBytes}
 	opt := req.Model.Options(req.StoreAndForward)
-	key, err := canon.Hash("evaluate", hashableSystem(sys), msg, opt, req.Lambda)
+	key, err = canon.Hash("evaluate", hashableSystem(sys), msg, opt, req.Lambda)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
-		return
+		return nil, "", false, err
 	}
 
-	payload, cached, err := s.do(key, func() ([]byte, error) {
+	payload, cached, err = s.do(key, func() ([]byte, error) {
 		m, err := core.New(sys, msg, opt)
 		if err != nil {
 			return nil, badRequest(err)
@@ -293,7 +313,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		res := m.Evaluate(req.Lambda)
 		return json.Marshal(EvaluateResult{System: systemInfo(sys), PointJSON: pointJSON(res)})
 	})
-	s.finish(w, key, payload, cached, err)
+	return payload, key, cached, err
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -303,6 +323,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	payload, key, cached, err := s.sweep(&req)
+	s.finish(w, key, payload, cached, err)
+}
+
+// sweep validates and computes one sweep request through the cache; the
+// HTTP handler and the batch executor share it.
+func (s *Server) sweep(req *SweepRequest) (payload []byte, key canon.Key, cached bool, err error) {
 	var errs []error
 	if err := req.System.Validate(); err != nil {
 		errs = append(errs, err)
@@ -315,13 +342,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		errs = append(errs, err)
 	}
 	if len(errs) > 0 {
-		s.fail(w, http.StatusBadRequest, errors.Join(errs...))
-		return
+		return nil, "", false, badRequest(errors.Join(errs...))
 	}
 	sys, err := req.System.Build("request")
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+		return nil, "", false, badRequest(err)
 	}
 
 	// A synthetic one-series spec reuses the scenario engine's model
@@ -346,7 +371,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// defer materialization to the compute path, keeping cache hits cheap
 	// on both shapes.
 	var grid []float64
-	var key canon.Key
 	if req.Lambda.Auto {
 		la := req.Lambda
 		if la.AutoFraction == 0 {
@@ -355,17 +379,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		key, err = canon.Hash("sweep-auto", hashableSystem(sys), msg, opt, la)
 	} else {
 		if grid, err = spec.Grid(nil); err != nil {
-			s.fail(w, http.StatusBadRequest, err)
-			return
+			return nil, "", false, badRequest(err)
 		}
 		key, err = canon.Hash("sweep", hashableSystem(sys), msg, opt, grid)
 	}
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
-		return
+		return nil, "", false, err
 	}
 
-	payload, cached, err := s.do(key, func() ([]byte, error) {
+	payload, cached, err = s.do(key, func() ([]byte, error) {
 		g := grid
 		var models []*core.Model
 		if g == nil { // auto grid: materialize from the paper model
@@ -396,7 +418,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		return json.Marshal(out)
 	})
-	s.finish(w, key, payload, cached, err)
+	return payload, key, cached, err
 }
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
@@ -407,19 +429,25 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	payload, key, cached, err := s.campaign(spec)
+	s.finish(w, key, payload, cached, err)
+}
+
+// campaign computes one parsed scenario through the cache; the HTTP
+// handler and the batch executor share it.
+func (s *Server) campaign(spec *scenario.Spec) (payload []byte, key canon.Key, cached bool, err error) {
 	// Normalize the one default the runner applies itself, so "seed
 	// omitted" and "seed: 1" share a cache entry.
 	norm := *spec
 	if norm.Seed == 0 {
 		norm.Seed = 1
 	}
-	key, err := canon.Hash("campaign", norm)
+	key, err = canon.Hash("campaign", norm)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
-		return
+		return nil, "", false, err
 	}
 
-	payload, cached, err := s.do(key, func() ([]byte, error) {
+	payload, cached, err = s.do(key, func() ([]byte, error) {
 		runner := &scenario.Runner{Workers: s.workers()}
 		o := runner.Run([]*scenario.Spec{spec})[0]
 		if o.Err != nil {
@@ -452,7 +480,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		}
 		return json.Marshal(out)
 	})
-	s.finish(w, key, payload, cached, err)
+	return payload, key, cached, err
 }
 
 // --- plumbing --------------------------------------------------------------
