@@ -11,6 +11,7 @@ package ccnet_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"net/http"
@@ -25,6 +26,7 @@ import (
 	"github.com/ccnet/ccnet/internal/des"
 	"github.com/ccnet/ccnet/internal/experiments"
 	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/optimize"
 	"github.com/ccnet/ccnet/internal/routing"
 	"github.com/ccnet/ccnet/internal/service"
 	"github.com/ccnet/ccnet/internal/sim"
@@ -426,6 +428,63 @@ func BenchmarkBatch64Cached(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(srv.Cache().Stats().HitRate, "hit-rate")
+}
+
+// BenchmarkCanonicalize measures the canonical-JSON pass alone on a
+// sweep-sized request — the PR 3 single-pass scanner, gated by the CI
+// perf-regression diff against the committed baseline.
+func BenchmarkCanonicalize(b *testing.B) {
+	req := map[string]any{
+		"system":  cluster.System1120(),
+		"message": netchar.MessageSpec{Flits: 32, FlitBytes: 256},
+		"options": core.Options{},
+		"grid":    core.LambdaGrid(1e-5, 4.5e-4, 64),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := canon.Canonicalize(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeGrid runs the design-space engine over a ~1.7k-raw-
+// candidate grid (the optimizer's end-to-end hot loop: enumeration,
+// canonical dedup, model build, saturation bisection, latency probe,
+// frontier maintenance).
+func BenchmarkOptimizeGrid(b *testing.B) {
+	spec, err := optimize.Parse(strings.NewReader(`{
+		"name": "bench-grid",
+		"space": {
+			"ports": [4],
+			"icn2": ["net1", "net2"],
+			"icn2Scale": [1, 1.5, 2],
+			"groups": [
+				{"counts": [0, 4, 8, 16], "treeLevels": [1, 2, 3], "icn1": ["net1", "net2"], "ecn1": ["net2"]},
+				{"counts": [0, 4, 8], "treeLevels": [2], "icn1": ["net1", "net2"], "ecn1": ["net2"]}
+			]
+		},
+		"message": {"flits": 32, "flitBytes": 256},
+		"constraints": {"cost": {"switchBase": 400, "linkBase": 40, "linkPerBandwidth": 0.1}}
+	}`), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := (&optimize.Engine{}).Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Frontier) == 0 {
+			b.Fatal("empty frontier")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Evaluated), "candidates")
+		}
+	}
 }
 
 // BenchmarkCanonHashSweep measures cache-key derivation for a sweep-sized

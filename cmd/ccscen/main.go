@@ -9,6 +9,8 @@
 //
 //	ccscen run [flags] <file.json|dir> [...]   run scenarios, print results
 //	ccscen batch [flags] <file.json|->         run a batch request, stream NDJSON
+//	ccscen optimize [flags] <spec.json|->      search a design space for the
+//	                                           Pareto frontier
 //	ccscen validate <file.json|dir> [...]      check files without running
 //	ccscen list [dir]                          summarize a scenario directory
 //
@@ -18,17 +20,21 @@
 //	ccscen run -workers 8 -quick -outdir results/ examples/scenarios
 //	ccscen batch batchfile.json
 //	ccscen batch - < batchfile.json
+//	ccscen optimize examples/scenarios/optimize/budget-cluster-mix.json
+//	ccscen optimize -ndjson spec.json > frontier.ndjson
 //	ccscen validate examples/scenarios
 //	ccscen list examples/scenarios
 //
-// The scenario file format and the batch request/NDJSON stream formats
-// are documented in README.md. `ccscen batch` evaluates the same
-// documents POST /v1/batch accepts, through the same engine and result
+// The scenario file format, the batch request/NDJSON stream formats and
+// the optimizer's SearchSpec format are documented in README.md.
+// `ccscen batch` and `ccscen optimize` evaluate the same documents POST
+// /v1/batch and /v1/optimize accept, through the same engine and result
 // cache, without a server.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"github.com/ccnet/ccnet/internal/experiments"
+	"github.com/ccnet/ccnet/internal/optimize"
 	"github.com/ccnet/ccnet/internal/scenario"
 	"github.com/ccnet/ccnet/internal/service"
 	"github.com/ccnet/ccnet/internal/version"
@@ -59,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runCmd(args[1:], stdout, stderr)
 	case "batch":
 		return batchCmd(args[1:], stdout, stderr)
+	case "optimize":
+		return optimizeCmd(args[1:], stdout, stderr)
 	case "validate":
 		return validateCmd(args[1:], stdout, stderr)
 	case "list":
@@ -70,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stdout)
 		return 0
 	default:
-		fmt.Fprintf(stderr, "ccscen: unknown verb %q (valid: run, batch, validate, list)\n", args[0])
+		fmt.Fprintf(stderr, "ccscen: unknown verb %q (valid: run, batch, optimize, validate, list)\n", args[0])
 		usage(stderr)
 		return 2
 	}
@@ -80,6 +89,8 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   ccscen run [flags] <file.json|dir> [...]   run scenarios, print results
   ccscen batch [flags] <file.json|->         run a batch request, stream NDJSON
+  ccscen optimize [flags] <spec.json|->      search a design space for the
+                                             Pareto frontier
   ccscen validate <file.json|dir> [...]      check scenario files
   ccscen list [dir]                          summarize a scenario directory
   ccscen -version                            print version and exit
@@ -93,6 +104,13 @@ run flags:
 
 batch flags:
   -workers N   worker goroutines sharding the batch (default GOMAXPROCS)
+
+optimize flags:
+  -workers N   worker goroutines evaluating candidates (default
+               GOMAXPROCS); the frontier is identical for every N
+  -ndjson      stream NDJSON progress + frontier lines to stdout (the
+               POST /v1/optimize wire format) instead of a table
+  -out FILE    also write the full report JSON to FILE
 `)
 }
 
@@ -142,6 +160,116 @@ func batchCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ccscen: %d of %d batch item(s) failed\n", sum.Failed, sum.Items)
 		return 1
 	}
+	return 0
+}
+
+// optimizeCmd runs a design-space search offline: candidates are
+// sharded across the worker pool, progress goes to stderr, and the
+// Pareto frontier prints as a table (or, with -ndjson, the whole run
+// streams to stdout in the POST /v1/optimize wire format). The frontier
+// is bit-identical for a given spec+seed at any -workers value.
+func optimizeCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccscen optimize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workers := fs.Int("workers", 0, "worker goroutines evaluating candidates (default GOMAXPROCS)")
+	ndjson := fs.Bool("ndjson", false, "stream NDJSON progress + frontier lines to stdout")
+	outFile := fs.String("out", "", "also write the full report JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "ccscen optimize: exactly one search spec file (or - for stdin) required")
+		return 2
+	}
+
+	var spec *optimize.SearchSpec
+	var err error
+	if arg := fs.Arg(0); arg == "-" {
+		spec, err = optimize.Parse(os.Stdin, "<stdin>")
+	} else {
+		spec, err = optimize.Load(arg)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+
+	if *ndjson {
+		srv := service.New(service.Options{Workers: *workers})
+		rep, err := srv.RunOptimize(context.Background(), spec, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "ccscen:", err)
+			return 1
+		}
+		// stdout is the NDJSON stream; the write notice goes to stderr.
+		return writeReportFile(*outFile, rep, stderr, stderr)
+	}
+
+	start := time.Now()
+	eng := &optimize.Engine{Workers: *workers, Progress: func(p optimize.Progress) {
+		fmt.Fprintf(stderr, "optimize: %s %d/%d processed, %d feasible, frontier %d\n",
+			p.Method, p.Processed, p.SpaceSize, p.Feasible, p.FrontierSize)
+	}}
+	rep, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	renderReport(stdout, rep, time.Since(start))
+	return writeReportFile(*outFile, rep, stdout, stderr)
+}
+
+// renderReport prints the frontier table and the best configuration.
+func renderReport(w io.Writer, rep *optimize.Report, elapsed time.Duration) {
+	fmt.Fprintf(w, "search %s: objective=%s method=%s seed=%d\n",
+		rep.Name, rep.Objective, rep.Method, rep.Seed)
+	fmt.Fprintf(w, "space %d candidates; processed %d, evaluated %d, feasible %d (infeasible: %d structure, %d nodes, %d cost, %d saturation, %d latency)\n",
+		rep.SpaceSize, rep.Processed, rep.Evaluated, rep.Feasible,
+		rep.Infeasible.Structure, rep.Infeasible.Nodes, rep.Infeasible.Cost,
+		rep.Infeasible.Saturation, rep.Infeasible.Latency)
+
+	fmt.Fprintf(w, "\nPareto frontier (%d non-dominated configs):\n", len(rep.Frontier))
+	fmt.Fprintf(w, "%-12s %-6s %-4s %-12s %-12s %-12s %s\n",
+		"id", "N", "C", "cost", "sat λ", "latency", "@λ")
+	for i := range rep.Frontier {
+		p := &rep.Frontier[i]
+		mark := " "
+		if rep.Best != nil && p.ID == rep.Best.ID {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%-12d %-6d %-4d %-12.6g %-12.6g %-12.6g %.6g %s\n",
+			p.ID, p.Nodes, p.Clusters, p.Cost, p.SaturationLambda, p.Latency, p.LatencyLambda, mark)
+	}
+	if rep.Best != nil {
+		cfg, err := json.Marshal(rep.Best.System)
+		if err == nil {
+			fmt.Fprintf(w, "\nbest (*) by %s: id=%d system=%s\n", rep.Objective, rep.Best.ID, cfg)
+		}
+	}
+	fmt.Fprintf(w, "(search completed in %v)\n", elapsed.Round(time.Millisecond))
+}
+
+// writeReportFile writes the report JSON to path when requested; a nil
+// report (cached -ndjson answer) skips the write. notice receives the
+// "wrote" confirmation — stderr in -ndjson mode, where stdout must stay
+// pure NDJSON.
+func writeReportFile(path string, rep *optimize.Report, notice, stderr io.Writer) int {
+	if path == "" || rep == nil {
+		return 0
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	fmt.Fprintf(notice, "wrote %s\n", path)
 	return 0
 }
 

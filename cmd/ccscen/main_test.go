@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,82 @@ func TestRun(t *testing.T) {
 		{Name: "batchBadFlag", Args: []string{"batch", "-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
 		{Name: "batchNoFile", Args: []string{"batch"}, WantCode: 2, WantStderr: "exactly one batch file"},
 		{Name: "batchMissing", Args: []string{"batch", "no-such-file.json"}, WantCode: 1, WantStderr: "no-such-file.json"},
+		{Name: "optimizeBadFlag", Args: []string{"optimize", "-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
+		{Name: "optimizeNoFile", Args: []string{"optimize"}, WantCode: 2, WantStderr: "exactly one search spec"},
+		{Name: "optimizeMissing", Args: []string{"optimize", "no-such-file.json"}, WantCode: 1, WantStderr: "no-such-file.json"},
+		{Name: "optimizeExample", Args: []string{"optimize", "../../examples/scenarios/optimize/icn2-upgrade-pareto.json"},
+			WantCode: 0, WantStdout: "Pareto frontier"},
 	})
+}
+
+// optimizeSpec is a fast 96-candidate grid with a cost model.
+const optimizeSpec = `{
+	"name": "cli-opt",
+	"space": {
+		"ports": [4],
+		"icn2Scale": [1, 1.5],
+		"groups": [{"counts": [0, 4, 8], "treeLevels": [1, 2], "icn1": ["net1", "net2"], "ecn1": ["net1", "net2"]}]
+	},
+	"message": {"flits": 16, "flitBytes": 128},
+	"constraints": {"cost": {"switchBase": 10, "linkBase": 1}}
+}`
+
+// TestOptimizeVerb runs a small search end to end: the frontier table
+// renders, -out writes the report, and repeated runs (any -workers) are
+// bit-identical.
+func TestOptimizeVerb(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(optimizeSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out1 := filepath.Join(dir, "rep1.json")
+	got := clitest.Run(run, "optimize", "-workers", "1", "-out", out1, spec)
+	if got.Code != 0 {
+		t.Fatalf("exit %d: %s", got.Code, got.Stderr)
+	}
+	if !strings.Contains(got.Stdout, "Pareto frontier") || !strings.Contains(got.Stdout, "best (*)") {
+		t.Fatalf("missing frontier output:\n%s", got.Stdout)
+	}
+
+	out2 := filepath.Join(dir, "rep2.json")
+	got = clitest.Run(run, "optimize", "-workers", "4", "-out", out2, spec)
+	if got.Code != 0 {
+		t.Fatalf("exit %d: %s", got.Code, got.Stderr)
+	}
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("reports differ across -workers 1 and 4")
+	}
+
+	// -ndjson speaks the POST /v1/optimize wire format; stdout must be
+	// pure NDJSON even with -out (the write notice goes to stderr).
+	out3 := filepath.Join(dir, "rep3.json")
+	got = clitest.Run(run, "optimize", "-ndjson", "-out", out3, spec)
+	if got.Code != 0 {
+		t.Fatalf("ndjson exit %d: %s", got.Code, got.Stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(got.Stdout), "\n")
+	for i, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("stdout line %d is not JSON: %q", i, l)
+		}
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"type":"frontier"`) || !strings.Contains(last, `"cached":false`) {
+		t.Fatalf("terminal NDJSON line: %s", last)
+	}
+	if !strings.Contains(got.Stderr, "wrote "+out3) {
+		t.Fatalf("write notice missing from stderr: %q", got.Stderr)
+	}
 }
 
 // TestBatchVerb runs a real mixed batch file and checks the NDJSON

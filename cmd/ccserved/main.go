@@ -14,6 +14,10 @@
 //	                    completed item, in item order, plus a summary line);
 //	                    a client that disconnects stops the batch — items
 //	                    not yet started never run (in-flight items finish)
+//	POST /v1/optimize   a design-space search spec, streamed back as NDJSON
+//	                    progress lines plus a terminal Pareto-frontier line;
+//	                    repeated specs answer from the result cache, and a
+//	                    disconnecting client cancels the search
 //	GET  /v1/healthz    liveness + version
 //	GET  /v1/stats      request and cache counters
 //
@@ -23,6 +27,7 @@
 //	ccserved -addr :8080 -cache-entries 4096 -cache-bytes 268435456 -ttl 1h
 //	curl -s localhost:8080/v1/healthz
 //	curl -sN localhost:8080/v1/batch -d @batchfile.json
+//	curl -sN localhost:8080/v1/optimize -d @searchspec.json
 //
 // The request formats are documented in README.md.
 package main

@@ -57,16 +57,23 @@ type Outcome struct {
 // should honor ctx promptly for long computations.
 type Exec func(ctx context.Context, index int, it Item) Outcome
 
-// Summary is the terminal accounting of one batch run.
+// Summary is the terminal accounting of one batch run. CacheHits and
+// CacheMisses partition the successful items (failed items consult no
+// cache), so a client can verify spec-dedup across the batch itself —
+// the per-process /v1/stats counters cannot distinguish one batch's
+// hits from another's.
 type Summary struct {
-	Items     int     `json:"items"`
-	Emitted   int     `json:"emitted"`
-	Succeeded int     `json:"succeeded"`
-	Failed    int     `json:"failed"`
-	CacheHits int     `json:"cacheHits"`
-	HitRate   float64 `json:"cacheHitRate"` // CacheHits/Emitted; 0 when nothing emitted
-	Canceled  bool    `json:"canceled"`
-	WallSecs  float64 `json:"wallSeconds"`
+	Items       int `json:"items"`
+	Emitted     int `json:"emitted"`
+	Succeeded   int `json:"succeeded"`
+	Failed      int `json:"failed"`
+	CacheHits   int `json:"cacheHits"`
+	CacheMisses int `json:"cacheMisses"`
+	// HitRate is CacheHits/(CacheHits+CacheMisses); 0 when no item
+	// succeeded.
+	HitRate  float64 `json:"cacheHitRate"`
+	Canceled bool    `json:"canceled"`
+	WallSecs float64 `json:"wallSeconds"`
 }
 
 // Engine runs batches. The zero value is not usable; set Exec.
@@ -182,13 +189,15 @@ func (e *Engine) Run(ctx context.Context, items []Item, emit func(Outcome) error
 			sum.Failed++
 		} else {
 			sum.Succeeded++
-		}
-		if o.Cached {
-			sum.CacheHits++
+			if o.Cached {
+				sum.CacheHits++
+			} else {
+				sum.CacheMisses++
+			}
 		}
 	}
-	if sum.Emitted > 0 {
-		sum.HitRate = float64(sum.CacheHits) / float64(sum.Emitted)
+	if answered := sum.CacheHits + sum.CacheMisses; answered > 0 {
+		sum.HitRate = float64(sum.CacheHits) / float64(answered)
 	}
 	sum.WallSecs = time.Since(start).Seconds()
 	return sum, nil

@@ -53,7 +53,7 @@ func TestRunEmitsInItemOrder(t *testing.T) {
 	if sum.Items != n || sum.Emitted != n || sum.Succeeded != n || sum.Failed != 0 {
 		t.Fatalf("summary %+v", sum)
 	}
-	if sum.CacheHits != n/2 || sum.HitRate != 0.5 {
+	if sum.CacheHits != n/2 || sum.CacheMisses != n/2 || sum.HitRate != 0.5 {
 		t.Fatalf("cache accounting %+v", sum)
 	}
 }
@@ -199,7 +199,9 @@ func TestRunItemErrorsAreCounted(t *testing.T) {
 	if sum.Failed != 3 || sum.Succeeded != 6 || sum.Emitted != 9 {
 		t.Fatalf("summary %+v", sum)
 	}
-	if sum.CacheHits != 6 || sum.HitRate != 6.0/9 {
+	// Failed items consult no cache: the hit rate covers the six
+	// successful items only.
+	if sum.CacheHits != 6 || sum.CacheMisses != 0 || sum.HitRate != 1.0 {
 		t.Fatalf("cache accounting %+v", sum)
 	}
 }

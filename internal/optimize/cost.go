@@ -1,0 +1,69 @@
+package optimize
+
+import "github.com/ccnet/ccnet/internal/netchar"
+
+// Switch and link counts of an m-port n-tree in closed form, matching
+// internal/topology exactly (tested against the enumerated trees):
+//
+//	switches(k, n) = (2n−1)·k^(n−1)
+//	links(k, n)    = 2n·k^n   (2k^n node links + (2n−2)k^n switch links)
+//
+// The cost model prices three network layers per candidate:
+//
+//   - ICN1: one m-port n_i-tree per cluster, priced on the group's ICN1
+//     tier.
+//   - ECN1: the gateway access network of each cluster, modeled as one
+//     gateway switch plus two links (tree side / ICN2 side) per root
+//     column (k^(n_i−1) gateways), priced on the group's ECN1 tier.
+//   - ICN2: one m-port n_c-tree over the C clusters, priced on the
+//     (scaled) ICN2 tier.
+//
+// Each switch costs SwitchBase + SwitchPerBW·bandwidth and each link
+// LinkBase + LinkPerBW·bandwidth, so faster tiers cost proportionally
+// more — a first-order model, but enough to make "what does the upgrade
+// buy" a budgeted question instead of a free axis.
+
+// treeSwitches returns (2n−1)·k^(n−1).
+func treeSwitches(k, n int) float64 {
+	return float64(2*n-1) * powf(k, n-1)
+}
+
+// treeLinks returns 2n·k^n.
+func treeLinks(k, n int) float64 {
+	return float64(2*n) * powf(k, n)
+}
+
+func powf(k, n int) float64 {
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p *= float64(k)
+	}
+	return p
+}
+
+// price returns the cost of count switches and links on one tier.
+func (c *CostSpec) price(switches, links float64, tier netchar.Characteristics) float64 {
+	return switches*(c.SwitchBase+c.SwitchPerBW*tier.Bandwidth) +
+		links*(c.LinkBase+c.LinkPerBW*tier.Bandwidth)
+}
+
+// cost prices a candidate geometry under the spec's cost model; a nil
+// model prices everything at 0 (the frontier then degenerates to
+// latency × saturation, which is still well-defined).
+func (sp *Space) cost(g *candGeometry) float64 {
+	c := sp.spec.Constraints.Cost
+	if c == nil {
+		return 0
+	}
+	total := 0.0
+	for _, grp := range g.groups {
+		n := float64(grp.count)
+		total += n * c.price(treeSwitches(g.k, grp.levels), treeLinks(g.k, grp.levels), grp.icn1)
+		gateways := powf(g.k, grp.levels-1)
+		total += n * c.price(gateways, 2*gateways, grp.ecn1)
+	}
+	if nc, ok := icn2Levels(g.k, g.clusters); ok {
+		total += c.price(treeSwitches(g.k, nc), treeLinks(g.k, nc), g.icn2)
+	}
+	return total
+}

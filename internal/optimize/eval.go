@@ -1,0 +1,180 @@
+package optimize
+
+import (
+	"math"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/core"
+	"github.com/ccnet/ccnet/internal/netchar"
+)
+
+// infeasible reasons, indexing InfeasibleCounts.
+const (
+	infStructure  = iota // cluster count does not form an ICN2 tree (or no clusters)
+	infNodes             // node count outside [minNodes, maxNodes]
+	infCost              // over budget
+	infSaturation        // saturates below minSaturation (or at any rate)
+	infLatency           // saturated at the probe rate, or over maxLatency
+)
+
+// InfeasibleCounts breaks down why candidates were rejected.
+type InfeasibleCounts struct {
+	Structure  int `json:"structure"`
+	Nodes      int `json:"nodes"`
+	Cost       int `json:"cost"`
+	Saturation int `json:"saturation"`
+	Latency    int `json:"latency"`
+}
+
+func (c *InfeasibleCounts) add(reason int) {
+	switch reason {
+	case infStructure:
+		c.Structure++
+	case infNodes:
+		c.Nodes++
+	case infCost:
+		c.Cost++
+	case infSaturation:
+		c.Saturation++
+	case infLatency:
+		c.Latency++
+	}
+}
+
+func (c *InfeasibleCounts) total() int {
+	return c.Structure + c.Nodes + c.Cost + c.Saturation + c.Latency
+}
+
+// candResult is one evaluated candidate. feasible=false carries the
+// rejection reason; feasible results carry the metrics and objective.
+type candResult struct {
+	id       uint64
+	feasible bool
+	reason   int // inf* when infeasible
+	// fingerprint identifies the physical system (empty for candidates
+	// rejected structurally); the search counts each system once.
+	fingerprint string
+
+	nodes, clusters int
+	cost            float64
+	saturation      float64
+	latency         float64
+	latencyLambda   float64
+	objective       float64
+}
+
+// satTolerance is the relative bisection tolerance for saturation
+// points. Tight enough that the frontier metrics are meaningful, loose
+// enough that one candidate costs ~15 Evaluate calls.
+const satTolerance = 1e-4
+
+// evaluate scores candidate id. digits is caller-provided scratch of
+// Dims length; evaluate is safe for concurrent calls with distinct
+// scratch. The candidate must be canonical (Canonical(id) == id) for
+// dedup accounting to hold, but evaluation itself does not care.
+func (sp *Space) evaluate(id uint64, digits []int) candResult {
+	res := candResult{id: id}
+	co := &sp.spec.Constraints
+
+	geo, ok := sp.geometry(id, digits)
+	if !ok {
+		res.reason = infStructure
+		return res
+	}
+	if _, ok := icn2Levels(geo.k, geo.clusters); !ok {
+		res.reason = infStructure
+		return res
+	}
+	res.fingerprint = geo.fingerprint()
+	res.nodes, res.clusters = geo.nodes, geo.clusters
+
+	// Cheap pre-model constraints: size and budget.
+	if geo.nodes < co.MinNodes || (co.MaxNodes > 0 && geo.nodes > co.MaxNodes) {
+		res.reason = infNodes
+		return res
+	}
+	res.cost = sp.cost(&geo)
+	if co.MaxCost > 0 && res.cost > co.MaxCost {
+		res.reason = infCost
+		return res
+	}
+
+	// Build the analytical model and locate the saturation point.
+	sys := geo.system(sp.spec.Name)
+	model, err := core.New(sys, netchar.MessageSpec{
+		Flits: sp.spec.Message.Flits, FlitBytes: sp.spec.Message.FlitBytes,
+	}, sp.spec.Model.Options(false))
+	if err != nil {
+		// Structurally valid geometries can still be rejected by the
+		// model layer (degenerate service times); count as structure.
+		res.reason = infStructure
+		return res
+	}
+	res.saturation = model.SaturationPoint(1.0, satTolerance)
+	if res.saturation <= 0 || res.saturation < co.MinSaturation {
+		res.reason = infSaturation
+		return res
+	}
+
+	// Latency probe: at the fixed SLO rate, or at a fraction of the
+	// candidate's own saturation point.
+	res.latencyLambda = co.Lambda
+	if res.latencyLambda == 0 {
+		res.latencyLambda = co.latencyFraction() * res.saturation
+	}
+	ev := model.Evaluate(res.latencyLambda)
+	if ev.Saturated || math.IsInf(ev.MeanLatency, 0) || math.IsNaN(ev.MeanLatency) {
+		res.reason = infLatency
+		return res
+	}
+	res.latency = ev.MeanLatency
+	if co.MaxLatency > 0 && res.latency > co.MaxLatency {
+		res.reason = infLatency
+		return res
+	}
+
+	res.feasible = true
+	res.objective = sp.objectiveValue(&res)
+	return res
+}
+
+// objectiveValue orients the spec's objective as higher-is-better.
+func (sp *Space) objectiveValue(r *candResult) float64 {
+	switch sp.spec.objective() {
+	case ObjMinLatency:
+		return -r.latency
+	case ObjMinCost:
+		return -r.cost
+	default: // ObjMaxSaturation
+		return r.saturation
+	}
+}
+
+// system materializes the geometry as a cluster.System directly (the
+// hot path: no JSON round-trip through scenario.SystemSpec).
+func (g *candGeometry) system(name string) *cluster.System {
+	sys := &cluster.System{Name: name, Ports: g.ports, ICN2: g.icn2}
+	for _, grp := range g.groups {
+		for i := 0; i < grp.count; i++ {
+			sys.Clusters = append(sys.Clusters, cluster.Config{
+				TreeLevels: grp.levels, ICN1: grp.icn1, ECN1: grp.ecn1,
+			})
+		}
+	}
+	return sys
+}
+
+// point converts a feasible result into its reported frontier form.
+func (sp *Space) point(r *candResult) Point {
+	return Point{
+		ID:               r.id,
+		System:           sp.SystemSpec(r.id),
+		Nodes:            r.nodes,
+		Clusters:         r.clusters,
+		Cost:             r.cost,
+		SaturationLambda: r.saturation,
+		Latency:          r.latency,
+		LatencyLambda:    r.latencyLambda,
+		Objective:        r.objective,
+	}
+}

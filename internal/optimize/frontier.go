@@ -1,0 +1,75 @@
+package optimize
+
+import (
+	"sort"
+
+	"github.com/ccnet/ccnet/internal/scenario"
+)
+
+// Point is one feasible evaluated configuration: the materialized system
+// section (directly runnable as a scenario system), its size, and the
+// three frontier metrics. All values are finite.
+type Point struct {
+	// ID is the candidate's rank in the search space — stable across
+	// runs, worker counts and search methods.
+	ID       uint64              `json:"id"`
+	System   scenario.SystemSpec `json:"system"`
+	Nodes    int                 `json:"nodes"`
+	Clusters int                 `json:"clusters"`
+
+	// Cost is the price under the spec's cost model (0 without one).
+	Cost float64 `json:"cost"`
+	// SaturationLambda is the analytical saturation rate λ*.
+	SaturationLambda float64 `json:"saturationLambda"`
+	// Latency is the mean message latency at LatencyLambda (the fixed
+	// probe rate, or latencyFraction·λ* without one).
+	Latency       float64 `json:"latency"`
+	LatencyLambda float64 `json:"latencyLambda"`
+
+	// Objective is the candidate's score under the spec's objective,
+	// oriented so higher is better (negated for min objectives).
+	Objective float64 `json:"objectiveValue"`
+}
+
+// dominates reports Pareto dominance: a is no worse on every metric
+// (cost ↓, latency ↓, saturation ↑) and strictly better on at least one.
+func dominates(a, b *Point) bool {
+	if a.Cost > b.Cost || a.Latency > b.Latency || a.SaturationLambda < b.SaturationLambda {
+		return false
+	}
+	return a.Cost < b.Cost || a.Latency < b.Latency || a.SaturationLambda > b.SaturationLambda
+}
+
+// Frontier maintains the non-dominated set incrementally. Membership is
+// order-independent: inserting the same points in any order yields the
+// same set.
+type Frontier struct {
+	points []Point
+}
+
+// Add offers p to the frontier: dominated offers are dropped, and an
+// accepted offer evicts the members it dominates.
+func (f *Frontier) Add(p Point) bool {
+	keep := f.points[:0]
+	for i := range f.points {
+		if dominates(&f.points[i], &p) {
+			return false // existing member dominates; set unchanged
+		}
+		if !dominates(&p, &f.points[i]) {
+			keep = append(keep, f.points[i])
+		}
+	}
+	f.points = append(keep, p)
+	return true
+}
+
+// Size returns the current member count.
+func (f *Frontier) Size() int { return len(f.points) }
+
+// Points returns the members sorted by candidate ID (the deterministic
+// report order).
+func (f *Frontier) Points() []Point {
+	out := append([]Point(nil), f.points...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

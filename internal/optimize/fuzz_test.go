@@ -1,0 +1,64 @@
+package optimize
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseSearchSpec feeds arbitrary bytes through the search-spec
+// loader: malformed documents must come back as errors, never panics,
+// and whatever parses must satisfy Validate (Parse's postcondition) and
+// compile into a space whose candidate IDs round-trip.
+func FuzzParseSearchSpec(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`not json`,
+		`{"name": "x"}`,
+		validSpecJSON,
+		`{"name": "min", "space": {"ports": [4], "groups": [{"counts": [4], "treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}}`,
+		`{"name": "bad", "space": {"ports": [3], "groups": []}, "message": {"flits": -1, "flitBytes": 0}}`,
+		`{"name": "tiers", "space": {"ports": [4], "icn2": [{"bandwidth": 1e308, "networkLatency": 0, "switchLatency": 0}], "groups": [{"treeLevels": [32]}]}, "message": {"flits": 1, "flitBytes": 1}}`,
+		`{"name": "obj", "space": {"ports": [4], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}, "objective": "minCost", "constraints": {"cost": {"switchBase": 1}, "maxLatency": 10, "lambda": 1e-4}}`,
+		`{"name": "search", "space": {"ports": [4], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}, "search": {"method": "anneal", "chains": 2, "maxCandidates": 10}}`,
+		`{"name": "huge", "space": {"ports": [2,4,6,8,10,12], "icn2Scale": [1,2,3,4,5,6,7,8,9], "groups": [{"counts": [0,1,2,3,4,5,6,7,8,9], "treeLevels": [1,2,3,4,5,6,7,8,9,10]}]}, "message": {"flits": 1, "flitBytes": 1}}`,
+		`{"name": "trail", "space": {"ports": [4], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}} {"second": true}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("error %v returned alongside a spec", err)
+			}
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a spec that fails Validate: %v", verr)
+		}
+		sp, err := Compile(spec)
+		if err != nil {
+			// Compile may still reject resolvable-but-degenerate axes
+			// (oversized spaces); it must do so with an error, not a
+			// panic.
+			return
+		}
+		if sp.Size() == 0 {
+			t.Fatal("compiled space has zero candidates")
+		}
+		// Candidate IDs round-trip through the digit codec at the space
+		// edges.
+		digits := make([]int, sp.Dims())
+		for _, id := range []uint64{0, sp.Size() - 1, sp.Size() / 2} {
+			sp.Digits(id, digits)
+			if back := sp.ID(digits); back != id {
+				t.Fatalf("ID(Digits(%d)) = %d", id, back)
+			}
+			if cid := sp.Canonical(id, digits); cid >= sp.Size() {
+				t.Fatalf("Canonical(%d) = %d outside the space", id, cid)
+			}
+		}
+	})
+}

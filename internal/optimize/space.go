@@ -1,0 +1,328 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/scenario"
+)
+
+// Space is a compiled SpaceSpec: the axes flattened into a mixed-radix
+// digit vector, with resolved network characteristics per tier. A
+// candidate configuration is a digit vector; its ID is the vector's
+// lexicographic rank, so candidate IDs are stable across runs and the
+// whole space is addressable as [0, Size).
+//
+// Digit layout: [ports, icn2, icn2Scale, then per group: count,
+// treeLevels, icn1, ecn1].
+type Space struct {
+	spec *SearchSpec
+
+	radix []int // per-dimension value counts
+	size  uint64
+
+	icn2      []netchar.Characteristics
+	icn2Scale []float64
+	groups    []compiledGroup
+}
+
+// compiledGroup holds one group's resolved axes.
+type compiledGroup struct {
+	counts []int
+	levels []int
+	icn1   []netchar.Characteristics
+	ecn1   []netchar.Characteristics
+	// axis source specs, for materializing SystemSpec JSON
+	icn1Spec []scenario.NetSpec
+	ecn1Spec []scenario.NetSpec
+}
+
+// dimensions per group after the three global dims.
+const groupDims = 4
+
+// maxSpaceSize caps enumerable spaces so the mixed-radix rank always
+// fits uint64 with room to spare.
+const maxSpaceSize = 1 << 50
+
+// defaultNet wraps a preset tier name as a NetSpec.
+func defaultNet(name string) scenario.NetSpec { return scenario.NetSpec{Name: name} }
+
+// Compile resolves the axes of a validated spec into a Space. It
+// applies the axis defaults (ICN2 [net1], ICN2Scale [1], group counts
+// [1], group ICN1 [net1], group ECN1 [net2]).
+func Compile(spec *SearchSpec) (*Space, error) {
+	sp := &Space{spec: spec}
+	ss := spec.Space
+
+	icn2Axis := ss.ICN2
+	if len(icn2Axis) == 0 {
+		icn2Axis = []scenario.NetSpec{defaultNet("net1")}
+	}
+	for i := range icn2Axis {
+		c, err := icn2Axis[i].Resolve(fmt.Sprintf("space.icn2[%d]", i))
+		if err != nil {
+			return nil, err
+		}
+		sp.icn2 = append(sp.icn2, c)
+	}
+	sp.icn2Scale = ss.ICN2Scale
+	if len(sp.icn2Scale) == 0 {
+		sp.icn2Scale = []float64{1}
+	}
+
+	sp.radix = append(sp.radix, len(ss.Ports), len(icn2Axis), len(sp.icn2Scale))
+	for gi := range ss.Groups {
+		g := ss.Groups[gi]
+		cg := compiledGroup{counts: g.Counts, levels: g.TreeLevels}
+		if len(cg.counts) == 0 {
+			cg.counts = []int{1}
+		}
+		cg.icn1Spec = g.ICN1
+		if len(cg.icn1Spec) == 0 {
+			cg.icn1Spec = []scenario.NetSpec{defaultNet("net1")}
+		}
+		cg.ecn1Spec = g.ECN1
+		if len(cg.ecn1Spec) == 0 {
+			cg.ecn1Spec = []scenario.NetSpec{defaultNet("net2")}
+		}
+		for i := range cg.icn1Spec {
+			c, err := cg.icn1Spec[i].Resolve(fmt.Sprintf("space.groups[%d].icn1[%d]", gi, i))
+			if err != nil {
+				return nil, err
+			}
+			cg.icn1 = append(cg.icn1, c)
+		}
+		for i := range cg.ecn1Spec {
+			c, err := cg.ecn1Spec[i].Resolve(fmt.Sprintf("space.groups[%d].ecn1[%d]", gi, i))
+			if err != nil {
+				return nil, err
+			}
+			cg.ecn1 = append(cg.ecn1, c)
+		}
+		sp.groups = append(sp.groups, cg)
+		sp.radix = append(sp.radix, len(cg.counts), len(g.TreeLevels), len(cg.icn1), len(cg.ecn1))
+	}
+
+	sp.size = 1
+	for _, r := range sp.radix {
+		if r == 0 {
+			return nil, fieldErr("space", "empty axis (dimension radix 0)")
+		}
+		if sp.size > maxSpaceSize/uint64(r) {
+			return nil, fieldErr("space", "space larger than %d candidates; remove axis values", uint64(maxSpaceSize))
+		}
+		sp.size *= uint64(r)
+	}
+	return sp, nil
+}
+
+// Size returns the number of addressable candidates (including
+// non-canonical duplicates; see Canonical).
+func (sp *Space) Size() uint64 { return sp.size }
+
+// Dims returns the dimensionality of the digit vector.
+func (sp *Space) Dims() int { return len(sp.radix) }
+
+// Digits decodes a candidate ID into its digit vector, filling dst
+// (which must have Dims entries).
+func (sp *Space) Digits(id uint64, dst []int) {
+	for d := len(sp.radix) - 1; d >= 0; d-- {
+		r := uint64(sp.radix[d])
+		dst[d] = int(id % r)
+		id /= r
+	}
+}
+
+// ID encodes a digit vector back into its rank.
+func (sp *Space) ID(digits []int) uint64 {
+	var id uint64
+	for d, v := range digits {
+		id = id*uint64(sp.radix[d]) + uint64(v)
+	}
+	return id
+}
+
+// Canonical maps id to its canonical representative: when a group's
+// count digit selects 0 clusters, the group's other digits are
+// don't-cares, so they are forced to 0. Searching only canonical IDs
+// skips configurations that differ only in dead axes.
+func (sp *Space) Canonical(id uint64, scratch []int) uint64 {
+	sp.Digits(id, scratch)
+	changed := false
+	for gi, g := range sp.groups {
+		base := 3 + gi*groupDims
+		if g.counts[scratch[base]] == 0 {
+			for d := base + 1; d < base+groupDims; d++ {
+				if scratch[d] != 0 {
+					scratch[d] = 0
+					changed = true
+				}
+			}
+		}
+	}
+	if !changed {
+		return id
+	}
+	return sp.ID(scratch)
+}
+
+// SystemSpec materializes candidate id as a scenario system section —
+// the exact JSON a scenario file would carry — so every frontier point
+// is directly runnable through ccscen/ccserved.
+func (sp *Space) SystemSpec(id uint64) scenario.SystemSpec {
+	digits := make([]int, sp.Dims())
+	sp.Digits(id, digits)
+	ss := sp.spec.Space
+	out := scenario.SystemSpec{Ports: ss.Ports[digits[0]]}
+
+	icn2Axis := ss.ICN2
+	if len(icn2Axis) == 0 {
+		icn2Axis = []scenario.NetSpec{defaultNet("net1")}
+	}
+	icn2 := icn2Axis[digits[1]]
+	out.ICN2 = &icn2
+	if f := sp.icn2Scale[digits[2]]; f != 1 {
+		out.ICN2BandwidthScale = f
+	}
+	for gi, g := range sp.groups {
+		base := 3 + gi*groupDims
+		count := g.counts[digits[base]]
+		if count == 0 {
+			continue
+		}
+		icn1 := g.icn1Spec[digits[base+2]]
+		ecn1 := g.ecn1Spec[digits[base+3]]
+		out.Clusters = append(out.Clusters, scenario.ClusterGroupSpec{
+			Count:      count,
+			TreeLevels: g.levels[digits[base+1]],
+			ICN1:       &icn1,
+			ECN1:       &ecn1,
+		})
+	}
+	return out
+}
+
+// candGeometry summarizes a candidate without building the full
+// cluster.System: ports, per-group (count, levels, tier indices), total
+// clusters and nodes. Used for the cheap pre-build constraint checks and
+// the cost model.
+type candGeometry struct {
+	ports    int
+	k        int
+	icn2     netchar.Characteristics
+	clusters int
+	nodes    int
+	groups   []candGroup // only groups with count > 0
+}
+
+type candGroup struct {
+	count  int
+	levels int
+	icn1   netchar.Characteristics
+	ecn1   netchar.Characteristics
+}
+
+// geometry decodes id into its geometric summary. ok is false when the
+// digit vector cannot form a system at all (every group absent).
+func (sp *Space) geometry(id uint64, digits []int) (g candGeometry, ok bool) {
+	sp.Digits(id, digits)
+	g.ports = sp.spec.Space.Ports[digits[0]]
+	g.k = g.ports / 2
+	g.icn2 = sp.icn2[digits[1]].ScaleBandwidth(sp.icn2Scale[digits[2]])
+	for gi, cg := range sp.groups {
+		base := 3 + gi*groupDims
+		count := cg.counts[digits[base]]
+		if count == 0 {
+			continue
+		}
+		levels := cg.levels[digits[base+1]]
+		g.clusters += count
+		g.nodes += count * clusterNodes(g.k, levels)
+		g.groups = append(g.groups, candGroup{
+			count:  count,
+			levels: levels,
+			icn1:   cg.icn1[digits[base+2]],
+			ecn1:   cg.ecn1[digits[base+3]],
+		})
+	}
+	return g, g.clusters > 0
+}
+
+// fingerprint identifies the physical system a geometry builds,
+// independent of which axes produced it: distinct digit vectors can
+// materialize the same multiset of clusters (two group templates
+// swapping roles, one absent, or a count split across identical
+// templates — 8 = 2+6 = 4+4), and the search reports each system once.
+// Group entries are sorted by class and identical classes merged by
+// summing counts, so only the cluster multiset matters.
+func (g *candGeometry) fingerprint() string {
+	groups := append([]candGroup(nil), g.groups...)
+	sort.Slice(groups, func(i, j int) bool { return classLess(&groups[i], &groups[j]) })
+	merged := groups[:0]
+	for _, grp := range groups {
+		if n := len(merged); n > 0 && !classLess(&merged[n-1], &grp) && !classLess(&grp, &merged[n-1]) {
+			merged[n-1].count += grp.count
+			continue
+		}
+		merged = append(merged, grp)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "m%d|%v,%v,%v", g.ports, g.icn2.Bandwidth, g.icn2.NetworkLatency, g.icn2.SwitchLatency)
+	for _, grp := range merged {
+		fmt.Fprintf(&b, "|%d,%d,%v,%v,%v,%v,%v,%v", grp.count, grp.levels,
+			grp.icn1.Bandwidth, grp.icn1.NetworkLatency, grp.icn1.SwitchLatency,
+			grp.ecn1.Bandwidth, grp.ecn1.NetworkLatency, grp.ecn1.SwitchLatency)
+	}
+	return b.String()
+}
+
+// classLess orders groups by cluster class (tree height and network
+// tiers), ignoring count — equal classes merge in fingerprint.
+func classLess(a, b *candGroup) bool {
+	if a.levels != b.levels {
+		return a.levels < b.levels
+	}
+	ca := [6]float64{a.icn1.Bandwidth, a.icn1.NetworkLatency, a.icn1.SwitchLatency,
+		a.ecn1.Bandwidth, a.ecn1.NetworkLatency, a.ecn1.SwitchLatency}
+	cb := [6]float64{b.icn1.Bandwidth, b.icn1.NetworkLatency, b.icn1.SwitchLatency,
+		b.ecn1.Bandwidth, b.ecn1.NetworkLatency, b.ecn1.SwitchLatency}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return ca[i] < cb[i]
+		}
+	}
+	return false
+}
+
+// clusterNodes returns 2·k^n, the node count of an m-port n-tree,
+// saturating at MaxInt on overflow.
+func clusterNodes(k, n int) int {
+	nodes := 2.0 * math.Pow(float64(k), float64(n))
+	if nodes > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(nodes)
+}
+
+// icn2Levels returns the ICN2 tree height nc with C = 2·k^nc, or ok
+// false when the cluster count does not fit an m-port tree — the
+// structural constraint cluster.System.Validate enforces, checked here
+// without building the system.
+func icn2Levels(k, clusters int) (int, bool) {
+	if clusters < 2 || clusters%2 != 0 || k <= 1 {
+		return 0, false
+	}
+	cols := clusters / 2
+	nc := 0
+	for cols > 1 {
+		if cols%k != 0 {
+			return 0, false
+		}
+		cols /= k
+		nc++
+	}
+	return nc, nc >= 1
+}

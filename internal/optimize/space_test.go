@@ -1,0 +1,144 @@
+package optimize
+
+import (
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/topology"
+)
+
+func TestDigitsRoundTrip(t *testing.T) {
+	sp, err := Compile(mustParse(t, validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digits := make([]int, sp.Dims())
+	for id := uint64(0); id < sp.Size(); id++ {
+		sp.Digits(id, digits)
+		if back := sp.ID(digits); back != id {
+			t.Fatalf("ID(Digits(%d)) = %d", id, back)
+		}
+	}
+}
+
+func TestCanonicalZeroesDeadAxes(t *testing.T) {
+	sp, err := Compile(mustParse(t, validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]int, sp.Dims())
+	digits := make([]int, sp.Dims())
+	canonical := 0
+	for id := uint64(0); id < sp.Size(); id++ {
+		cid := sp.Canonical(id, scratch)
+		if cid == id {
+			canonical++
+		}
+		// Canonical must be idempotent and never move live axes.
+		if again := sp.Canonical(cid, scratch); again != cid {
+			t.Fatalf("Canonical not idempotent: %d -> %d -> %d", id, cid, again)
+		}
+		sp.Digits(cid, digits)
+		for gi, g := range sp.groups {
+			base := 3 + gi*groupDims
+			if g.counts[digits[base]] == 0 {
+				for d := base + 1; d < base+groupDims; d++ {
+					if digits[d] != 0 {
+						t.Fatalf("candidate %d: dead axis %d not zeroed", cid, d)
+					}
+				}
+			}
+		}
+	}
+	if canonical == 0 || canonical == int(sp.Size()) {
+		t.Fatalf("canonical count %d of %d looks wrong", canonical, sp.Size())
+	}
+}
+
+// TestICN2LevelsMatchesCluster checks the engine's closed-form
+// feasibility probe against the cluster package's authoritative check.
+func TestICN2LevelsMatchesCluster(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4} {
+		for clusters := 0; clusters <= 70; clusters++ {
+			nc, ok := icn2Levels(k, clusters)
+			sys := &cluster.System{Ports: 2 * k}
+			sys.Clusters = make([]cluster.Config, clusters)
+			wantNC, err := sys.ICN2Levels()
+			wantOK := err == nil
+			if ok != wantOK {
+				t.Errorf("k=%d C=%d: icn2Levels ok=%v, cluster says %v (%v)", k, clusters, ok, wantOK, err)
+				continue
+			}
+			if ok && nc != wantNC {
+				t.Errorf("k=%d C=%d: nc=%d, cluster says %d", k, clusters, nc, wantNC)
+			}
+		}
+	}
+}
+
+// TestCostCountsMatchTopology pins the closed-form switch/link counts to
+// the enumerated trees.
+func TestCostCountsMatchTopology(t *testing.T) {
+	for _, tc := range []struct{ m, n int }{{4, 1}, {4, 2}, {4, 3}, {8, 1}, {8, 2}, {6, 3}} {
+		tree, err := topology.New(tc.m, tc.n)
+		if err != nil {
+			t.Fatalf("topology.New(%d,%d): %v", tc.m, tc.n, err)
+		}
+		k := tc.m / 2
+		if got, want := treeSwitches(k, tc.n), float64(tree.NumSwitches()); got != want {
+			t.Errorf("switches(m=%d,n=%d) = %v, topology says %v", tc.m, tc.n, got, want)
+		}
+		if got, want := treeLinks(k, tc.n), float64(tree.TotalLinks()); got != want {
+			t.Errorf("links(m=%d,n=%d) = %v, topology says %v", tc.m, tc.n, got, want)
+		}
+	}
+}
+
+// TestSystemSpecMaterialization checks that a frontier point's system
+// section builds into the same cluster.System the evaluator scored.
+func TestSystemSpecMaterialization(t *testing.T) {
+	sp, err := Compile(mustParse(t, validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digits := make([]int, sp.Dims())
+	scratch := make([]int, sp.Dims())
+	checked := 0
+	for id := uint64(0); id < sp.Size(); id++ {
+		if sp.Canonical(id, scratch) != id {
+			continue
+		}
+		geo, ok := sp.geometry(id, digits)
+		if !ok {
+			continue
+		}
+		if _, ok := icn2Levels(geo.k, geo.clusters); !ok {
+			continue
+		}
+		spec := sp.SystemSpec(id)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("candidate %d: materialized spec invalid: %v", id, err)
+		}
+		built, err := spec.Build("check")
+		if err != nil {
+			t.Fatalf("candidate %d: Build: %v", id, err)
+		}
+		direct := geo.system("check")
+		if built.TotalNodes() != direct.TotalNodes() || built.NumClusters() != direct.NumClusters() {
+			t.Fatalf("candidate %d: spec builds N=%d C=%d, evaluator scored N=%d C=%d",
+				id, built.TotalNodes(), built.NumClusters(), direct.TotalNodes(), direct.NumClusters())
+		}
+		if built.ICN2 != direct.ICN2 {
+			t.Fatalf("candidate %d: ICN2 mismatch: %+v vs %+v", id, built.ICN2, direct.ICN2)
+		}
+		for i := range built.Clusters {
+			if built.Clusters[i] != direct.Clusters[i] {
+				t.Fatalf("candidate %d cluster %d: %+v vs %+v", id, i, built.Clusters[i], direct.Clusters[i])
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no feasible candidates checked")
+	}
+}

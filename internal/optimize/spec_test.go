@@ -1,0 +1,124 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSpecJSON is a small but fully featured spec reused across tests.
+const validSpecJSON = `{
+	"name": "unit",
+	"title": "unit-test space",
+	"seed": 7,
+	"space": {
+		"ports": [4],
+		"icn2": ["net1", "net2"],
+		"icn2Scale": [1, 1.5],
+		"groups": [
+			{"counts": [0, 4, 8], "treeLevels": [1, 2], "icn1": ["net1", "net2"], "ecn1": ["net2"]},
+			{"counts": [0, 4], "treeLevels": [2]}
+		]
+	},
+	"message": {"flits": 16, "flitBytes": 128},
+	"constraints": {
+		"cost": {"switchBase": 10, "linkBase": 1, "linkPerBandwidth": 0.01}
+	},
+	"objective": "maxSaturation"
+}`
+
+func mustParse(t *testing.T, doc string) *SearchSpec {
+	t.Helper()
+	s, err := Parse(strings.NewReader(doc), "test")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestParseValid(t *testing.T) {
+	s := mustParse(t, validSpecJSON)
+	if s.Name != "unit" || s.Seed != 7 {
+		t.Errorf("got name=%q seed=%d", s.Name, s.Seed)
+	}
+	sp, err := Compile(s)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// 1 × 2 × 2 × (3·2·2·1) × (2·1·1·1) = 4 · 12 · 2 = 96
+	if sp.Size() != 96 {
+		t.Errorf("space size = %d, want 96", sp.Size())
+	}
+	if sp.Dims() != 3+2*groupDims {
+		t.Errorf("dims = %d, want %d", sp.Dims(), 3+2*groupDims)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"badJSON", `{`, "unexpected EOF"},
+		{"unknownField", `{"name": "x", "frobs": 1}`, "frobs"},
+		{"trailing", validSpecJSON + `{}`, "trailing data"},
+		{"noName", `{"space": {"ports": [4], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}}`, "name: required"},
+		{"badName", `{"name": "a/b", "space": {"ports": [4], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}}`, "name:"},
+		{"oddPorts", `{"name": "x", "space": {"ports": [3], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}}`, "space.ports[0]"},
+		{"noGroups", `{"name": "x", "space": {"ports": [4], "groups": []}, "message": {"flits": 1, "flitBytes": 1}}`, "space.groups"},
+		{"noLevels", `{"name": "x", "space": {"ports": [4], "groups": [{"treeLevels": []}]}, "message": {"flits": 1, "flitBytes": 1}}`, "treeLevels"},
+		{"badTier", `{"name": "x", "space": {"ports": [4], "icn2": ["net9"], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}}`, "net9"},
+		{"badScale", `{"name": "x", "space": {"ports": [4], "icn2Scale": [0], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}}`, "icn2Scale[0]"},
+		{"noMessage", `{"name": "x", "space": {"ports": [4], "groups": [{"treeLevels": [1]}]}}`, "message.flits"},
+		{"badObjective", `{"name": "x", "space": {"ports": [4], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}, "objective": "maxTHroughput"}`, "objective"},
+		{"minCostNoCost", `{"name": "x", "space": {"ports": [4], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}, "objective": "minCost"}`, "minCost requires"},
+		{"maxCostNoModel", `{"name": "x", "space": {"ports": [4], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}, "constraints": {"maxCost": 5}}`, "requires a constraints.cost"},
+		{"badMethod", `{"name": "x", "space": {"ports": [4], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}, "search": {"method": "bogo"}}`, "search.method"},
+		{"badLatencyFraction", `{"name": "x", "space": {"ports": [4], "groups": [{"treeLevels": [1]}]}, "message": {"flits": 1, "flitBytes": 1}, "constraints": {"latencyFraction": 1.0}}`, "latencyFraction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.doc), "test")
+			if err == nil {
+				t.Fatal("Parse accepted an invalid spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := mustParse(t, `{
+		"name": "d",
+		"space": {"ports": [4], "groups": [{"counts": [4], "treeLevels": [1]}]},
+		"message": {"flits": 16, "flitBytes": 128}
+	}`)
+	if got := s.objective(); got != ObjMaxSaturation {
+		t.Errorf("default objective = %q", got)
+	}
+	if got := s.seed(); got != 1 {
+		t.Errorf("default seed = %d", got)
+	}
+	if got := s.Search.maxCandidates(); got != 200000 {
+		t.Errorf("default maxCandidates = %d", got)
+	}
+	if got := s.Search.beamWidth(); got != 32 {
+		t.Errorf("default beamWidth = %d", got)
+	}
+	if got := s.Search.chains(); got != 8 {
+		t.Errorf("default chains = %d", got)
+	}
+	if got := s.Constraints.latencyFraction(); got != 0.9 {
+		t.Errorf("default latencyFraction = %v", got)
+	}
+	sp, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default ICN2 [net1], scale [1], group ICN1 [net1], ECN1 [net2].
+	if sp.Size() != 1 {
+		t.Errorf("defaulted axes inflate the space: size %d", sp.Size())
+	}
+}

@@ -132,6 +132,13 @@ func (n NetSpec) MarshalJSON() ([]byte, error) {
 	})
 }
 
+// Resolve returns the concrete characteristics of the network spec, or
+// an error rooted at path. The optimizer resolves axis tiers through the
+// same rules the scenario loader applies to system sections.
+func (n *NetSpec) Resolve(path string) (netchar.Characteristics, error) {
+	return n.resolve(path)
+}
+
 // resolve returns the concrete characteristics, or an error naming path.
 func (n *NetSpec) resolve(path string) (netchar.Characteristics, error) {
 	if n == nil {

@@ -136,7 +136,10 @@ func TestBatchRepeatHitsCache(t *testing.T) {
 				t.Fatalf("round %d line %d cached=%v, want %v", round, i, r.Cached, want)
 			}
 		}
-		if round == 1 && (summary.CacheHits != 3 || summary.HitRate != 1.0) {
+		if round == 0 && (summary.CacheMisses != 3 || summary.CacheHits != 0) {
+			t.Fatalf("cold summary %+v", summary.Summary)
+		}
+		if round == 1 && (summary.CacheHits != 3 || summary.CacheMisses != 0 || summary.HitRate != 1.0) {
 			t.Fatalf("repeat summary %+v", summary.Summary)
 		}
 	}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"github.com/ccnet/ccnet/internal/canon"
+	"github.com/ccnet/ccnet/internal/optimize"
+)
+
+// OptimizeProgressLine is one incremental NDJSON update of a running
+// design-space search.
+type OptimizeProgressLine struct {
+	Type string `json:"type"` // always "progress"
+	optimize.Progress
+}
+
+// OptimizeFrontierLine is the terminal NDJSON line: the canonical cache
+// key, whether the frontier came from the cache, and the full report.
+type OptimizeFrontierLine struct {
+	Type   string          `json:"type"` // always "frontier"
+	Cached bool            `json:"cached"`
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OptimizeErrorLine reports a search that died after streaming began
+// (the HTTP status is already committed by then).
+type OptimizeErrorLine struct {
+	Type  string `json:"type"` // always "error"
+	Error string `json:"error"`
+}
+
+// optimizeKey hashes the search spec with its defaults resolved, so
+// "seed omitted" and "seed": 1 share a cache entry.
+func optimizeKey(spec *optimize.SearchSpec) (canon.Key, error) {
+	norm := *spec
+	if norm.Seed == 0 {
+		norm.Seed = 1
+	}
+	return canon.Hash("optimize", norm)
+}
+
+// RunOptimize executes one design-space search, streaming NDJSON to w:
+// progress lines while the search runs (flushed immediately when w is
+// an http.Flusher), then one terminal frontier line. A spec already
+// answered is served from the canonical-spec result cache as a single
+// frontier line with cached=true, and concurrent identical specs
+// coalesce onto one computation (the late arrivals stream no progress,
+// just the shared frontier marked cached). The returned report is nil
+// when this call did not run the search itself. `ccscen optimize
+// -ndjson` and POST /v1/optimize share this path.
+func (s *Server) RunOptimize(ctx context.Context, spec *optimize.SearchSpec, w io.Writer) (*optimize.Report, error) {
+	s.optimizes.Add(1)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	key, err := optimizeKey(spec)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+	if payload, ok := s.cache.Get(key); ok {
+		if err := enc.Encode(OptimizeFrontierLine{Type: "frontier", Cached: true, Key: string(key), Result: payload}); err != nil {
+			return nil, err
+		}
+		flush()
+		return nil, nil
+	}
+
+	// Concurrent identical specs coalesce onto one search through the
+	// same singleflight group the other endpoints use: the winning
+	// caller runs the engine (and owns the progress stream); later
+	// arrivals block without progress lines and share the frontier. If
+	// the winner disconnects mid-search its context aborts the shared
+	// computation — the sharers get the error line and may retry against
+	// a now-warm cache.
+	var rep *optimize.Report
+	payload, err, shared := s.flight.Do(string(key), func() ([]byte, error) {
+		s.computes.Add(1)
+		var progressErr error
+		eng := &optimize.Engine{
+			Workers: s.workers(),
+			Progress: func(p optimize.Progress) {
+				if progressErr != nil {
+					return
+				}
+				if err := enc.Encode(OptimizeProgressLine{Type: "progress", Progress: p}); err != nil {
+					progressErr = err // client gone; keep computing for the sharers
+					return
+				}
+				flush()
+			},
+		}
+		r, err := eng.Run(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		rep = r
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		s.failures.Add(1)
+		// Streaming has begun; report the failure in-band. Encode errors
+		// here mean the client is gone — nothing left to tell it.
+		_ = enc.Encode(OptimizeErrorLine{Type: "error", Error: err.Error()})
+		flush()
+		return nil, err
+	}
+	if err := enc.Encode(OptimizeFrontierLine{Type: "frontier", Cached: shared, Key: string(key), Result: payload}); err != nil {
+		return rep, err
+	}
+	flush()
+	return rep, nil
+}
+
+// handleOptimize serves POST /v1/optimize: the spec is decoded and
+// validated up front (problems are a plain 400), then the search
+// streams back as chunked NDJSON — progress lines and a terminal
+// frontier line, exactly the RunOptimize format. A client that
+// disconnects cancels the search via the request context.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	spec, err := optimize.Parse(r.Body, "request")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = s.RunOptimize(r.Context(), spec, w)
+}

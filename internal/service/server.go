@@ -53,6 +53,7 @@ type Server struct {
 	campaigns  atomic.Uint64
 	batches    atomic.Uint64
 	batchItems atomic.Uint64
+	optimizes  atomic.Uint64
 	computes   atomic.Uint64
 	coalesced  atomic.Uint64
 	failures   atomic.Uint64
@@ -91,6 +92,7 @@ func (s *Server) Computes() uint64 { return s.computes.Load() }
 //	POST /v1/sweep      an analytical sweep over a lambda grid
 //	POST /v1/campaign   a full scenario spec (same JSON as ccscen files)
 //	POST /v1/batch      a batch of evaluate/sweep/campaign items (NDJSON stream)
+//	POST /v1/optimize   a design-space search spec (NDJSON progress + frontier)
 //	GET  /v1/healthz    liveness + version
 //	GET  /v1/stats      request and cache counters
 func (s *Server) Handler() http.Handler {
@@ -101,6 +103,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	return mux
 }
 
@@ -230,6 +233,7 @@ type StatsResult struct {
 	Campaigns     uint64     `json:"campaigns"`
 	Batches       uint64     `json:"batches"`
 	BatchItems    uint64     `json:"batchItems"`
+	Optimizes     uint64     `json:"optimizes"`
 	Computes      uint64     `json:"computes"`
 	Coalesced     uint64     `json:"coalesced"`
 	Failures      uint64     `json:"failures"`
@@ -257,6 +261,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Campaigns:     s.campaigns.Load(),
 		Batches:       s.batches.Load(),
 		BatchItems:    s.batchItems.Load(),
+		Optimizes:     s.optimizes.Load(),
 		Computes:      s.computes.Load(),
 		Coalesced:     s.coalesced.Load(),
 		Failures:      s.failures.Load(),

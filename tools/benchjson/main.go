@@ -3,9 +3,21 @@
 // results as artifacts and the repo can record its performance
 // trajectory (BENCH_<n>.json at the repo root).
 //
+// With -diff it becomes the CI perf-regression gate: fresh bench output
+// on stdin is compared against a committed baseline document, and the
+// tool exits 1 when a gated benchmark regressed — more than -max-time-pct
+// percent slower on ns/op, or any increase in allocs/op — or disappeared
+// from either side (a rename must update the gate, not silently disable
+// it). The comparison report is written as JSON (stdout or -out) either
+// way, so CI can upload it as an artifact.
+//
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -run='^$' . | go run ./tools/benchjson -out BENCH_2.json
+//	go test -bench='^(BenchmarkEvaluate|BenchmarkCanonicalize|BenchmarkSweepParallel)$' \
+//	  -benchtime=50x -benchmem -run='^$' . | \
+//	  go run ./tools/benchjson -diff BENCH_3.json -gate Evaluate,Canonicalize,SweepParallel \
+//	  -max-time-pct 25 -out bench-diff.json
 package main
 
 import (
@@ -14,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -44,6 +57,11 @@ type Document struct {
 func main() {
 	out := flag.String("out", "", "write JSON here (default stdout)")
 	date := flag.String("date", "", "optional ISO timestamp recorded in the document")
+	diff := flag.String("diff", "", "baseline document to gate fresh results against")
+	gate := flag.String("gate", "Evaluate,Canonicalize,SweepParallel",
+		"comma-separated benchmark names the -diff gate enforces")
+	maxTimePct := flag.Float64("max-time-pct", 25,
+		"maximum tolerated ns/op regression percentage for gated benchmarks")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -52,6 +70,22 @@ func main() {
 		os.Exit(1)
 	}
 	doc.Date = *date
+
+	var payload any = doc
+	failed := false
+	if *diff != "" {
+		baseline, err := loadDocument(*diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		report := diffDocuments(baseline, doc, splitGate(*gate), *maxTimePct)
+		payload = report
+		failed = report.Failed
+		for _, e := range report.Entries {
+			fmt.Fprintf(os.Stderr, "benchjson: %-16s %-10s %s\n", e.Name, e.Status, e.Detail)
+		}
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -65,10 +99,130 @@ func main() {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	if err := enc.Encode(payload); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: performance regression gate FAILED")
+		os.Exit(1)
+	}
+}
+
+// DiffEntry is one gated benchmark's comparison.
+type DiffEntry struct {
+	Name string `json:"name"`
+	// Status is "ok", "regression" or "missing".
+	Status string `json:"status"`
+	Detail string `json:"detail"`
+
+	BaseTimeNs   float64 `json:"baseTimeNs,omitempty"`
+	FreshTimeNs  float64 `json:"freshTimeNs,omitempty"`
+	TimeDeltaPct float64 `json:"timeDeltaPct,omitempty"`
+	BaseAllocs   float64 `json:"baseAllocs,omitempty"`
+	FreshAllocs  float64 `json:"freshAllocs,omitempty"`
+}
+
+// DiffReport is the -diff output document.
+type DiffReport struct {
+	Schema     string      `json:"schema"`
+	BaselineGo string      `json:"baselineGo"`
+	FreshGo    string      `json:"freshGo"`
+	MaxTimePct float64     `json:"maxTimePct"`
+	Entries    []DiffEntry `json:"entries"`
+	Failed     bool        `json:"failed"`
+}
+
+// splitGate parses the -gate list.
+func splitGate(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// loadDocument reads a previously archived benchmark document.
+func loadDocument(path string) (*Document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// index maps benchmark name → entry (first occurrence wins; -cpu
+// variants share a name and the first is the default GOMAXPROCS run).
+func index(doc *Document) map[string]*Benchmark {
+	m := make(map[string]*Benchmark, len(doc.Benchmarks))
+	for i := range doc.Benchmarks {
+		b := &doc.Benchmarks[i]
+		if _, ok := m[b.Name]; !ok {
+			m[b.Name] = b
+		}
+	}
+	return m
+}
+
+// diffDocuments gates fresh against baseline: a gated benchmark fails
+// on a ns/op regression beyond maxTimePct percent, on any allocs/op
+// increase, or when it is missing from either document.
+func diffDocuments(baseline, fresh *Document, gates []string, maxTimePct float64) *DiffReport {
+	rep := &DiffReport{
+		Schema:     "ccnet-benchdiff/v1",
+		BaselineGo: baseline.Go,
+		FreshGo:    fresh.Go,
+		MaxTimePct: maxTimePct,
+	}
+	base := index(baseline)
+	cur := index(fresh)
+	for _, name := range gates {
+		e := DiffEntry{Name: name, Status: "ok"}
+		b, okB := base[name]
+		f, okF := cur[name]
+		switch {
+		case !okB && !okF:
+			e.Status, e.Detail = "missing", "absent from baseline and fresh run"
+		case !okB:
+			e.Status, e.Detail = "missing", "absent from baseline"
+		case !okF:
+			e.Status, e.Detail = "missing", "absent from fresh run"
+		default:
+			e.BaseTimeNs = b.Metrics["ns/op"]
+			e.FreshTimeNs = f.Metrics["ns/op"]
+			e.BaseAllocs = b.Metrics["allocs/op"]
+			e.FreshAllocs = f.Metrics["allocs/op"]
+			if e.BaseTimeNs > 0 {
+				e.TimeDeltaPct = 100 * (e.FreshTimeNs - e.BaseTimeNs) / e.BaseTimeNs
+				e.TimeDeltaPct = math.Round(e.TimeDeltaPct*100) / 100
+			}
+			var problems []string
+			if e.BaseTimeNs > 0 && e.TimeDeltaPct > maxTimePct {
+				problems = append(problems, fmt.Sprintf("ns/op %+.1f%% (limit %+.0f%%)", e.TimeDeltaPct, maxTimePct))
+			}
+			if e.FreshAllocs > e.BaseAllocs {
+				problems = append(problems, fmt.Sprintf("allocs/op %g -> %g", e.BaseAllocs, e.FreshAllocs))
+			}
+			if len(problems) > 0 {
+				e.Status = "regression"
+				e.Detail = strings.Join(problems, "; ")
+			} else {
+				e.Detail = fmt.Sprintf("ns/op %+.1f%%, allocs/op %g -> %g",
+					e.TimeDeltaPct, e.BaseAllocs, e.FreshAllocs)
+			}
+		}
+		if e.Status != "ok" {
+			rep.Failed = true
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep
 }
 
 // parse extracts Benchmark lines; all other output (test logs, the ok
