@@ -27,6 +27,7 @@ import (
 	"github.com/ccnet/ccnet/internal/experiments"
 	"github.com/ccnet/ccnet/internal/netchar"
 	"github.com/ccnet/ccnet/internal/optimize"
+	"github.com/ccnet/ccnet/internal/perfab"
 	"github.com/ccnet/ccnet/internal/routing"
 	"github.com/ccnet/ccnet/internal/service"
 	"github.com/ccnet/ccnet/internal/sim"
@@ -499,6 +500,46 @@ func BenchmarkCanonHashSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := canon.Hash("sweep", sys, msg, opt, grid); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfabStates measures the performability engine's end-to-end
+// hot loop: an exact 1377-state availability space over the 4-cluster
+// miniature — per state a canonical degraded rebuild (survivor distance
+// distributions via topology), a degraded model build and a saturation
+// bisection — sharded over the worker pool with ordered absorption.
+// Gated by the CI perf-regression diff against the committed baseline.
+func BenchmarkPerfabStates(b *testing.B) {
+	study := &perfab.Study{
+		Name:    "bench-perfab",
+		Sys:     cluster.SmallTestSystem(),
+		GroupOf: []int{0, 0, 1, 1},
+		Msg:     netchar.MessageSpec{Flits: 16, FlitBytes: 128},
+		Block: &perfab.Block{
+			Nodes: []perfab.NodeFailureSpec{
+				{Group: 1, RateSpec: perfab.RateSpec{MTTF: 1500, MTTR: 50, Repairers: 2}},
+			},
+			Switches: []perfab.SwitchFailureSpec{
+				{Group: 1, Network: perfab.NetICN1, Level: 1, RateSpec: perfab.RateSpec{MTTF: 4000, MTTR: 100}},
+				{Group: 1, Network: perfab.NetECN1, Level: 1, RateSpec: perfab.RateSpec{MTTF: 3000, MTTR: 100}},
+			},
+			States: perfab.StatesSpec{MaxExact: 2000},
+		},
+		Seed: 1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := (&perfab.Engine{}).Run(context.Background(), study)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.StatesEvaluated < 1000 {
+			b.Fatalf("only %d states", rep.StatesEvaluated)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.StatesEvaluated), "states")
 		}
 	}
 }

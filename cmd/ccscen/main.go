@@ -11,6 +11,8 @@
 //	ccscen batch [flags] <file.json|->         run a batch request, stream NDJSON
 //	ccscen optimize [flags] <spec.json|->      search a design space for the
 //	                                           Pareto frontier
+//	ccscen perf [flags] <file.json|->          failure/repair performability
+//	                                           analysis (degraded-mode metrics)
 //	ccscen validate <file.json|dir> [...]      check files without running
 //	ccscen list [dir]                          summarize a scenario directory
 //
@@ -22,13 +24,15 @@
 //	ccscen batch - < batchfile.json
 //	ccscen optimize examples/scenarios/optimize/budget-cluster-mix.json
 //	ccscen optimize -ndjson spec.json > frontier.ndjson
+//	ccscen perf examples/scenarios/perfab/hetero-node-failures.json
 //	ccscen validate examples/scenarios
 //	ccscen list examples/scenarios
 //
-// The scenario file format, the batch request/NDJSON stream formats and
-// the optimizer's SearchSpec format are documented in README.md.
-// `ccscen batch` and `ccscen optimize` evaluate the same documents POST
-// /v1/batch and /v1/optimize accept, through the same engine and result
+// The scenario file format, the batch request/NDJSON stream formats,
+// the optimizer's SearchSpec format and the performability block are
+// documented in README.md. `ccscen batch`, `ccscen optimize` and
+// `ccscen perf` evaluate the same documents POST /v1/batch, /v1/optimize
+// and /v1/performability accept, through the same engine and result
 // cache, without a server.
 package main
 
@@ -45,6 +49,7 @@ import (
 
 	"github.com/ccnet/ccnet/internal/experiments"
 	"github.com/ccnet/ccnet/internal/optimize"
+	"github.com/ccnet/ccnet/internal/perfab"
 	"github.com/ccnet/ccnet/internal/scenario"
 	"github.com/ccnet/ccnet/internal/service"
 	"github.com/ccnet/ccnet/internal/version"
@@ -68,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return batchCmd(args[1:], stdout, stderr)
 	case "optimize":
 		return optimizeCmd(args[1:], stdout, stderr)
+	case "perf":
+		return perfCmd(args[1:], stdout, stderr)
 	case "validate":
 		return validateCmd(args[1:], stdout, stderr)
 	case "list":
@@ -79,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stdout)
 		return 0
 	default:
-		fmt.Fprintf(stderr, "ccscen: unknown verb %q (valid: run, batch, optimize, validate, list)\n", args[0])
+		fmt.Fprintf(stderr, "ccscen: unknown verb %q (valid: run, batch, optimize, perf, validate, list)\n", args[0])
 		usage(stderr)
 		return 2
 	}
@@ -91,6 +98,9 @@ func usage(w io.Writer) {
   ccscen batch [flags] <file.json|->         run a batch request, stream NDJSON
   ccscen optimize [flags] <spec.json|->      search a design space for the
                                              Pareto frontier
+  ccscen perf [flags] <file.json|->          failure/repair performability
+                                             analysis of a scenario's
+                                             performability block
   ccscen validate <file.json|dir> [...]      check scenario files
   ccscen list [dir]                          summarize a scenario directory
   ccscen -version                            print version and exit
@@ -110,6 +120,13 @@ optimize flags:
                GOMAXPROCS); the frontier is identical for every N
   -ndjson      stream NDJSON progress + frontier lines to stdout (the
                POST /v1/optimize wire format) instead of a table
+  -out FILE    also write the full report JSON to FILE
+
+perf flags:
+  -workers N   worker goroutines evaluating availability states (default
+               GOMAXPROCS); the report is identical for every N
+  -ndjson      stream NDJSON progress + result lines to stdout (the
+               POST /v1/performability wire format) instead of a table
   -out FILE    also write the full report JSON to FILE
 `)
 }
@@ -226,10 +243,10 @@ func optimizeCmd(args []string, stdout, stderr io.Writer) int {
 func renderReport(w io.Writer, rep *optimize.Report, elapsed time.Duration) {
 	fmt.Fprintf(w, "search %s: objective=%s method=%s seed=%d\n",
 		rep.Name, rep.Objective, rep.Method, rep.Seed)
-	fmt.Fprintf(w, "space %d candidates; processed %d, evaluated %d, feasible %d (infeasible: %d structure, %d nodes, %d cost, %d saturation, %d latency)\n",
+	fmt.Fprintf(w, "space %d candidates; processed %d, evaluated %d, feasible %d (infeasible: %d structure, %d nodes, %d cost, %d saturation, %d latency, %d availability)\n",
 		rep.SpaceSize, rep.Processed, rep.Evaluated, rep.Feasible,
 		rep.Infeasible.Structure, rep.Infeasible.Nodes, rep.Infeasible.Cost,
-		rep.Infeasible.Saturation, rep.Infeasible.Latency)
+		rep.Infeasible.Saturation, rep.Infeasible.Latency, rep.Infeasible.Availability)
 
 	fmt.Fprintf(w, "\nPareto frontier (%d non-dominated configs):\n", len(rep.Frontier))
 	fmt.Fprintf(w, "%-12s %-6s %-4s %-12s %-12s %-12s %s\n",
@@ -257,6 +274,135 @@ func renderReport(w io.Writer, rep *optimize.Report, elapsed time.Duration) {
 // "wrote" confirmation — stderr in -ndjson mode, where stdout must stay
 // pure NDJSON.
 func writeReportFile(path string, rep *optimize.Report, notice, stderr io.Writer) int {
+	if path == "" || rep == nil {
+		return 0
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	fmt.Fprintf(notice, "wrote %s\n", path)
+	return 0
+}
+
+// perfCmd runs a performability analysis offline: a scenario file with
+// a performability block is loaded, the availability states are sharded
+// across the worker pool, progress goes to stderr, and the report prints
+// as a table (or, with -ndjson, streams to stdout in the POST
+// /v1/performability wire format). The report is bit-identical for a
+// given spec+seed at any -workers value.
+func perfCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccscen perf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workers := fs.Int("workers", 0, "worker goroutines evaluating availability states (default GOMAXPROCS)")
+	ndjson := fs.Bool("ndjson", false, "stream NDJSON progress + result lines to stdout")
+	outFile := fs.String("out", "", "also write the full report JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "ccscen perf: exactly one scenario file (or - for stdin) required")
+		return 2
+	}
+
+	var spec *scenario.Spec
+	var err error
+	if arg := fs.Arg(0); arg == "-" {
+		spec, err = scenario.Parse(os.Stdin, "<stdin>")
+	} else {
+		spec, err = scenario.Load(arg)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	if spec.Performability == nil {
+		fmt.Fprintf(stderr, "ccscen: scenario %s has no performability block\n", spec.Name)
+		return 1
+	}
+
+	if *ndjson {
+		srv := service.New(service.Options{Workers: *workers})
+		rep, err := srv.RunPerformability(context.Background(), spec, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "ccscen:", err)
+			return 1
+		}
+		// stdout is the NDJSON stream; the write notice goes to stderr.
+		return writePerfReportFile(*outFile, rep, stderr, stderr)
+	}
+
+	study, err := spec.PerformabilityStudy()
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	start := time.Now()
+	eng := &perfab.Engine{Workers: *workers, Progress: func(p perfab.Progress) {
+		fmt.Fprintf(stderr, "perf: %s %d/%d states evaluated, %d down\n",
+			p.Method, p.Evaluated, p.States, p.Down)
+	}}
+	rep, err := eng.Run(context.Background(), study)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	renderPerfReport(stdout, rep, time.Since(start))
+	return writePerfReportFile(*outFile, rep, stdout, stderr)
+}
+
+// renderPerfReport prints the performability summary tables.
+func renderPerfReport(w io.Writer, rep *perfab.Report, elapsed time.Duration) {
+	fmt.Fprintf(w, "performability %s: method=%s seed=%d probe λ=%.6g\n",
+		rep.Name, rep.Method, rep.Seed, rep.ProbeLambda)
+	fmt.Fprintf(w, "state space %.6g; evaluated %d states covering %.6g of the probability mass\n",
+		rep.StateSpace, rep.StatesEvaluated, rep.CoveredProbability)
+
+	fmt.Fprintf(w, "\nfailure classes:\n")
+	fmt.Fprintf(w, "%-26s %-8s %-14s %s\n", "class", "count", "availability", "E[failed]")
+	for _, c := range rep.Classes {
+		fmt.Fprintf(w, "%-26s %-8d %-14.6g %.6g\n", c.Label, c.Count, c.Availability, c.ExpectedFailed)
+	}
+
+	fmt.Fprintf(w, "\n%-26s %-14s %s\n", "metric", "nominal", "expected")
+	fmt.Fprintf(w, "%-26s %-14.6g %.6g\n", "latency @ probe", rep.Nominal.Latency, rep.ExpectedLatency)
+	fmt.Fprintf(w, "%-26s %-14.6g %.6g\n", "saturation λ*", rep.Nominal.SaturationLambda, rep.ExpectedSaturation)
+	fmt.Fprintf(w, "%-26s %-14.6g %.6g\n", "capacity (msgs/t)", rep.Nominal.Capacity, rep.ExpectedCapacity)
+	fmt.Fprintf(w, "%-26s %-14.6g %.6g\n", "served fraction", 1.0, rep.ExpectedServedFraction)
+	fmt.Fprintf(w, "\navailability %.8g, P(SLO violation) %.6g, P(probe servable) %.6g\n",
+		rep.Availability, rep.SLOViolation, rep.LatencyFiniteProbability)
+
+	if len(rep.Percentiles) > 0 {
+		fmt.Fprintf(w, "\ncapacity percentiles (largest capacity delivered with probability >= q):\n")
+		for _, p := range rep.Percentiles {
+			fmt.Fprintf(w, "  q=%-6g capacity %.6g\n", p.Q, p.Capacity)
+		}
+	}
+	if len(rep.TopStates) > 0 {
+		fmt.Fprintf(w, "\ntop states by probability:\n")
+		fmt.Fprintf(w, "%-12s %-6s %-8s %-12s %s\n", "weight", "up", "served", "capacity", "latency")
+		for _, s := range rep.TopStates {
+			lat := "saturated"
+			if s.Latency != nil {
+				lat = fmt.Sprintf("%.6g", *s.Latency)
+			}
+			fmt.Fprintf(w, "%-12.6g %-6t %-8.4g %-12.6g %s\n", s.Weight, s.Up, s.ServedFraction, s.Capacity, lat)
+		}
+	}
+	fmt.Fprintf(w, "(analysis completed in %v)\n", elapsed.Round(time.Millisecond))
+}
+
+// writePerfReportFile writes the report JSON to path when requested; a
+// nil report (cached -ndjson answer) skips the write.
+func writePerfReportFile(path string, rep *perfab.Report, notice, stderr io.Writer) int {
 	if path == "" || rep == nil {
 		return 0
 	}

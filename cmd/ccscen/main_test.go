@@ -33,6 +33,9 @@ func TestRun(t *testing.T) {
 		{Name: "optimizeMissing", Args: []string{"optimize", "no-such-file.json"}, WantCode: 1, WantStderr: "no-such-file.json"},
 		{Name: "optimizeExample", Args: []string{"optimize", "../../examples/scenarios/optimize/icn2-upgrade-pareto.json"},
 			WantCode: 0, WantStdout: "Pareto frontier"},
+		{Name: "perfBadFlag", Args: []string{"perf", "-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
+		{Name: "perfNoFile", Args: []string{"perf"}, WantCode: 2, WantStderr: "exactly one scenario file"},
+		{Name: "perfMissing", Args: []string{"perf", "no-such-file.json"}, WantCode: 1, WantStderr: "no-such-file.json"},
 	})
 }
 
@@ -154,5 +157,113 @@ func TestBatchVerb(t *testing.T) {
 	}
 	if !strings.Contains(got.Stderr, "1 of 2 batch item(s) failed") {
 		t.Fatalf("stderr %q lacks the failure count", got.Stderr)
+	}
+}
+
+// TestBatchVerbEmptyStream is the empty-batch regression: a zero-item
+// document and a completely empty stdin both exit 0 with exactly one
+// valid zero-item summary line.
+func TestBatchVerbEmptyStream(t *testing.T) {
+	for name, doc := range map[string]string{"emptyItems": `{"items": []}`, "emptyObject": `{}`} {
+		path := filepath.Join(t.TempDir(), "empty.json")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := clitest.Run(run, "batch", path)
+		if got.Code != 0 {
+			t.Fatalf("%s: exit %d: %s", name, got.Code, got.Stderr)
+		}
+		lines := strings.Split(strings.TrimSpace(got.Stdout), "\n")
+		if len(lines) != 1 {
+			t.Fatalf("%s: %d NDJSON lines, want one summary:\n%s", name, len(lines), got.Stdout)
+		}
+		var sum struct {
+			Type  string `json:"type"`
+			Items int    `json:"items"`
+		}
+		if err := json.Unmarshal([]byte(lines[0]), &sum); err != nil {
+			t.Fatalf("%s: summary does not parse: %v", name, err)
+		}
+		if sum.Type != "summary" || sum.Items != 0 {
+			t.Fatalf("%s: summary line %s", name, lines[0])
+		}
+	}
+}
+
+// perfScenario is a fast exact-space performability study.
+const perfScenario = `{
+	"name": "cli-perf",
+	"system": {"preset": "small"},
+	"traffic": {"flits": 16, "flitBytes": [128], "lambda": {"max": 0.01, "points": 4}},
+	"performability": {
+		"nodes": [
+			{"group": 0, "mttf": 2000, "mttr": 50},
+			{"group": 1, "mttf": 1500, "mttr": 50, "repairers": 2}
+		],
+		"icn2Switches": [{"level": 0, "mttf": 50000, "mttr": 100}],
+		"states": {"maxExact": 1000}
+	}
+}`
+
+// TestPerfVerb runs a performability analysis end to end: the table
+// renders, -out writes the report, repeated runs at different -workers
+// are bit-identical, and -ndjson speaks the wire format.
+func TestPerfVerb(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "perf.json")
+	if err := os.WriteFile(spec, []byte(perfScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out1 := filepath.Join(dir, "rep1.json")
+	got := clitest.Run(run, "perf", "-workers", "1", "-out", out1, spec)
+	if got.Code != 0 {
+		t.Fatalf("exit %d: %s", got.Code, got.Stderr)
+	}
+	for _, want := range []string{"failure classes", "availability", "capacity percentiles", "top states"} {
+		if !strings.Contains(got.Stdout, want) {
+			t.Fatalf("table output missing %q:\n%s", want, got.Stdout)
+		}
+	}
+
+	out2 := filepath.Join(dir, "rep2.json")
+	got = clitest.Run(run, "perf", "-workers", "8", "-out", out2, spec)
+	if got.Code != 0 {
+		t.Fatalf("exit %d: %s", got.Code, got.Stderr)
+	}
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("reports differ across -workers 1 and 8")
+	}
+
+	got = clitest.Run(run, "perf", "-ndjson", spec)
+	if got.Code != 0 {
+		t.Fatalf("ndjson exit %d: %s", got.Code, got.Stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(got.Stdout), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"type":"result"`) || !strings.Contains(last, `"cached":false`) {
+		t.Fatalf("terminal NDJSON line: %s", last)
+	}
+
+	// A scenario without the block is a clean failure.
+	plain := filepath.Join(dir, "plain.json")
+	if err := os.WriteFile(plain, []byte(`{
+		"name": "no-block",
+		"system": {"preset": "small"},
+		"traffic": {"flits": 16, "flitBytes": [128], "lambda": {"max": 0.01, "points": 4}}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = clitest.Run(run, "perf", plain)
+	if got.Code != 1 || !strings.Contains(got.Stderr, "no performability block") {
+		t.Fatalf("exit %d stderr %q", got.Code, got.Stderr)
 	}
 }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/netchar"
+)
+
+// This file extends the analytical model to partially failed systems —
+// the performability layer's degraded-mode rebuild (Kirsal & Ever's
+// availability-times-performance composition applied to the paper's
+// closed-form model). A Degradation overrides exactly the quantities a
+// failure state changes: surviving populations (failed compute nodes,
+// nodes stranded by failed leaf switches), the distance distributions of
+// trees with failed switches (re-derived over the survivors via
+// internal/topology), and per-channel rate inflation on networks that
+// lost switch or link capacity. Everything else — the stage-chain
+// recursions, the M/G/1 queues, the pair-class deduplication — is the
+// intact model's machinery, reused verbatim.
+
+// ClusterDegradation overrides one cluster's derived quantities.
+type ClusterDegradation struct {
+	// Nodes is the surviving population N_i (>= 1; clusters with no
+	// survivors must be removed from the system before building).
+	Nodes int
+	// Dist overrides the Eq 6 intra-tree distance distribution with the
+	// survivor distribution (length TreeLevels); nil keeps Eq 6, which
+	// is exact for uniformly placed node failures.
+	Dist []float64
+	// IntraCapacity and ECNCapacity inflate the per-channel traffic
+	// rates of the cluster's ICN1 and ECN1 networks by the lost-capacity
+	// factor total/surviving (>= 1; 0 means 1).
+	IntraCapacity float64
+	ECNCapacity   float64
+}
+
+// Degradation describes a partially failed system for NewDegraded. The
+// cluster list of the accompanying system must already be reduced to the
+// clusters that still serve traffic; because the reduced count C' need
+// not satisfy C = 2(m/2)^n, the physical ICN2 tree shape is carried
+// explicitly.
+type Degradation struct {
+	// Clusters parallels sys.Clusters (required, same length).
+	Clusters []ClusterDegradation
+	// ICN2Levels is the physical ICN2 tree height n_c (>= 1).
+	ICN2Levels int
+	// ICN2Dist overrides the ICN2 distance distribution with the
+	// distribution over surviving attached clusters (length ICN2Levels);
+	// nil keeps Eq 6 for the full tree.
+	ICN2Dist []float64
+	// ICN2Capacity inflates the ICN2 per-channel rate (>= 1; 0 means 1).
+	ICN2Capacity float64
+}
+
+// capacity normalizes a factor: 0 means intact.
+func capacity(f float64) float64 {
+	if f == 0 {
+		return 1
+	}
+	return f
+}
+
+// validDist checks a distance-distribution override: non-negative
+// entries summing to one, or all-zero (a population without pairs).
+func validDist(p []float64, want int, path string) error {
+	if len(p) != want {
+		return fmt.Errorf("core: %s: distribution has %d entries, want %d", path, len(p), want)
+	}
+	sum := 0.0
+	for i, v := range p {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: %s[%d]: invalid probability %v", path, i, v)
+		}
+		sum += v
+	}
+	if sum != 0 && math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("core: %s: distribution sums to %v", path, sum)
+	}
+	return nil
+}
+
+// validCapacity checks an inflation factor.
+func validCapacity(f float64, path string) error {
+	if f != 0 && (f < 1 || math.IsNaN(f) || math.IsInf(f, 0)) {
+		return fmt.Errorf("core: %s: capacity factor %v must be >= 1", path, f)
+	}
+	return nil
+}
+
+// validateDegraded replaces cluster.System.Validate for degraded builds:
+// the reduced cluster count need not form an ICN2 tree, and populations
+// come from the Degradation, so only the per-network sanity checks and
+// the override shapes are enforced.
+func validateDegraded(sys *cluster.System, deg *Degradation) error {
+	if sys.Ports < 2 || sys.Ports%2 != 0 {
+		return fmt.Errorf("core: ports m=%d must be an even integer >= 2", sys.Ports)
+	}
+	if len(sys.Clusters) < 1 {
+		return fmt.Errorf("core: degraded system has no clusters")
+	}
+	if err := sys.ICN2.Validate(); err != nil {
+		return fmt.Errorf("core: ICN2: %w", err)
+	}
+	if len(deg.Clusters) != len(sys.Clusters) {
+		return fmt.Errorf("core: degradation covers %d clusters, system has %d",
+			len(deg.Clusters), len(sys.Clusters))
+	}
+	if deg.ICN2Levels < 1 || deg.ICN2Levels > 32 {
+		return fmt.Errorf("core: degraded ICN2 height %d out of range", deg.ICN2Levels)
+	}
+	if deg.ICN2Dist != nil {
+		if err := validDist(deg.ICN2Dist, deg.ICN2Levels, "icn2 distribution"); err != nil {
+			return err
+		}
+	}
+	if err := validCapacity(deg.ICN2Capacity, "icn2 capacity"); err != nil {
+		return err
+	}
+	total := 0
+	for i, cc := range sys.Clusters {
+		if cc.TreeLevels < 1 || cc.TreeLevels > 32 {
+			return fmt.Errorf("core: cluster %d: tree levels n_i=%d out of range", i, cc.TreeLevels)
+		}
+		if err := cc.ICN1.Validate(); err != nil {
+			return fmt.Errorf("core: cluster %d: ICN1: %w", i, err)
+		}
+		if err := cc.ECN1.Validate(); err != nil {
+			return fmt.Errorf("core: cluster %d: ECN1: %w", i, err)
+		}
+		d := &deg.Clusters[i]
+		if d.Nodes < 1 || d.Nodes > sys.ClusterNodes(i) {
+			return fmt.Errorf("core: cluster %d: %d survivors outside [1,%d]",
+				i, d.Nodes, sys.ClusterNodes(i))
+		}
+		if d.Dist != nil {
+			if err := validDist(d.Dist, cc.TreeLevels, fmt.Sprintf("cluster %d distribution", i)); err != nil {
+				return err
+			}
+		}
+		if err := validCapacity(d.IntraCapacity, fmt.Sprintf("cluster %d intra capacity", i)); err != nil {
+			return err
+		}
+		if err := validCapacity(d.ECNCapacity, fmt.Sprintf("cluster %d ECN capacity", i)); err != nil {
+			return err
+		}
+		total += d.Nodes
+	}
+	if total < 2 {
+		return fmt.Errorf("core: degraded system has %d surviving nodes; need at least 2", total)
+	}
+	return nil
+}
+
+// NewDegraded builds the analytical model of a partially failed system.
+// sys lists only the clusters still serving traffic (survivors attached
+// to a live ICN2 leaf); deg carries the surviving populations, the
+// re-derived distance distributions and the capacity-loss factors. A nil
+// deg is the intact model, identical to New.
+func NewDegraded(sys *cluster.System, msg netchar.MessageSpec, opt Options, deg *Degradation) (*Model, error) {
+	if deg == nil {
+		return New(sys, msg, opt)
+	}
+	if err := validateDegraded(sys, deg); err != nil {
+		return nil, err
+	}
+	if err := msg.Validate(); err != nil {
+		return nil, err
+	}
+	return newModel(sys, msg, opt, deg)
+}

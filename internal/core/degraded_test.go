@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/netchar"
+)
+
+var degradedMsg = netchar.MessageSpec{Flits: 32, FlitBytes: 256}
+
+// intactDegradation mirrors an intact system as an explicit Degradation:
+// full populations, no distribution overrides, unit capacity factors.
+func intactDegradation(sys *cluster.System) *Degradation {
+	nc, err := sys.ICN2Levels()
+	if err != nil {
+		panic(err)
+	}
+	deg := &Degradation{ICN2Levels: nc}
+	for i := range sys.Clusters {
+		deg.Clusters = append(deg.Clusters, ClusterDegradation{Nodes: sys.ClusterNodes(i)})
+	}
+	return deg
+}
+
+// TestDegradedIntactMatchesNew pins the shared constructor: an explicit
+// no-failure Degradation must evaluate bit-identically to New across the
+// stable range on both presets.
+func TestDegradedIntactMatchesNew(t *testing.T) {
+	for _, sys := range []*cluster.System{cluster.System1120(), cluster.System544(), cluster.SmallTestSystem()} {
+		base, err := New(sys, degradedMsg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg, err := NewDegraded(sys, degradedMsg, Options{}, intactDegradation(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat := base.SaturationPoint(1.0, 1e-4)
+		for _, frac := range []float64{0.1, 0.5, 0.9} {
+			l := frac * sat
+			got, want := deg.Evaluate(l), base.Evaluate(l)
+			if got.MeanLatency != want.MeanLatency || got.MeanIntra != want.MeanIntra || got.MeanInter != want.MeanInter {
+				t.Errorf("%s λ=%g: degraded-intact %v/%v/%v, want %v/%v/%v", sys.Name, l,
+					got.MeanLatency, got.MeanIntra, got.MeanInter,
+					want.MeanLatency, want.MeanIntra, want.MeanInter)
+			}
+		}
+		if got, want := deg.SaturationPoint(1.0, 1e-4), sat; got != want {
+			t.Errorf("%s: degraded-intact saturation %v, want %v", sys.Name, got, want)
+		}
+	}
+}
+
+// TestDegradedCapacityLossRaisesLatency: inflating per-channel rates
+// (lost switches/links) must not lower latency at any stable rate, and
+// must not raise the saturation point.
+func TestDegradedCapacityLossRaisesLatency(t *testing.T) {
+	sys := cluster.System544()
+	base, err := New(sys, degradedMsg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := intactDegradation(sys)
+	deg.ICN2Capacity = 1.5
+	for i := range deg.Clusters {
+		deg.Clusters[i].IntraCapacity = 1.25
+		deg.Clusters[i].ECNCapacity = 1.25
+	}
+	degModel, err := NewDegraded(sys, degradedMsg, Options{}, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSat := base.SaturationPoint(1.0, 1e-4)
+	degSat := degModel.SaturationPoint(1.0, 1e-4)
+	if degSat > baseSat {
+		t.Errorf("capacity loss raised saturation: %v > %v", degSat, baseSat)
+	}
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		l := frac * degSat
+		got, want := degModel.Evaluate(l), base.Evaluate(l)
+		if got.Saturated {
+			t.Fatalf("degraded model saturated at λ=%g inside its own stable range", l)
+		}
+		if got.MeanLatency < want.MeanLatency {
+			t.Errorf("λ=%g: capacity loss lowered latency %v < %v", l, got.MeanLatency, want.MeanLatency)
+		}
+	}
+}
+
+// TestDegradedPopulationLoss: shrinking one cluster's population keeps
+// the model evaluable and shifts the traffic mix (the shrunk cluster's
+// outgoing probability rises).
+func TestDegradedPopulationLoss(t *testing.T) {
+	sys := cluster.SmallTestSystem()
+	deg := intactDegradation(sys)
+	deg.Clusters[2].Nodes = 3 // of 8
+	m, err := NewDegraded(sys, degradedMsg, Options{}, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Evaluate(0.001)
+	if res.Saturated {
+		t.Fatal("light load saturated")
+	}
+	full, err := New(sys, degradedMsg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes := full.Evaluate(0.001)
+	if !(res.PerCluster[2].U > fullRes.PerCluster[2].U) {
+		t.Errorf("shrunk cluster's U %v not above intact %v", res.PerCluster[2].U, fullRes.PerCluster[2].U)
+	}
+}
+
+// TestDegradedSingleCluster: a system reduced to one surviving cluster
+// serves only intra traffic; the model must stay finite with U = 0.
+func TestDegradedSingleCluster(t *testing.T) {
+	sys := &cluster.System{
+		Name: "one-left", Ports: 4, ICN2: netchar.Net1,
+		Clusters: []cluster.Config{{TreeLevels: 2, ICN1: netchar.Net1, ECN1: netchar.Net2}},
+	}
+	m, err := NewDegraded(sys, degradedMsg, Options{}, &Degradation{
+		Clusters:   []ClusterDegradation{{Nodes: 8}},
+		ICN2Levels: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Evaluate(0.001)
+	if res.Saturated || math.IsInf(res.MeanLatency, 0) || math.IsNaN(res.MeanLatency) {
+		t.Fatalf("single-cluster degraded system unstable at light load: %+v", res)
+	}
+	if res.PerCluster[0].U != 0 {
+		t.Errorf("single surviving cluster has U=%v, want 0", res.PerCluster[0].U)
+	}
+	if res.PerCluster[0].LOut != 0 {
+		t.Errorf("single surviving cluster has LOut=%v, want 0", res.PerCluster[0].LOut)
+	}
+}
+
+// TestDegradedDistOverride: a distance-distribution override shifted
+// toward taller crossings must not lower the intra latency.
+func TestDegradedDistOverride(t *testing.T) {
+	sys := cluster.System544() // n_i >= 3 everywhere
+	deg := intactDegradation(sys)
+	for i, cc := range sys.Clusters {
+		// All journeys at the full tree height: the worst-case mix.
+		p := make([]float64, cc.TreeLevels)
+		p[len(p)-1] = 1
+		deg.Clusters[i].Dist = p
+	}
+	m, err := NewDegraded(sys, degradedMsg, Options{}, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := New(sys, degradedMsg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := 0.3 * m.SaturationPoint(1.0, 1e-4)
+	if got, want := m.Evaluate(l).MeanLatency, base.Evaluate(l).MeanLatency; got < want {
+		t.Errorf("worst-case distance mix lowered latency %v < %v", got, want)
+	}
+}
+
+// TestDegradedValidation exercises the rejection paths.
+func TestDegradedValidation(t *testing.T) {
+	sys := cluster.SmallTestSystem()
+	cases := []struct {
+		name string
+		mut  func(*Degradation)
+	}{
+		{"short cluster list", func(d *Degradation) { d.Clusters = d.Clusters[:2] }},
+		{"zero nodes", func(d *Degradation) { d.Clusters[0].Nodes = 0 }},
+		{"too many nodes", func(d *Degradation) { d.Clusters[0].Nodes = 1000 }},
+		{"capacity below one", func(d *Degradation) { d.Clusters[0].IntraCapacity = 0.5 }},
+		{"bad icn2 height", func(d *Degradation) { d.ICN2Levels = 0 }},
+		{"dist wrong length", func(d *Degradation) { d.Clusters[0].Dist = []float64{1, 0, 0} }},
+		{"dist bad sum", func(d *Degradation) { d.Clusters[0].Dist = []float64{0.5} }},
+		{"negative icn2 dist", func(d *Degradation) { d.ICN2Dist = []float64{-1} }},
+	}
+	for _, tc := range cases {
+		deg := intactDegradation(sys)
+		tc.mut(deg)
+		if _, err := NewDegraded(sys, degradedMsg, Options{}, deg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -106,14 +106,18 @@ func (m *Model) buildPairClass(i, j int) pairClass {
 	// per unit λ; Eq 23 (reconstructed): average per-gateway rate.
 	pc.lamE1Cof = float64(src.nodes)*src.u + float64(dst.nodes)*dst.u
 
-	// Eqs 24–25: per-channel rates per unit λ.
+	// Eqs 24–25: per-channel rates per unit λ. Degraded networks carry
+	// their traffic on fewer channels, so the lost-capacity factors
+	// inflate the rates (the factors are 1 on intact systems).
 	pc.etaSrcCof = pc.lamE1Cof * src.dMean / (4 * float64(src.n) * float64(src.nodes))
 	pc.etaDstCof = pc.lamE1Cof * dst.dMean / (4 * float64(dst.n) * float64(dst.nodes))
 	if m.Opt.Variant == PaperLiteral {
 		// The paper's Eq 24 derives one rate from the source side.
 		pc.etaDstCof = pc.etaSrcCof
 	}
-	pc.etaI2Cof = (pc.lamE1Cof / 2) * m.meanI2 / (4 * float64(m.nc)) * delta
+	pc.etaSrcCof *= src.ecnCap
+	pc.etaDstCof *= dst.ecnCap
+	pc.etaI2Cof = (pc.lamE1Cof / 2) * m.meanI2 / (4 * float64(m.nc)) * delta * m.icn2Cap
 
 	// Eq 31: source queue of the inter-cluster branch.
 	pc.srcCof = src.u
@@ -238,6 +242,11 @@ func newPairScratch(nClasses int) *pairScratch {
 // over destination clusters (Eqs 35, 38).
 func (m *Model) interCluster(lambdaG float64, i int, cr *ClusterResult, scratch *pairScratch) {
 	C := len(m.cl)
+	if C < 2 {
+		// A degraded system reduced to one cluster has no inter-cluster
+		// traffic (U^(i) is 0 there); the terms stay zero.
+		return
+	}
 	base := m.classOf[i] * m.nClasses
 	var sumLEx, sumWd float64
 	saturated := false

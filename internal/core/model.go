@@ -98,11 +98,13 @@ type Model struct {
 	Msg netchar.MessageSpec
 	Opt Options
 
-	nc     int       // ICN2 tree height
-	pI2    []float64 // Eq 6 distribution for the ICN2 tree
-	meanI2 float64   // Eq 8 mean link count for the ICN2 tree
-	tcsI2  float64   // ICN2 switch-channel service time
-	cl     []clusterDerived
+	nc         int       // ICN2 tree height
+	pI2        []float64 // Eq 6 distribution for the ICN2 tree
+	meanI2     float64   // Eq 8 mean link count for the ICN2 tree
+	tcsI2      float64   // ICN2 switch-channel service time
+	icn2Cap    float64   // ICN2 per-channel rate inflation (1 when intact)
+	totalNodes float64   // Σ N_i over (surviving) populations
+	cl         []clusterDerived
 
 	// Clusters with identical (TreeLevels, ICN1, ECN1) are analytically
 	// indistinguishable, so pair terms are computed once per ordered
@@ -126,6 +128,8 @@ type clusterDerived struct {
 
 	eIn      float64 // Eq 19 tail pipeline time (λ-independent)
 	etaI1Cof float64 // Eq 10 per-channel rate / λ: (1−U)·dMean/(4n)
+	ecnCap   float64 // ECN1 per-channel rate inflation (1 when intact)
+	distKey  string  // degraded-distribution fingerprint ("" when Eq 6)
 }
 
 // New validates the system and precomputes per-cluster constants.
@@ -136,30 +140,76 @@ func New(sys *cluster.System, msg netchar.MessageSpec, opt Options) (*Model, err
 	if err := msg.Validate(); err != nil {
 		return nil, err
 	}
-	nc, err := sys.ICN2Levels()
-	if err != nil {
-		return nil, err
+	return newModel(sys, msg, opt, nil)
+}
+
+// newModel is the shared constructor behind New and NewDegraded: every
+// λ-independent quantity is precomputed here, from the intact closed
+// forms or from the degradation's overrides.
+func newModel(sys *cluster.System, msg netchar.MessageSpec, opt Options, deg *Degradation) (*Model, error) {
+	var nc int
+	if deg != nil {
+		nc = deg.ICN2Levels
+	} else {
+		var err error
+		if nc, err = sys.ICN2Levels(); err != nil {
+			return nil, err
+		}
 	}
 	if opt.UseLocality && (opt.LocalityFraction < 0 || opt.LocalityFraction >= 1 || math.IsNaN(opt.LocalityFraction)) {
 		return nil, fmt.Errorf("core: locality fraction %v outside [0,1)", opt.LocalityFraction)
 	}
-	m := &Model{Sys: sys, Msg: msg, Opt: opt, nc: nc}
+	m := &Model{Sys: sys, Msg: msg, Opt: opt, nc: nc, icn2Cap: 1}
 	m.pI2 = distanceDist(sys.K(), nc)
+	if deg != nil {
+		m.icn2Cap = capacity(deg.ICN2Capacity)
+		if deg.ICN2Dist != nil {
+			m.pI2 = append([]float64(nil), deg.ICN2Dist...)
+		}
+	}
 	for h, p := range m.pI2 {
 		m.meanI2 += 2 * float64(h+1) * p
 	}
 	m.tcsI2 = sys.ICN2.SwitchChannelTime(msg.FlitBytes)
 	m.cl = make([]clusterDerived, sys.NumClusters())
+
+	// Populations: intact systems derive N_i from the tree shape; a
+	// degradation carries the surviving counts, and U^(i) (Eq 2) follows
+	// from the surviving totals.
+	total := 0
+	for i := range m.cl {
+		d := &m.cl[i]
+		if deg != nil {
+			d.nodes = deg.Clusters[i].Nodes
+		} else {
+			d.nodes = sys.ClusterNodes(i)
+		}
+		total += d.nodes
+	}
+	m.totalNodes = float64(total)
+
 	for i := range m.cl {
 		cc := sys.Clusters[i]
 		d := &m.cl[i]
 		d.n = cc.TreeLevels
-		d.nodes = sys.ClusterNodes(i)
-		d.u = sys.OutProbability(i)
+		d.ecnCap = 1
+		if total > 1 {
+			d.u = 1 - float64(d.nodes-1)/float64(total-1)
+		}
 		if opt.UseLocality {
 			d.u = 1 - opt.LocalityFraction
 		}
 		d.p = distanceDist(sys.K(), cc.TreeLevels)
+		intraCap := 1.0
+		if deg != nil {
+			cd := &deg.Clusters[i]
+			if cd.Dist != nil {
+				d.p = append([]float64(nil), cd.Dist...)
+				d.distKey = fmt.Sprint(cd.Dist)
+			}
+			intraCap = capacity(cd.IntraCapacity)
+			d.ecnCap = capacity(cd.ECNCapacity)
+		}
 		for h, ph := range d.p {
 			d.dMean += 2 * float64(h+1) * ph
 		}
@@ -171,7 +221,7 @@ func New(sys *cluster.System, msg netchar.MessageSpec, opt Options) (*Model, err
 		for h := 1; h <= d.n; h++ {
 			d.eIn += d.p[h-1] * (2*float64(h-1)*d.tcsI1 + d.tcnI1)
 		}
-		d.etaI1Cof = (1 - d.u) * d.dMean / (4 * float64(d.n))
+		d.etaI1Cof = intraCap * (1 - d.u) * d.dMean / (4 * float64(d.n))
 	}
 	m.classifyClusters()
 	m.precomputePairs()
@@ -179,19 +229,28 @@ func New(sys *cluster.System, msg netchar.MessageSpec, opt Options) (*Model, err
 }
 
 // classifyClusters groups analytically identical clusters: same tree
-// height and same ICN1/ECN1 network classes imply identical derived
-// constants (N_i follows from the height, U^(i) from N_i and the shared
-// total), hence identical intra terms and pair terms.
+// height, same ICN1/ECN1 network classes and same degraded overrides
+// (population, distance distribution, capacity factors) imply identical
+// derived constants (U^(i) follows from N_i and the shared total), hence
+// identical intra terms and pair terms. On intact systems the population
+// and overrides follow from the shape, so the key reduces to the
+// original (height, networks) triple.
 func (m *Model) classifyClusters() {
 	type class struct {
 		n          int
 		icn1, ecn1 netchar.Characteristics
+		nodes      int
+		etaCof     float64 // folds in U and any intra-capacity factor
+		ecnCap     float64
+		distKey    string
 	}
 	index := make(map[class]int)
 	m.classOf = make([]int, len(m.cl))
 	for i := range m.cl {
 		cc := m.Sys.Clusters[i]
-		c := class{n: cc.TreeLevels, icn1: cc.ICN1, ecn1: cc.ECN1}
+		d := &m.cl[i]
+		c := class{n: cc.TreeLevels, icn1: cc.ICN1, ecn1: cc.ECN1,
+			nodes: d.nodes, etaCof: d.etaI1Cof, ecnCap: d.ecnCap, distKey: d.distKey}
 		id, ok := index[c]
 		if !ok {
 			id = len(index)
@@ -255,7 +314,7 @@ func (m *Model) Evaluate(lambdaG float64) *Result {
 		panic(fmt.Sprintf("core: invalid traffic rate %v", lambdaG))
 	}
 	res := &Result{Lambda: lambdaG, PerCluster: make([]ClusterResult, len(m.cl))}
-	totalNodes := float64(m.Sys.TotalNodes())
+	totalNodes := m.totalNodes
 
 	// Pair terms depend only on the source and destination cluster
 	// classes, so each distinct class pair is evaluated once per λ and

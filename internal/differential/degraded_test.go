@@ -1,0 +1,162 @@
+package differential
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/core"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/sim"
+	"github.com/ccnet/ccnet/internal/topology"
+	"github.com/ccnet/ccnet/internal/traffic"
+)
+
+// degradedSystem knocks random components out of a random heterogeneous
+// system: one leaf switch (stranding its whole node interval) in a few
+// clusters, plus ~8% of the remaining nodes uniformly. It returns the
+// per-cluster alive masks and the global alive id list.
+func degradedSystem(r *rand.Rand, sys *cluster.System) (alive [][]bool, aliveIDs []int) {
+	offset := 0
+	for i := range sys.Clusters {
+		tree, err := topology.New(sys.Ports, sys.Clusters[i].TreeLevels)
+		if err != nil {
+			panic(err)
+		}
+		mask := make([]bool, tree.Nodes())
+		for v := range mask {
+			mask[v] = true
+		}
+		// Every other cluster loses one leaf switch.
+		if i%2 == 0 {
+			intervals, width := tree.LeafIntervals()
+			if intervals > 1 { // keep at least one interval alive
+				kill := r.Intn(intervals)
+				for v := kill * width; v < (kill+1)*width; v++ {
+					mask[v] = false
+				}
+			}
+		}
+		// ~8% random node failures on top.
+		for v := range mask {
+			if mask[v] && r.Float64() < 0.08 {
+				mask[v] = false
+			}
+		}
+		// Never let a cluster die completely: the rebuild under test
+		// keeps the cluster list intact.
+		left := 0
+		for _, a := range mask {
+			if a {
+				left++
+			}
+		}
+		if left < 2 {
+			for v := 0; v < 2; v++ {
+				mask[v] = true
+			}
+		}
+		for v, a := range mask {
+			if a {
+				aliveIDs = append(aliveIDs, offset+v)
+			}
+		}
+		alive = append(alive, mask)
+		offset += tree.Nodes()
+	}
+	sort.Ints(aliveIDs)
+	return alive, aliveIDs
+}
+
+// degradation builds the analytical overrides for the exact alive sets:
+// surviving populations and survivor distance distributions re-derived
+// through internal/topology — the same machinery the perfab state
+// rebuild uses, here driven by the simulator's concrete failure
+// placement.
+func degradation(sys *cluster.System, alive [][]bool) *core.Degradation {
+	nc, err := sys.ICN2Levels()
+	if err != nil {
+		panic(err)
+	}
+	deg := &core.Degradation{ICN2Levels: nc}
+	for i := range sys.Clusters {
+		tree, err := topology.New(sys.Ports, sys.Clusters[i].TreeLevels)
+		if err != nil {
+			panic(err)
+		}
+		survivors := 0
+		for _, a := range alive[i] {
+			if a {
+				survivors++
+			}
+		}
+		cd := core.ClusterDegradation{Nodes: survivors}
+		if survivors < tree.Nodes() {
+			cd.Dist = tree.SurvivorDistanceDistribution(alive[i])
+		}
+		deg.Clusters = append(deg.Clusters, cd)
+	}
+	return deg
+}
+
+// TestDegradedModelTracksSimulator is the degraded-mode cross-check:
+// random node and leaf-switch knockouts are applied identically to the
+// analytical model (populations shrunk, distance distributions
+// re-derived over the survivors) and to the simulator (failed nodes
+// neither generate nor receive), and the degraded model must stay
+// inside the same light-load envelope the intact differential holds.
+func TestDegradedModelTracksSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy differential test")
+	}
+	r := rand.New(rand.NewSource(71))
+	msg := netchar.MessageSpec{Flits: 16, FlitBytes: 128}
+	const trials = 4
+	for trial := 0; trial < trials; trial++ {
+		sys := randomSystem(r)
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("trial %d: random system invalid: %v", trial, err)
+		}
+		alive, aliveIDs := degradedSystem(r, sys)
+		deg := degradation(sys, alive)
+
+		model, err := core.NewDegraded(sys, msg, core.Options{GatewayStoreAndForward: true}, deg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sat := model.SaturationPoint(1.0, 1e-4)
+		if sat <= 0 {
+			t.Fatalf("trial %d: degraded model has no stable rate", trial)
+		}
+		lambda := lightLoadFraction * sat
+		res := model.Evaluate(lambda)
+		if res.Saturated {
+			t.Fatalf("trial %d: degraded model saturated at light load λ=%g", trial, lambda)
+		}
+
+		m, err := sim.Run(sim.Config{
+			Sys: sys, Msg: msg, Lambda: lambda,
+			Pattern:     traffic.Survivors{N: sys.TotalNodes(), Alive: aliveIDs},
+			ActiveNodes: aliveIDs,
+			Seed:        uint64(7000 + trial),
+			WarmupCount: 2000, MeasureCount: 20000,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: sim: %v", trial, err)
+		}
+		if m.Saturated {
+			t.Fatalf("trial %d: simulator saturated at light load λ=%g (model stable)", trial, lambda)
+		}
+
+		simMean := m.MeanLatency()
+		relPct := math.Abs(res.MeanLatency-simMean) / simMean * 100
+		t.Logf("trial %d: N=%d alive=%d λ=%.3g model=%.4g sim=%.4g err=%.1f%%",
+			trial, sys.TotalNodes(), len(aliveIDs), lambda, res.MeanLatency, simMean, relPct)
+		if relPct > envelope {
+			t.Errorf("trial %d: degraded model %.4g vs sim %.4g: %.1f%% outside the %.0f%% envelope",
+				trial, res.MeanLatency, simMean, relPct, envelope)
+		}
+	}
+}

@@ -10,20 +10,22 @@ import (
 
 // infeasible reasons, indexing InfeasibleCounts.
 const (
-	infStructure  = iota // cluster count does not form an ICN2 tree (or no clusters)
-	infNodes             // node count outside [minNodes, maxNodes]
-	infCost              // over budget
-	infSaturation        // saturates below minSaturation (or at any rate)
-	infLatency           // saturated at the probe rate, or over maxLatency
+	infStructure    = iota // cluster count does not form an ICN2 tree (or no clusters)
+	infNodes               // node count outside [minNodes, maxNodes]
+	infCost                // over budget
+	infSaturation          // saturates below minSaturation (or at any rate)
+	infLatency             // saturated at the probe rate, or over maxLatency
+	infAvailability        // below minAvailability, over maxExpectedLatency, or unservable under failures
 )
 
 // InfeasibleCounts breaks down why candidates were rejected.
 type InfeasibleCounts struct {
-	Structure  int `json:"structure"`
-	Nodes      int `json:"nodes"`
-	Cost       int `json:"cost"`
-	Saturation int `json:"saturation"`
-	Latency    int `json:"latency"`
+	Structure    int `json:"structure"`
+	Nodes        int `json:"nodes"`
+	Cost         int `json:"cost"`
+	Saturation   int `json:"saturation"`
+	Latency      int `json:"latency"`
+	Availability int `json:"availability"`
 }
 
 func (c *InfeasibleCounts) add(reason int) {
@@ -38,11 +40,13 @@ func (c *InfeasibleCounts) add(reason int) {
 		c.Saturation++
 	case infLatency:
 		c.Latency++
+	case infAvailability:
+		c.Availability++
 	}
 }
 
 func (c *InfeasibleCounts) total() int {
-	return c.Structure + c.Nodes + c.Cost + c.Saturation + c.Latency
+	return c.Structure + c.Nodes + c.Cost + c.Saturation + c.Latency + c.Availability
 }
 
 // candResult is one evaluated candidate. feasible=false carries the
@@ -61,6 +65,10 @@ type candResult struct {
 	latency         float64
 	latencyLambda   float64
 	objective       float64
+
+	// Performability metrics (set only when the spec carries a block).
+	availability float64
+	expLatency   float64
 }
 
 // satTolerance is the relative bisection tolerance for saturation
@@ -133,6 +141,14 @@ func (sp *Space) evaluate(id uint64, digits []int) candResult {
 		return res
 	}
 
+	// Performability weighting: run the failure analysis and apply the
+	// availability constraints.
+	if sp.spec.Performability != nil {
+		if !sp.evaluatePerf(id, digits, sys, &res) {
+			return res
+		}
+	}
+
 	res.feasible = true
 	res.objective = sp.objectiveValue(&res)
 	return res
@@ -145,6 +161,8 @@ func (sp *Space) objectiveValue(r *candResult) float64 {
 		return -r.latency
 	case ObjMinCost:
 		return -r.cost
+	case ObjMinExpectedLatency:
+		return -r.expLatency
 	default: // ObjMaxSaturation
 		return r.saturation
 	}
@@ -165,8 +183,11 @@ func (g *candGeometry) system(name string) *cluster.System {
 }
 
 // point converts a feasible result into its reported frontier form.
+// With a performability block the Pareto latency metric is the expected
+// latency, so cost trades against what the cluster delivers under
+// failures rather than its fault-free best case.
 func (sp *Space) point(r *candResult) Point {
-	return Point{
+	p := Point{
 		ID:               r.id,
 		System:           sp.SystemSpec(r.id),
 		Nodes:            r.nodes,
@@ -177,4 +198,10 @@ func (sp *Space) point(r *candResult) Point {
 		LatencyLambda:    r.latencyLambda,
 		Objective:        r.objective,
 	}
+	if sp.spec.Performability != nil {
+		p.Latency = r.expLatency
+		p.NominalLatency = r.latency
+		p.Availability = r.availability
+	}
+	return p
 }

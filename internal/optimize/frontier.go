@@ -21,10 +21,18 @@ type Point struct {
 	Cost float64 `json:"cost"`
 	// SaturationLambda is the analytical saturation rate λ*.
 	SaturationLambda float64 `json:"saturationLambda"`
-	// Latency is the mean message latency at LatencyLambda (the fixed
-	// probe rate, or latencyFraction·λ* without one).
+	// Latency is the frontier's latency metric: the mean message latency
+	// at LatencyLambda (the fixed probe rate, or latencyFraction·λ*
+	// without one) — or, when the spec carries a performability block,
+	// the failure-weighted expected latency (the nominal probe latency
+	// then moves to NominalLatency).
 	Latency       float64 `json:"latency"`
 	LatencyLambda float64 `json:"latencyLambda"`
+
+	// NominalLatency and Availability report the performability split
+	// (present only with a performability block).
+	NominalLatency float64 `json:"nominalLatency,omitempty"`
+	Availability   float64 `json:"availability,omitempty"`
 
 	// Objective is the candidate's score under the spec's objective,
 	// oriented so higher is better (negated for min objectives).

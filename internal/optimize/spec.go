@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/ccnet/ccnet/internal/perfab"
 	"github.com/ccnet/ccnet/internal/scenario"
 )
 
@@ -35,6 +36,9 @@ const (
 	ObjMaxSaturation = "maxSaturation" // maximize the saturation rate λ*
 	ObjMinLatency    = "minLatency"    // minimize latency at the probe rate
 	ObjMinCost       = "minCost"       // minimize cost subject to the SLO
+	// ObjMinExpectedLatency minimizes the failure-weighted expected
+	// latency from the performability block (requires one).
+	ObjMinExpectedLatency = "minExpectedLatency"
 )
 
 // Method names for SearchOpts.Method.
@@ -63,9 +67,20 @@ type SearchSpec struct {
 	Model       scenario.ModelSpec `json:"model,omitempty"`
 	Constraints ConstraintSpec     `json:"constraints,omitempty"`
 	// Objective selects the search target: maxSaturation (default),
-	// minLatency or minCost.
+	// minLatency, minCost or minExpectedLatency.
 	Objective string     `json:"objective,omitempty"`
 	Search    SearchOpts `json:"search,omitempty"`
+
+	// Performability weights every candidate by its failure behavior:
+	// the block's classes (group indices refer to space.groups; entries
+	// whose group is absent or whose level exceeds a candidate's tree
+	// height are skipped for that candidate) run the perfab engine per
+	// feasible candidate, the Pareto frontier's latency metric becomes
+	// the expected (availability-weighted) latency, and the
+	// minAvailability/maxExpectedLatency constraints apply. Keep
+	// states.maxExact/samples small — the analysis runs once per
+	// candidate.
+	Performability *perfab.Block `json:"performability,omitempty"`
 }
 
 // MessageSpec is the fixed message geometry every candidate is evaluated
@@ -126,6 +141,14 @@ type ConstraintSpec struct {
 	MaxLatency float64 `json:"maxLatency,omitempty"`
 	// LatencyFraction tunes the relative probe (default 0.9).
 	LatencyFraction float64 `json:"latencyFraction,omitempty"`
+
+	// MinAvailability and MaxExpectedLatency constrain the
+	// performability metrics (both require the spec's performability
+	// block): candidates whose probability of serving traffic falls
+	// below MinAvailability, or whose expected latency exceeds
+	// MaxExpectedLatency, are infeasible.
+	MinAvailability    float64 `json:"minAvailability,omitempty"`
+	MaxExpectedLatency float64 `json:"maxExpectedLatency,omitempty"`
 }
 
 // CostSpec is the first-order price model: every network is priced per
@@ -192,7 +215,7 @@ func Load(path string) (*SearchSpec, error) {
 
 // knownObjectives and knownMethods list the valid names.
 var (
-	knownObjectives = []string{ObjMaxSaturation, ObjMinLatency, ObjMinCost}
+	knownObjectives = []string{ObjMaxSaturation, ObjMinLatency, ObjMinCost, ObjMinExpectedLatency}
 	knownMethods    = []string{MethodAuto, MethodGrid, MethodBeam, MethodAnneal}
 )
 
@@ -324,6 +347,46 @@ func (s *SearchSpec) Validate() error {
 	if co.LatencyFraction < 0 || co.LatencyFraction >= 1 {
 		add("constraints.latencyFraction", "must be in (0,1), got %v", co.LatencyFraction)
 	}
+	if co.MinAvailability < 0 || co.MinAvailability >= 1 || math.IsNaN(co.MinAvailability) {
+		add("constraints.minAvailability", "must be in (0,1), got %v", co.MinAvailability)
+	}
+	if co.MinAvailability > 0 && s.Performability == nil {
+		add("constraints.minAvailability", "requires a performability block")
+	}
+	if co.MaxExpectedLatency < 0 || math.IsNaN(co.MaxExpectedLatency) {
+		add("constraints.maxExpectedLatency", "must be positive, got %v", co.MaxExpectedLatency)
+	}
+	if co.MaxExpectedLatency > 0 && s.Performability == nil {
+		add("constraints.maxExpectedLatency", "requires a performability block")
+	}
+
+	// --- performability -------------------------------------------------
+	if s.Performability != nil && len(sp.Groups) > 0 {
+		// Validate group/level references against the widest shapes the
+		// space can produce; per-candidate narrowing (absent groups,
+		// shorter trees) skips entries at evaluation time.
+		shapes := make([]perfab.GroupShape, len(sp.Groups))
+		for gi := range sp.Groups {
+			g := &sp.Groups[gi]
+			shape := perfab.GroupShape{Count: 1}
+			for _, c := range g.Counts {
+				if c > shape.Count {
+					shape.Count = c
+				}
+			}
+			for _, n := range g.TreeLevels {
+				if n > shape.TreeLevels {
+					shape.TreeLevels = n
+				}
+			}
+			shapes[gi] = shape
+		}
+		// ICN2 height varies per candidate, so pass 0: out-of-range
+		// ICN2 levels are skipped per candidate at evaluation time.
+		if err := s.Performability.Validate("performability", shapes, 0); err != nil {
+			errs = append(errs, err)
+		}
+	}
 
 	// --- objective ------------------------------------------------------
 	switch s.Objective {
@@ -334,6 +397,10 @@ func (s *SearchSpec) Validate() error {
 		}
 		if co.MaxLatency == 0 && co.MinSaturation == 0 {
 			add("objective", "minCost needs an SLO: set constraints.maxLatency and/or constraints.minSaturation")
+		}
+	case ObjMinExpectedLatency:
+		if s.Performability == nil {
+			add("objective", "minExpectedLatency requires a performability block")
 		}
 	default:
 		add("objective", "unknown objective %q (valid: %s)",

@@ -1,0 +1,65 @@
+package perfab
+
+import (
+	"math"
+)
+
+// birthDeathDist returns the exact steady-state distribution π_0..π_c of
+// the failed-component count for a class of c identical components:
+// failures arrive at rate (c−j)·α from state j (only operational
+// components fail, α = 1/MTTF), repairs complete at rate min(j, r)·β
+// (β = 1/MTTR, r repair crews; r <= 0 means one crew per component).
+// With unbounded repair the chain's steady state is the binomial
+// Bin(c, MTTR/(MTTF+MTTR)) — each component an independent two-state
+// chain — which the tests pin.
+//
+// The product-form terms are accumulated in log space so classes with
+// thousands of components (a full node population) neither overflow nor
+// flush to zero.
+func birthDeathDist(c int, mttf, mttr float64, repairers int) []float64 {
+	alpha := 1 / mttf
+	beta := 1 / mttr
+	logp := make([]float64, c+1)
+	maxLog := 0.0
+	for j := 1; j <= c; j++ {
+		crews := j
+		if repairers > 0 && crews > repairers {
+			crews = repairers
+		}
+		logp[j] = logp[j-1] + math.Log(float64(c-j+1)*alpha) - math.Log(float64(crews)*beta)
+		if logp[j] > maxLog {
+			maxLog = logp[j]
+		}
+	}
+	sum := 0.0
+	p := make([]float64, c+1)
+	for j := range p {
+		p[j] = math.Exp(logp[j] - maxLog)
+		sum += p[j]
+	}
+	for j := range p {
+		p[j] /= sum
+	}
+	return p
+}
+
+// distMean returns the expectation of a distribution over 0..len−1.
+func distMean(p []float64) float64 {
+	m := 0.0
+	for j, w := range p {
+		m += float64(j) * w
+	}
+	return m
+}
+
+// quantile returns the smallest j with CDF(j) >= u for u in [0,1).
+func quantile(p []float64, u float64) int {
+	acc := 0.0
+	for j, w := range p {
+		acc += w
+		if u < acc {
+			return j
+		}
+	}
+	return len(p) - 1 // rounding guard at the top end
+}

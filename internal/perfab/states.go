@@ -1,0 +1,120 @@
+package perfab
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/ccnet/ccnet/internal/rng"
+)
+
+// rng salt separating the sampler's streams from other consumers of the
+// study seed.
+const sampleSalt = 0x70667374 // "pfst"
+
+// stateRec is one availability state to evaluate: the per-class failed
+// counts and the state's probability mass (exact) or sample weight
+// (Monte Carlo; duplicates merge their weights).
+type stateRec struct {
+	failed []int
+	weight float64
+}
+
+// stateSpaceSize returns the cross-product size of the class spaces as a
+// float64 (sizes beyond any enumerable range are only compared against
+// the exhaustive ceiling, never iterated).
+func stateSpaceSize(classes []compClass) float64 {
+	size := 1.0
+	for i := range classes {
+		size *= float64(classes[i].count + 1)
+	}
+	return size
+}
+
+// enumerateStates lists every availability state in mixed-radix order
+// with its exact product-form probability. States whose probability
+// underflows to zero are dropped (they cannot influence any aggregate);
+// the report's covered probability accounts for the loss.
+func enumerateStates(classes []compClass) []stateRec {
+	var out []stateRec
+	failed := make([]int, len(classes))
+	for {
+		w := 1.0
+		for i := range classes {
+			w *= classes[i].dist[failed[i]]
+		}
+		if w > 0 {
+			out = append(out, stateRec{failed: append([]int(nil), failed...), weight: w})
+		}
+		// Mixed-radix increment, least-significant class last.
+		i := len(classes) - 1
+		for ; i >= 0; i-- {
+			failed[i]++
+			if failed[i] <= classes[i].count {
+				break
+			}
+			failed[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// sampleStates draws a stratified (Latin-hypercube) sample of the state
+// space: every class's marginal is partitioned into samples equal-mass
+// strata, each stratum is hit exactly once, and the strata of different
+// classes are paired through independent seeded permutations — so the
+// per-class marginals are reproduced essentially exactly while the joint
+// space is explored randomly. Duplicate states merge their 1/samples
+// weights, keeping first-occurrence order; the result is a pure function
+// of (classes, samples, seed).
+func sampleStates(classes []compClass, samples int, seed uint64) []stateRec {
+	base := rng.New(seed, sampleSalt)
+	perms := make([][]int, len(classes))
+	for i := range classes {
+		perms[i] = base.Derive(uint64(i)).Perm(samples)
+	}
+
+	index := make(map[string]int)
+	var out []stateRec
+	w := 1.0 / float64(samples)
+	var key strings.Builder
+	for s := 0; s < samples; s++ {
+		failed := make([]int, len(classes))
+		key.Reset()
+		for i := range classes {
+			u := (float64(perms[i][s]) + 0.5) / float64(samples)
+			failed[i] = quantile(classes[i].dist, u)
+			key.WriteString(strconv.Itoa(failed[i]))
+			key.WriteByte(',')
+		}
+		if at, ok := index[key.String()]; ok {
+			out[at].weight += w
+			continue
+		}
+		index[key.String()] = len(out)
+		out = append(out, stateRec{failed: failed, weight: w})
+	}
+	return out
+}
+
+// spreadIdx returns j distinct indices spread evenly over [0, total) —
+// the canonical balanced placement of j failed components over a pool.
+// j must not exceed total.
+func spreadIdx(j, total int) []int {
+	out := make([]int, j)
+	for t := 0; t < j; t++ {
+		out[t] = t * total / j
+	}
+	return out
+}
+
+// share splits j failed components round-robin over g slots: slot q gets
+// the floor share plus one unit while the remainder lasts.
+func share(j, g, q int) int {
+	s := j / g
+	if q < j%g {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/perfab"
+)
+
+// This file maps the scenario format onto the performability engine:
+// failure classes address the system's cluster groups, which are the
+// explicit system.clusters entries, or — for preset systems — the runs
+// of identical consecutive clusters (Table 1's N=1120 and N=544 both
+// split into three groups, "small" into two).
+
+// groupShapes returns the system section's cluster-group structure, or
+// nil when the section is not well-formed (its own validation reports
+// the problems).
+func (sys *SystemSpec) groupShapes() []perfab.GroupShape {
+	if sys.Preset != "" {
+		base, err := sys.baseSystem("shapes")
+		if err != nil {
+			return nil
+		}
+		var shapes []perfab.GroupShape
+		for _, run := range presetRuns(base) {
+			shapes = append(shapes, perfab.GroupShape{
+				Count:      len(run),
+				TreeLevels: base.Clusters[run[0]].TreeLevels,
+			})
+		}
+		return shapes
+	}
+	if len(sys.Clusters) == 0 {
+		return nil
+	}
+	shapes := make([]perfab.GroupShape, 0, len(sys.Clusters))
+	for _, g := range sys.Clusters {
+		if g.TreeLevels < 1 {
+			return nil
+		}
+		shapes = append(shapes, perfab.GroupShape{Count: groupCount(g), TreeLevels: g.TreeLevels})
+	}
+	return shapes
+}
+
+// icn2Levels derives the system section's ICN2 tree height from the
+// group shapes, or 0 when the cluster total does not form an ICN2 tree
+// (the builder reports that separately).
+func (sys *SystemSpec) icn2Levels(shapes []perfab.GroupShape) int {
+	total := 0
+	for _, s := range shapes {
+		total += s.Count
+	}
+	probe := cluster.System{Ports: sys.Ports, Clusters: make([]cluster.Config, total)}
+	if sys.Preset != "" {
+		if base, err := sys.baseSystem("probe"); err == nil {
+			probe = *base
+		}
+	}
+	nc, err := probe.ICN2Levels()
+	if err != nil {
+		return 0
+	}
+	return nc
+}
+
+// presetRuns splits a built system's cluster list into runs of identical
+// consecutive configurations, returning each run's cluster indices.
+func presetRuns(sys *cluster.System) [][]int {
+	var runs [][]int
+	for i := range sys.Clusters {
+		if i > 0 && sys.Clusters[i] == sys.Clusters[i-1] {
+			runs[len(runs)-1] = append(runs[len(runs)-1], i)
+			continue
+		}
+		runs = append(runs, []int{i})
+	}
+	return runs
+}
+
+// groupOf maps every built cluster to its group index, mirroring
+// groupShapes' numbering.
+func (sys *SystemSpec) groupOf(built *cluster.System) ([]int, error) {
+	out := make([]int, built.NumClusters())
+	if sys.Preset != "" {
+		for g, run := range presetRuns(built) {
+			for _, c := range run {
+				out[c] = g
+			}
+		}
+		return out, nil
+	}
+	at := 0
+	for g, grp := range sys.Clusters {
+		for n := 0; n < groupCount(grp); n++ {
+			if at >= len(out) {
+				return nil, fieldErr("system.clusters", "group expansion exceeds built cluster count")
+			}
+			out[at] = g
+			at++
+		}
+	}
+	if at != len(out) {
+		return nil, fieldErr("system.clusters", "group expansion covers %d of %d clusters", at, len(out))
+	}
+	return out, nil
+}
+
+// PerformabilityStudy assembles the perfab study of a validated spec
+// with a performability block: the built system, the cluster→group map,
+// the first flit-size series' message geometry and the spec's model
+// options. The scenario seed drives the state sampler.
+func (s *Spec) PerformabilityStudy() (*perfab.Study, error) {
+	if s.Performability == nil {
+		return nil, fieldErr("performability", "section required")
+	}
+	sys, err := s.BuildSystem()
+	if err != nil {
+		return nil, err
+	}
+	groupOf, err := s.System.groupOf(sys)
+	if err != nil {
+		return nil, err
+	}
+	return &perfab.Study{
+		Name:    s.Name,
+		Sys:     sys,
+		GroupOf: groupOf,
+		Msg:     netchar.MessageSpec{Flits: s.Traffic.Flits, FlitBytes: s.Traffic.FlitBytes[0]},
+		Opt:     s.ModelOptions(false),
+		Block:   s.Performability,
+		Seed:    s.Seed,
+	}, nil
+}

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/perfab"
+)
+
+// perfSpecJSON is a minimal valid scenario with a performability block
+// over an explicit two-group system.
+const perfSpecJSON = `{
+	"name": "perf-spec",
+	"seed": 3,
+	"system": {"ports": 4, "clusters": [
+		{"count": 2, "treeLevels": 1},
+		{"count": 2, "treeLevels": 2}
+	]},
+	"traffic": {"flits": 16, "flitBytes": [128, 256], "lambda": {"max": 0.01, "points": 4}},
+	"performability": {
+		"nodes": [{"group": 1, "mttf": 1000, "mttr": 50}],
+		"switches": [{"group": 1, "network": "icn1", "level": 1, "mttf": 2000, "mttr": 50}]
+	}
+}`
+
+func TestGroupShapesExplicit(t *testing.T) {
+	spec, err := Parse(strings.NewReader(perfSpecJSON), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := spec.System.groupShapes()
+	want := []perfab.GroupShape{{Count: 2, TreeLevels: 1}, {Count: 2, TreeLevels: 2}}
+	if len(shapes) != len(want) {
+		t.Fatalf("%d shapes, want %d", len(shapes), len(want))
+	}
+	for i := range want {
+		if shapes[i] != want[i] {
+			t.Errorf("shape %d = %+v, want %+v", i, shapes[i], want[i])
+		}
+	}
+}
+
+func TestGroupShapesPresets(t *testing.T) {
+	for _, tc := range []struct {
+		preset string
+		want   []perfab.GroupShape
+	}{
+		{"N=1120", []perfab.GroupShape{{Count: 12, TreeLevels: 1}, {Count: 16, TreeLevels: 2}, {Count: 4, TreeLevels: 3}}},
+		{"N=544", []perfab.GroupShape{{Count: 8, TreeLevels: 3}, {Count: 3, TreeLevels: 4}, {Count: 5, TreeLevels: 5}}},
+		{"small", []perfab.GroupShape{{Count: 2, TreeLevels: 1}, {Count: 2, TreeLevels: 2}}},
+	} {
+		sys := SystemSpec{Preset: tc.preset}
+		shapes := sys.groupShapes()
+		if len(shapes) != len(tc.want) {
+			t.Fatalf("%s: %d shapes, want %d", tc.preset, len(shapes), len(tc.want))
+		}
+		for i := range tc.want {
+			if shapes[i] != tc.want[i] {
+				t.Errorf("%s shape %d = %+v, want %+v", tc.preset, i, shapes[i], tc.want[i])
+			}
+		}
+	}
+	// Malformed sections yield nil (their own validation reports them).
+	if shapes := (&SystemSpec{Preset: "nope"}).groupShapes(); shapes != nil {
+		t.Errorf("unknown preset yielded shapes %+v", shapes)
+	}
+	if shapes := (&SystemSpec{}).groupShapes(); shapes != nil {
+		t.Errorf("empty section yielded shapes %+v", shapes)
+	}
+}
+
+func TestGroupOfMapsEveryCluster(t *testing.T) {
+	spec, err := Parse(strings.NewReader(perfSpecJSON), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := spec.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupOf, err := spec.System.groupOf(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1}
+	if len(groupOf) != len(want) {
+		t.Fatalf("groupOf %v, want %v", groupOf, want)
+	}
+	for i := range want {
+		if groupOf[i] != want[i] {
+			t.Fatalf("groupOf %v, want %v", groupOf, want)
+		}
+	}
+
+	// Preset path: the N=1120 run boundaries.
+	pre := SystemSpec{Preset: "N=1120"}
+	built, err := pre.Build("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pre.groupOf(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g[0] != 0 || g[11] != 0 || g[12] != 1 || g[27] != 1 || g[28] != 2 || g[31] != 2 {
+		t.Errorf("N=1120 group map %v", g)
+	}
+}
+
+func TestPerformabilityStudy(t *testing.T) {
+	spec, err := Parse(strings.NewReader(perfSpecJSON), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := spec.PerformabilityStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Name != "perf-spec" || study.Seed != 3 {
+		t.Errorf("study identity %q/%d", study.Name, study.Seed)
+	}
+	if study.Msg.Flits != 16 || study.Msg.FlitBytes != 128 {
+		t.Errorf("study uses message %+v, want the first flit-size series", study.Msg)
+	}
+	if study.Sys.NumClusters() != 4 || len(study.GroupOf) != 4 {
+		t.Errorf("study system %d clusters, group map %v", study.Sys.NumClusters(), study.GroupOf)
+	}
+	if study.Block == nil {
+		t.Error("study lost the block")
+	}
+
+	// Without a block the study is refused.
+	spec.Performability = nil
+	if _, err := spec.PerformabilityStudy(); err == nil {
+		t.Error("blockless spec accepted")
+	}
+}
+
+// TestValidateRejectsBadPerfBlock: block problems surface as field-path
+// errors from the scenario validator.
+func TestValidateRejectsBadPerfBlock(t *testing.T) {
+	for name, mut := range map[string]string{
+		"bad group":   `"nodes": [{"group": 5, "mttf": 1000, "mttr": 50}]`,
+		"bad level":   `"switches": [{"group": 0, "network": "icn1", "level": 3, "mttf": 1, "mttr": 1}]`,
+		"bad network": `"switches": [{"group": 0, "network": "wan", "level": 0, "mttf": 1, "mttr": 1}]`,
+		"no classes":  `"probe": {"fraction": 0.5}`,
+		"bad rate":    `"nodes": [{"group": 0, "mttf": -1, "mttr": 50}]`,
+		// The ICN2 height is derivable at validate time (C=4, m=4 →
+		// n_c=1), so out-of-range levels must fail here, not at run.
+		"bad icn2 level": `"icn2Switches": [{"level": 5, "mttf": 100, "mttr": 10}]`,
+	} {
+		raw := strings.Replace(perfSpecJSON,
+			`"nodes": [{"group": 1, "mttf": 1000, "mttr": 50}],
+		"switches": [{"group": 1, "network": "icn1", "level": 1, "mttf": 2000, "mttr": 50}]`, mut, 1)
+		if !strings.Contains(raw, mut) {
+			t.Fatalf("%s: replacement failed", name)
+		}
+		if _, err := Parse(strings.NewReader(raw), "test"); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), "performability") {
+			t.Errorf("%s: error lacks the performability field path: %v", name, err)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/perfab"
 )
 
 // Spec is one fully described scenario. The zero value is invalid;
@@ -47,6 +48,12 @@ type Spec struct {
 	Engines    EngineSpec      `json:"engines"`
 	Model      ModelSpec       `json:"model"`
 	Assertions []AssertionSpec `json:"assertions,omitempty"`
+
+	// Performability is the optional failure/repair block: per-class
+	// MTTF/MTTR over the system's cluster groups, probe and SLO. It is
+	// ignored by `ccscen run` campaigns; `ccscen perf` and POST
+	// /v1/performability analyze it (see Spec.PerformabilityStudy).
+	Performability *perfab.Block `json:"performability,omitempty"`
 }
 
 // SystemSpec describes the cluster-of-clusters organization, either as a
@@ -357,6 +364,17 @@ func (s *Spec) Validate() error {
 	// --- model ----------------------------------------------------------
 	if err := s.Model.Validate(); err != nil {
 		errs = append(errs, err)
+	}
+
+	// --- performability -------------------------------------------------
+	if s.Performability != nil {
+		// Group references can only be checked against a well-formed
+		// system section; system errors are already reported above.
+		if shapes := s.System.groupShapes(); shapes != nil {
+			if err := s.Performability.Validate("performability", shapes, s.System.icn2Levels(shapes)); err != nil {
+				errs = append(errs, err)
+			}
+		}
 	}
 
 	// --- assertions -----------------------------------------------------

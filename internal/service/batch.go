@@ -50,19 +50,23 @@ type BatchSummaryLine struct {
 // ParseBatch decodes one batch request document, rejecting unknown
 // fields and trailing data, and checks the item envelope (kinds are
 // validated per item at execution so one bad item fails alone, but an
-// empty or oversized batch fails the whole request).
+// oversized batch fails the whole request). An empty input stream, an
+// empty object and an empty items list all decode to a zero-item batch:
+// RunBatch answers it with a valid zero-item summary line rather than an
+// error, so generated pipelines that happen to produce no work degrade
+// gracefully.
 func ParseBatch(r io.Reader) (*BatchRequest, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var req BatchRequest
 	if err := dec.Decode(&req); err != nil {
+		if errors.Is(err, io.EOF) {
+			return &BatchRequest{}, nil
+		}
 		return nil, scenario.DecodeError(err)
 	}
 	if dec.More() {
 		return nil, errors.New("trailing data after the batch object")
-	}
-	if len(req.Items) == 0 {
-		return nil, errors.New("items: at least one work item required")
 	}
 	if len(req.Items) > batch.MaxItems {
 		return nil, fmt.Errorf("items: %d items exceed the %d-item limit", len(req.Items), batch.MaxItems)
@@ -157,8 +161,17 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 			return fail(perr)
 		}
 		payload, key, cached, err = s.campaign(spec)
+	case "performability":
+		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
+		if perr != nil {
+			return fail(perr)
+		}
+		if spec.Performability == nil {
+			return fail(fmt.Errorf("item %d: performability: section required", index))
+		}
+		payload, key, cached, err = s.performability(spec)
 	default:
-		return fail(fmt.Errorf("item %d: kind: unknown kind %q (valid: evaluate, sweep, campaign)", index, it.Kind))
+		return fail(fmt.Errorf("item %d: kind: unknown kind %q (valid: evaluate, sweep, campaign, performability)", index, it.Kind))
 	}
 	if err != nil {
 		return fail(fmt.Errorf("item %d: %w", index, err))

@@ -188,14 +188,13 @@ func TestBatchItemErrorsDoNotAbort(t *testing.T) {
 	}
 }
 
-// TestBatchEnvelopeErrors covers whole-request failures: bad JSON, no
-// items, unknown fields — all plain 400s before any streaming begins.
+// TestBatchEnvelopeErrors covers whole-request failures: bad JSON and
+// unknown fields — all plain 400s before any streaming begins.
 func TestBatchEnvelopeErrors(t *testing.T) {
 	srv := New(Options{})
 	h := srv.Handler()
 	for name, body := range map[string]string{
 		"malformed":    `{"items": [`,
-		"empty":        `{"items": []}`,
 		"unknownField": `{"items": [{"kind": "evaluate", "spec": {}}], "mode": "fast"}`,
 		"trailing":     `{"items": [{"kind": "evaluate", "spec": {}}]} {}`,
 	} {
@@ -203,6 +202,37 @@ func TestBatchEnvelopeErrors(t *testing.T) {
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body)))
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400 (%s)", name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestBatchEmptyStreamsSummary is the regression test for the empty
+// batch: an empty items list, an empty object and a completely empty
+// input stream must all answer 200 with exactly one valid zero-item
+// summary line — not an error.
+func TestBatchEmptyStreamsSummary(t *testing.T) {
+	srv := New(Options{})
+	h := srv.Handler()
+	for name, body := range map[string]string{
+		"emptyItems":  `{"items": []}`,
+		"emptyObject": `{}`,
+		"emptyStream": ``,
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d, want 200 (%s)", name, rec.Code, rec.Body.String())
+		}
+		lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+		if len(lines) != 1 {
+			t.Fatalf("%s: %d lines, want exactly one summary (%q)", name, len(lines), rec.Body.String())
+		}
+		var sum BatchSummaryLine
+		if err := json.Unmarshal([]byte(lines[0]), &sum); err != nil {
+			t.Fatalf("%s: summary line does not parse: %v", name, err)
+		}
+		if sum.Type != "summary" || sum.Items != 0 || sum.Emitted != 0 || sum.Failed != 0 || sum.Canceled {
+			t.Errorf("%s: summary %+v, want a clean zero-item summary", name, sum)
 		}
 	}
 }

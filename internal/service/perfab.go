@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"github.com/ccnet/ccnet/internal/canon"
+	"github.com/ccnet/ccnet/internal/perfab"
+	"github.com/ccnet/ccnet/internal/scenario"
+)
+
+// PerfProgressLine is one incremental NDJSON update of a running
+// performability analysis.
+type PerfProgressLine struct {
+	Type string `json:"type"` // always "progress"
+	perfab.Progress
+}
+
+// PerfResultLine is the terminal NDJSON line: the canonical cache key,
+// whether the report came from the cache, and the full report.
+type PerfResultLine struct {
+	Type   string          `json:"type"` // always "result"
+	Cached bool            `json:"cached"`
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// PerfErrorLine reports an analysis that died after streaming began.
+type PerfErrorLine struct {
+	Type  string `json:"type"` // always "error"
+	Error string `json:"error"`
+}
+
+// perfabKey hashes the scenario spec with its defaults resolved, so
+// "seed omitted" and "seed": 1 share a cache entry.
+func perfabKey(spec *scenario.Spec) (canon.Key, error) {
+	norm := *spec
+	if norm.Seed == 0 {
+		norm.Seed = 1
+	}
+	return canon.Hash("performability", norm)
+}
+
+// performability computes one performability analysis through the cache
+// without streaming progress; the batch executor uses it.
+func (s *Server) performability(spec *scenario.Spec) (payload []byte, key canon.Key, cached bool, err error) {
+	study, err := spec.PerformabilityStudy()
+	if err != nil {
+		return nil, "", false, badRequest(err)
+	}
+	key, err = perfabKey(spec)
+	if err != nil {
+		return nil, "", false, err
+	}
+	payload, cached, err = s.do(key, func() ([]byte, error) {
+		eng := &perfab.Engine{Workers: s.workers()}
+		rep, err := eng.Run(context.Background(), study)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		return json.Marshal(rep)
+	})
+	return payload, key, cached, err
+}
+
+// RunPerformability executes one analysis, streaming NDJSON to w:
+// progress lines while states evaluate (flushed immediately when w is an
+// http.Flusher), then one terminal result line. A spec already answered
+// is served from the canonical-spec result cache as a single result line
+// with cached=true, and concurrent identical specs coalesce onto one
+// computation (late arrivals stream no progress, just the shared result
+// marked cached). The returned report is nil when this call did not run
+// the analysis itself. `ccscen perf -ndjson` and POST /v1/performability
+// share this path.
+func (s *Server) RunPerformability(ctx context.Context, spec *scenario.Spec, w io.Writer) (*perfab.Report, error) {
+	study, err := spec.PerformabilityStudy()
+	if err != nil {
+		s.perfabs.Add(1)
+		s.failures.Add(1)
+		return nil, badRequest(err)
+	}
+	return s.runPerformability(ctx, spec, study, w)
+}
+
+// runPerformability is RunPerformability with the study already built —
+// the HTTP handler assembles it once for its pre-stream validation and
+// hands it straight in.
+func (s *Server) runPerformability(ctx context.Context, spec *scenario.Spec, study *perfab.Study, w io.Writer) (*perfab.Report, error) {
+	s.perfabs.Add(1)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	key, err := perfabKey(spec)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+	if payload, ok := s.cache.Get(key); ok {
+		if err := enc.Encode(PerfResultLine{Type: "result", Cached: true, Key: string(key), Result: payload}); err != nil {
+			return nil, err
+		}
+		flush()
+		return nil, nil
+	}
+
+	var rep *perfab.Report
+	payload, err, shared := s.flight.Do(string(key), func() ([]byte, error) {
+		s.computes.Add(1)
+		var progressErr error
+		eng := &perfab.Engine{
+			Workers: s.workers(),
+			Progress: func(p perfab.Progress) {
+				if progressErr != nil {
+					return
+				}
+				if err := enc.Encode(PerfProgressLine{Type: "progress", Progress: p}); err != nil {
+					progressErr = err // client gone; keep computing for the sharers
+					return
+				}
+				flush()
+			},
+		}
+		r, err := eng.Run(ctx, study)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		rep = r
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		s.failures.Add(1)
+		// Streaming has begun; report the failure in-band.
+		_ = enc.Encode(PerfErrorLine{Type: "error", Error: err.Error()})
+		flush()
+		return nil, err
+	}
+	if err := enc.Encode(PerfResultLine{Type: "result", Cached: shared, Key: string(key), Result: payload}); err != nil {
+		return rep, err
+	}
+	flush()
+	return rep, nil
+}
+
+// handlePerformability serves POST /v1/performability: the body is a
+// scenario spec with a performability block, decoded and validated up
+// front (problems are a plain 400), then the analysis streams back as
+// chunked NDJSON — progress lines and a terminal result line. A client
+// that disconnects cancels the analysis via the request context.
+func (s *Server) handlePerformability(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	spec, err := scenario.Parse(r.Body, "request")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.Performability == nil {
+		s.fail(w, http.StatusBadRequest, errors.New("performability: section required"))
+		return
+	}
+	// Structural problems only the builder can see (C = 2(m/2)^n) must
+	// fail before the status line commits to streaming.
+	study, err := spec.PerformabilityStudy()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = s.runPerformability(r.Context(), spec, study, w)
+}

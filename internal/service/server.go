@@ -54,6 +54,7 @@ type Server struct {
 	batches    atomic.Uint64
 	batchItems atomic.Uint64
 	optimizes  atomic.Uint64
+	perfabs    atomic.Uint64
 	computes   atomic.Uint64
 	coalesced  atomic.Uint64
 	failures   atomic.Uint64
@@ -91,8 +92,11 @@ func (s *Server) Computes() uint64 { return s.computes.Load() }
 //	POST /v1/evaluate   one analytical evaluation at a single rate
 //	POST /v1/sweep      an analytical sweep over a lambda grid
 //	POST /v1/campaign   a full scenario spec (same JSON as ccscen files)
-//	POST /v1/batch      a batch of evaluate/sweep/campaign items (NDJSON stream)
+//	POST /v1/batch      a batch of evaluate/sweep/campaign/performability
+//	                    items (NDJSON stream)
 //	POST /v1/optimize   a design-space search spec (NDJSON progress + frontier)
+//	POST /v1/performability  a scenario spec with a performability block
+//	                    (NDJSON progress + report)
 //	GET  /v1/healthz    liveness + version
 //	GET  /v1/stats      request and cache counters
 func (s *Server) Handler() http.Handler {
@@ -104,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/performability", s.handlePerformability)
 	return mux
 }
 
@@ -234,6 +239,7 @@ type StatsResult struct {
 	Batches       uint64     `json:"batches"`
 	BatchItems    uint64     `json:"batchItems"`
 	Optimizes     uint64     `json:"optimizes"`
+	Perfabs       uint64     `json:"performabilities"`
 	Computes      uint64     `json:"computes"`
 	Coalesced     uint64     `json:"coalesced"`
 	Failures      uint64     `json:"failures"`
@@ -262,6 +268,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Batches:       s.batches.Load(),
 		BatchItems:    s.batchItems.Load(),
 		Optimizes:     s.optimizes.Load(),
+		Perfabs:       s.perfabs.Load(),
 		Computes:      s.computes.Load(),
 		Coalesced:     s.coalesced.Load(),
 		Failures:      s.failures.Load(),

@@ -32,6 +32,13 @@ type Config struct {
 	// paper's uniform pattern.
 	Pattern traffic.Pattern
 
+	// ActiveNodes restricts traffic generation to these node ids (nil =
+	// every node generates): each active node is a Poisson source at
+	// Lambda, inactive nodes are silent. The performability layer's
+	// degraded-mode cross-checks pair it with traffic.Survivors so
+	// failed nodes neither send nor receive.
+	ActiveNodes []int
+
 	// Seed makes runs reproducible; runs with equal seeds are identical.
 	Seed uint64
 
@@ -161,10 +168,21 @@ func Run(cfg Config) (*Metrics, error) {
 		return nil, fmt.Errorf("sim: pattern covers %d nodes, system has %d", pattern.Nodes(), f.totalNodes())
 	}
 
+	active := cfg.ActiveNodes
+	for _, v := range active {
+		if v < 0 || v >= f.totalNodes() {
+			return nil, fmt.Errorf("sim: active node %d outside system of %d nodes", v, f.totalNodes())
+		}
+	}
+
 	root := rng.New(cfg.Seed, 0x9b1a_5eed)
 	arrivalStream := root.Derive(1)
 	destStream := root.Derive(2)
-	source := traffic.NewSource(cfg.Lambda, f.totalNodes(), arrivalStream)
+	sources := f.totalNodes()
+	if active != nil {
+		sources = len(active)
+	}
+	source := traffic.NewSource(cfg.Lambda, sources, arrivalStream)
 
 	metrics := &Metrics{}
 	collector := stats.Collector{WarmupCount: cfg.WarmupCount, MeasureCount: cfg.MeasureCount}
@@ -273,6 +291,9 @@ func Run(cfg Config) (*Metrics, error) {
 	var generate func()
 	scheduleNext := func() {
 		t, src := source.Next()
+		if active != nil {
+			src = active[src]
+		}
 		kernel.ScheduleAt(t, func() {
 			if collector.DoneMeasuring() || aborted {
 				return // stop generating; let the calendar drain

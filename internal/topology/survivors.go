@@ -1,0 +1,102 @@
+package topology
+
+// This file extends the distance mathematics of distances.go to degraded
+// trees: when components fail, the performability layer needs the
+// distance distribution restricted to the surviving node population.
+// Failed leaf switches remove whole contiguous node intervals, so the
+// surviving population is not uniform over the id space and Eq 6 no
+// longer applies; the distribution is instead computed exactly by
+// subtree counting in O(nodes) time.
+
+// SurvivorDistanceDistribution returns the distribution of the ascending
+// height h (the journey crosses 2h links) over ordered pairs of distinct
+// *surviving* nodes, for an arbitrary survivor set. alive must have
+// Nodes() entries. With every node alive it equals DistanceDistribution
+// exactly (tested); with fewer than two survivors it returns all zeros.
+//
+// The count of ordered pairs whose nearest common ancestor sits at
+// subtree depth d is Σ_v s(v)² − Σ_c s(c)² over the depth-d subtrees v
+// and their children c, where s(·) counts survivors — self-pairs cancel
+// between the two sums. Heights map to depths as h = n − d within a
+// half; cross-half pairs always ascend to the shared roots (h = n).
+func (t *Tree) SurvivorDistanceDistribution(alive []bool) []float64 {
+	if len(alive) != t.nodes {
+		panic("topology: alive mask length does not match node count")
+	}
+	p := make([]float64, t.N)
+	half := t.kPowers[t.N] // nodes per half
+
+	// sq[d] = Σ s(v)² over the depth-d subtrees of one half, accumulated
+	// for both halves; depth t.N is the nodes themselves (s ∈ {0,1}).
+	sq := make([]float64, t.N+1)
+	halfCounts := [2]float64{}
+	for h := 0; h < 2; h++ {
+		// counts holds survivor counts of the current depth's subtrees.
+		counts := make([]int, half)
+		base := h * half
+		for i := 0; i < half; i++ {
+			if alive[base+i] {
+				counts[i] = 1
+			}
+		}
+		for d := t.N; ; d-- {
+			var s float64
+			for _, c := range counts[:t.kPowers[d]] {
+				s += float64(c) * float64(c)
+			}
+			sq[d] += s
+			if d == 0 {
+				halfCounts[h] = float64(counts[0])
+				break
+			}
+			// Merge k sibling subtrees into their parent.
+			next := counts[:t.kPowers[d-1]]
+			for i := range next {
+				sum := 0
+				for j := i * t.K; j < (i+1)*t.K; j++ {
+					sum += counts[j]
+				}
+				next[i] = sum
+			}
+			counts = next
+		}
+	}
+
+	survivors := halfCounts[0] + halfCounts[1]
+	total := survivors * (survivors - 1)
+	if total <= 0 {
+		return p
+	}
+	for h := 1; h <= t.N; h++ {
+		pairs := sq[t.N-h] - sq[t.N-h+1]
+		if h == t.N {
+			pairs += 2 * halfCounts[0] * halfCounts[1]
+		}
+		p[h-1] = pairs / total
+	}
+	return p
+}
+
+// LeafIntervals returns the number of contiguous node intervals that
+// leaf switches partition the id space into, and the interval width.
+// Every leaf switch covers one interval; an n=1 tree has a single
+// root-and-leaf switch covering all 2k nodes.
+func (t *Tree) LeafIntervals() (count, width int) {
+	if t.N == 1 {
+		return 1, t.nodes
+	}
+	return 2 * t.kPowers[t.N-1], t.K
+}
+
+// SwitchesAtLevel returns how many switches the tree has at the given
+// level (0 = roots … N−1 = leaf switches). The root level has k^(n−1)
+// switches shared by both halves; every other level has 2·k^(n−1).
+func (t *Tree) SwitchesAtLevel(level int) int {
+	if level < 0 || level >= t.N {
+		panic("topology: level out of range")
+	}
+	if level == 0 {
+		return t.columns()
+	}
+	return 2 * t.columns()
+}

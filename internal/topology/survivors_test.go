@@ -1,0 +1,221 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// enumerateSurvivorDistribution is the brute-force reference: the height
+// distribution over ordered pairs of distinct alive nodes.
+func enumerateSurvivorDistribution(t *Tree, alive []bool) []float64 {
+	counts := make([]int, t.N)
+	total := 0
+	for s := 0; s < t.Nodes(); s++ {
+		if !alive[s] {
+			continue
+		}
+		for d := 0; d < t.Nodes(); d++ {
+			if s == d || !alive[d] {
+				continue
+			}
+			counts[t.NCAHeight(s, d)-1]++
+			total++
+		}
+	}
+	p := make([]float64, t.N)
+	if total == 0 {
+		return p
+	}
+	for i, c := range counts {
+		p[i] = float64(c) / float64(total)
+	}
+	return p
+}
+
+func distsEqual(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("distribution length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("P[h=%d] = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+// TestSurvivorDistributionAllAlive pins the degraded path to the intact
+// closed form: with every node alive the survivor distribution must
+// reproduce Eq 6 exactly.
+func TestSurvivorDistributionAllAlive(t *testing.T) {
+	for _, shape := range [][2]int{{2, 1}, {4, 1}, {4, 2}, {4, 3}, {8, 2}, {6, 3}} {
+		tr, err := New(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive := make([]bool, tr.Nodes())
+		for i := range alive {
+			alive[i] = true
+		}
+		distsEqual(t, tr.SurvivorDistanceDistribution(alive), tr.DistanceDistribution())
+	}
+}
+
+// TestSurvivorDistributionMatchesEnumeration checks random survivor sets
+// (including whole leaf-interval knockouts, the failed-leaf-switch shape)
+// against brute force.
+func TestSurvivorDistributionMatchesEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{2, 1}, {4, 1}, {4, 2}, {4, 3}, {8, 2}, {6, 3}, {2, 4}} {
+		tr, err := New(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			alive := make([]bool, tr.Nodes())
+			for i := range alive {
+				alive[i] = r.Float64() < 0.8
+			}
+			// Knock out one whole leaf interval (a failed leaf switch).
+			intervals, width := tr.LeafIntervals()
+			kill := r.Intn(intervals)
+			for i := kill * width; i < (kill+1)*width; i++ {
+				alive[i] = false
+			}
+			distsEqual(t, tr.SurvivorDistanceDistribution(alive), enumerateSurvivorDistribution(tr, alive))
+		}
+	}
+}
+
+// TestSurvivorDistributionDegenerate covers the empty and single-node
+// populations: no pairs exist, so the distribution is all zeros.
+func TestSurvivorDistributionDegenerate(t *testing.T) {
+	tr, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := make([]bool, tr.Nodes())
+	for _, p := range tr.SurvivorDistanceDistribution(alive) {
+		if p != 0 {
+			t.Fatalf("empty population yielded non-zero distribution %v", p)
+		}
+	}
+	alive[3] = true
+	for _, p := range tr.SurvivorDistanceDistribution(alive) {
+		if p != 0 {
+			t.Fatalf("single survivor yielded non-zero distribution %v", p)
+		}
+	}
+}
+
+// TestLeafIntervals checks the interval partition against LeafSwitchOf:
+// nodes of one interval share a leaf switch, and intervals tile the id
+// space in order.
+func TestLeafIntervals(t *testing.T) {
+	for _, shape := range [][2]int{{2, 1}, {4, 1}, {4, 2}, {4, 3}, {8, 2}} {
+		tr, err := New(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, width := tr.LeafIntervals()
+		if count*width != tr.Nodes() {
+			t.Fatalf("(%d,%d): %d intervals × %d ≠ %d nodes", shape[0], shape[1], count, width, tr.Nodes())
+		}
+		for i := 0; i < count; i++ {
+			want := tr.LeafSwitchOf(i * width)
+			for v := i * width; v < (i+1)*width; v++ {
+				if tr.LeafSwitchOf(v) != want {
+					t.Fatalf("(%d,%d): node %d not under interval %d's leaf switch", shape[0], shape[1], v, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSwitchesAtLevel cross-checks the closed-form per-level counts
+// against the built switch set.
+func TestSwitchesAtLevel(t *testing.T) {
+	for _, shape := range [][2]int{{2, 1}, {4, 1}, {4, 3}, {8, 2}, {6, 3}} {
+		tr, err := New(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int, tr.N)
+		for id := 0; id < tr.NumSwitches(); id++ {
+			got[tr.Switch(id).Level]++
+		}
+		total := 0
+		for l := 0; l < tr.N; l++ {
+			if tr.SwitchesAtLevel(l) != got[l] {
+				t.Errorf("(%d,%d) level %d: %d switches, built %d",
+					shape[0], shape[1], l, tr.SwitchesAtLevel(l), got[l])
+			}
+			total += tr.SwitchesAtLevel(l)
+		}
+		if total != tr.NumSwitches() {
+			t.Errorf("(%d,%d): per-level counts sum to %d, want %d", shape[0], shape[1], total, tr.NumSwitches())
+		}
+	}
+}
+
+// --- satellite: distance-distribution edge cases -------------------------
+
+// TestSingleSwitchTreeDistributions pins the n=1 degenerate tree (one
+// switch that is both root and leaf): every journey crosses exactly two
+// links, for both the uniform and the fixed-destination distributions.
+func TestSingleSwitchTreeDistributions(t *testing.T) {
+	for _, m := range []int{2, 4, 8} {
+		tr, err := New(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := tr.DistanceDistribution()
+		if len(p) != 1 || math.Abs(p[0]-1) > 1e-15 {
+			t.Errorf("m=%d n=1: uniform distribution %v, want [1]", m, p)
+		}
+		for _, dst := range []int{0, tr.Nodes() - 1} {
+			fp := tr.FixedDestinationDistribution(dst)
+			if len(fp) != 1 || math.Abs(fp[0]-1) > 1e-15 {
+				t.Errorf("m=%d n=1 dst=%d: fixed-destination distribution %v, want [1]", m, dst, fp)
+			}
+		}
+	}
+}
+
+// TestFixedDestinationBoundary checks the id-space boundary destinations
+// (first node, last node of each half) against brute force, and the
+// distribution's basic invariants: sums to one, and — by the symmetry of
+// the tree — is identical for every destination.
+func TestFixedDestinationBoundary(t *testing.T) {
+	for _, shape := range [][2]int{{4, 2}, {4, 3}, {8, 2}, {2, 4}} {
+		tr, err := New(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := tr.Nodes() / 2
+		for _, dst := range []int{0, half - 1, half, tr.Nodes() - 1} {
+			p := tr.FixedDestinationDistribution(dst)
+			sum := 0.0
+			counts := make([]int, tr.N)
+			for s := 0; s < tr.Nodes(); s++ {
+				if s == dst {
+					continue
+				}
+				counts[tr.NCAHeight(s, dst)-1]++
+			}
+			for i := range p {
+				sum += p[i]
+				want := float64(counts[i]) / float64(tr.Nodes()-1)
+				if math.Abs(p[i]-want) > 1e-12 {
+					t.Errorf("(%d,%d) dst=%d: P[h=%d]=%v, want %v", shape[0], shape[1], dst, i+1, p[i], want)
+				}
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("(%d,%d) dst=%d: distribution sums to %v", shape[0], shape[1], dst, sum)
+			}
+			// Symmetry: every destination sees the same distribution.
+			distsEqual(t, p, tr.FixedDestinationDistribution(0))
+		}
+	}
+}

@@ -7,6 +7,7 @@ package traffic
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/ccnet/ccnet/internal/rng"
 )
@@ -157,6 +158,39 @@ func (c ClusterLocal) Nodes() int { return c.Part.Total() }
 
 // Name implements Pattern.
 func (c ClusterLocal) Name() string { return fmt.Sprintf("cluster-local(%.2f)", c.PLocal) }
+
+// Survivors addresses the alive subset of a degraded system uniformly —
+// the destination pattern of the performability layer's degraded-mode
+// assumption: failed nodes neither send nor receive, survivors stay
+// uniformly addressed. Alive must be sorted ascending; Pick panics when
+// called for a dead source (pair it with sim.Config.ActiveNodes so dead
+// nodes never generate).
+type Survivors struct {
+	N     int   // id-space size (the intact node count)
+	Alive []int // sorted surviving node ids
+}
+
+// Pick implements Pattern.
+func (s Survivors) Pick(src int, r *rng.Stream) int {
+	pos := sort.SearchInts(s.Alive, src)
+	if pos >= len(s.Alive) || s.Alive[pos] != src {
+		panic(fmt.Sprintf("traffic: survivors pattern asked to route from dead node %d", src))
+	}
+	if len(s.Alive) < 2 {
+		panic("traffic: survivors pattern needs at least 2 alive nodes")
+	}
+	d := r.IntN(len(s.Alive) - 1)
+	if d >= pos {
+		d++
+	}
+	return s.Alive[d]
+}
+
+// Nodes implements Pattern.
+func (s Survivors) Nodes() int { return s.N }
+
+// Name implements Pattern.
+func (s Survivors) Name() string { return fmt.Sprintf("survivors(%d/%d)", len(s.Alive), s.N) }
 
 // Source is an aggregate Poisson arrival process over N nodes, each
 // generating at rate PerNodeRate: by superposition, arrivals form a

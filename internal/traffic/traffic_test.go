@@ -214,3 +214,40 @@ func TestPatternNames(t *testing.T) {
 		}
 	}
 }
+
+// TestSurvivorsPattern: destinations are always alive, never the source,
+// and cover every other survivor.
+func TestSurvivorsPattern(t *testing.T) {
+	alive := []int{1, 3, 4, 8, 9, 15}
+	p := Survivors{N: 16, Alive: alive}
+	if p.Nodes() != 16 {
+		t.Fatalf("Nodes() = %d, want 16", p.Nodes())
+	}
+	r := rng.New(5, 5)
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		d := p.Pick(4, r)
+		if d == 4 {
+			t.Fatal("picked the source")
+		}
+		ok := false
+		for _, a := range alive {
+			if a == d {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("picked dead node %d", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != len(alive)-1 {
+		t.Fatalf("covered %d survivors, want %d", len(seen), len(alive)-1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dead source did not panic")
+		}
+	}()
+	p.Pick(2, r)
+}
