@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/clitest"
+)
+
+func TestCLI(t *testing.T) {
+	clitest.Table(t, run, []clitest.Case{
+		{Name: "no args", Args: nil, WantCode: 2, WantStderr: "usage"},
+		{Name: "unknown verb", Args: []string{"blast"}, WantCode: 2, WantStderr: `unknown verb "blast"`},
+		{Name: "version", Args: []string{"-version"}, WantCode: 0, WantStdout: "ccload"},
+		{Name: "help", Args: []string{"help"}, WantCode: 0, WantStdout: "ccload sweep"},
+		{Name: "run bad flag", Args: []string{"run", "-nope"}, WantCode: 2},
+		{Name: "run stray arg", Args: []string{"run", "stray"}, WantCode: 2, WantStderr: "unexpected arguments"},
+		{Name: "run bad endpoint", Args: []string{"run", "-endpoints", "bogus", "-dry-run"},
+			WantCode: 2, WantStderr: `unknown endpoint "bogus"`},
+		{Name: "run bad n", Args: []string{"run", "-n", "0", "-dry-run"},
+			WantCode: 2, WantStderr: "n must be positive"},
+		{Name: "run bad dup", Args: []string{"run", "-dup", "2", "-dry-run"},
+			WantCode: 2, WantStderr: "outside [0,1]"},
+		{Name: "sweep bad rps", Args: []string{"sweep", "-rps", "abc"}, WantCode: 2, WantStderr: "-rps"},
+		{Name: "sweep baseline conflict",
+			Args:     []string{"sweep", "-baseline", "a.json", "-write-baseline", "b.json"},
+			WantCode: 2, WantStderr: "mutually exclusive"},
+	})
+}
+
+// TestDryRunDeterministic is the CLI half of the reproducibility
+// acceptance criterion: two invocations with the same seed print the
+// generated sequence byte-identically, and a different seed does not.
+func TestDryRunDeterministic(t *testing.T) {
+	args := []string{"run", "-dry-run", "-n", "50", "-seed", "7", "-dup", "0.4", "-endpoints", "evaluate:3,sweep:1"}
+	a := clitest.Run(run, args...)
+	b := clitest.Run(run, args...)
+	if a.Code != 0 || b.Code != 0 {
+		t.Fatalf("exit codes %d/%d: %s%s", a.Code, b.Code, a.Stderr, b.Stderr)
+	}
+	if a.Stdout != b.Stdout {
+		t.Fatal("same-seed dry runs differ")
+	}
+	if !strings.Contains(a.Stdout, `"type":"sha"`) {
+		t.Error("dry run prints no sequence SHA")
+	}
+	c := clitest.Run(run, "run", "-dry-run", "-n", "50", "-seed", "8", "-dup", "0.4", "-endpoints", "evaluate:3,sweep:1")
+	if c.Stdout == a.Stdout {
+		t.Fatal("different seeds printed identical sequences")
+	}
+}
+
+// TestRunInProcess exercises a real (tiny) load run end to end: the
+// artifact must carry meta, one line per request, and a summary with
+// percentiles and achieved RPS.
+func TestRunInProcess(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.ndjson")
+	got := clitest.Run(run, "run", "-n", "30", "-rps", "2000", "-seed", "11", "-dup", "0.5", "-out", out)
+	if got.Code != 0 {
+		t.Fatalf("exit %d: %s", got.Code, got.Stderr)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != 1+30+1 {
+		t.Fatalf("artifact has %d lines, want 32", len(lines))
+	}
+	first, last := lines[0], lines[len(lines)-1]
+	if !strings.Contains(first, `"type":"meta"`) || !strings.Contains(first, `"target":"in-process"`) {
+		t.Errorf("meta line: %s", first)
+	}
+	for _, want := range []string{`"type":"summary"`, `"achievedRPS"`, `"p50Seconds"`, `"p99Seconds"`, `"p999Seconds"`, `"specSequenceSHA256"`} {
+		if !strings.Contains(last, want) {
+			t.Errorf("summary line missing %s: %s", want, last)
+		}
+	}
+	if !strings.Contains(got.Stderr, "rps achieved") {
+		t.Errorf("no human summary on stderr: %s", got.Stderr)
+	}
+}
+
+// TestSweepBaselineRoundTrip writes a baseline from one sweep and
+// gates a second identical sweep against it — the CI workflow in
+// miniature.
+func TestSweepBaselineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two sweeps; skipped in -short")
+	}
+	base := filepath.Join(t.TempDir(), "base.json")
+	args := []string{"sweep", "-endpoints", "evaluate", "-rps", "2000", "-dup", "0.3", "-n", "40", "-seed", "3", "-out", os.DevNull}
+	if got := clitest.Run(run, append(args, "-write-baseline", base)...); got.Code != 0 {
+		t.Fatalf("write-baseline exit %d: %s", got.Code, got.Stderr)
+	}
+	got := clitest.Run(run, append(args, "-baseline", base, "-min-rps-pct", "1", "-max-p99-pct", "10000")...)
+	if got.Code != 0 {
+		t.Fatalf("baseline gate exit %d: %s", got.Code, got.Stderr)
+	}
+	if !strings.Contains(got.Stderr, "within baseline thresholds") {
+		t.Errorf("stderr: %s", got.Stderr)
+	}
+
+	// A baseline from a different matrix must flag missing cells.
+	got = clitest.Run(run, "sweep", "-endpoints", "healthz", "-rps", "2000", "-dup", "0.3", "-n", "40",
+		"-out", os.DevNull, "-baseline", base)
+	if got.Code != 1 || !strings.Contains(got.Stderr, "not in baseline") {
+		t.Fatalf("mismatched baseline: exit %d, stderr %s", got.Code, got.Stderr)
+	}
+}

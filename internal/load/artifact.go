@@ -1,0 +1,82 @@
+package load
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Meta is the first NDJSON line of a run artifact: everything needed
+// to reproduce the run.
+type Meta struct {
+	Type      string    `json:"type"` // always "meta"
+	Tool      string    `json:"tool"` // "ccload"
+	Version   string    `json:"version"`
+	Target    string    `json:"target"` // URL or "in-process"
+	Gen       GenConfig `json:"gen"`
+	Mode      string    `json:"mode"` // "open" or "closed"
+	RPS       float64   `json:"rps,omitempty"`
+	Workers   int       `json:"workers,omitempty"`
+	ThinkSecs float64   `json:"thinkSeconds,omitempty"`
+	SpecSHA   string    `json:"specSequenceSHA256"`
+}
+
+// requestLine / summaryLine wrap the payloads with a type tag so the
+// artifact is self-describing line by line.
+type requestLine struct {
+	Type string `json:"type"` // always "request"
+	RequestResult
+}
+
+type summaryLine struct {
+	Type string `json:"type"` // always "summary"
+	Summary
+}
+
+// WriteArtifact emits the NDJSON run artifact: one meta line, one line
+// per request in plan order, one summary line.
+func WriteArtifact(w io.Writer, meta Meta, results []RequestResult, sum Summary) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	meta.Type = "meta"
+	meta.Tool = "ccload"
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := enc.Encode(requestLine{Type: "request", RequestResult: r}); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(summaryLine{Type: "summary", Summary: sum}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePlan emits just the generated sequence as NDJSON — the -dry-run
+// view that makes "same seed, same requests" checkable byte for byte.
+func WritePlan(w io.Writer, plan *Plan) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range plan.Requests {
+		line := struct {
+			Type     string `json:"type"` // always "spec"
+			Index    int    `json:"index"`
+			Endpoint string `json:"endpoint"`
+			Method   string `json:"method"`
+			Path     string `json:"path"`
+			Body     string `json:"body,omitempty"`
+			Fresh    bool   `json:"fresh"`
+		}{"spec", r.Index, r.Endpoint, r.Method, r.Path, string(r.Body), r.Fresh}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(bw, "{\"type\":\"sha\",\"specSequenceSHA256\":%q}\n", plan.SHA)
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,193 @@
+// Package load is the sustained-load harness behind cmd/ccload: it
+// generates deterministic request sequences against a ccserved server
+// (in-process or remote), drives them open-loop (Poisson arrivals at a
+// target rate) or closed-loop (a worker pool with think time), and
+// reports achieved throughput and latency percentiles as an NDJSON
+// artifact suitable for baselining in CI.
+package load
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/ccnet/ccnet/internal/rng"
+)
+
+// Endpoints the generator knows how to build request bodies for. The
+// two GET endpoints take no body and never hit the result cache; the
+// POST endpoints draw bodies from a per-endpoint pool of distinct
+// specs so the duplication rate controls the cache hit mix.
+var endpointPaths = map[string]struct {
+	method string
+	path   string
+	post   bool
+}{
+	"evaluate": {http.MethodPost, "/v1/evaluate", true},
+	"sweep":    {http.MethodPost, "/v1/sweep", true},
+	"healthz":  {http.MethodGet, "/v1/healthz", false},
+	"stats":    {http.MethodGet, "/v1/stats", false},
+}
+
+// MixEntry weights one endpoint in the generated traffic.
+type MixEntry struct {
+	Endpoint string  `json:"endpoint"`
+	Weight   float64 `json:"weight"`
+}
+
+// ParseMix reads "evaluate" or "evaluate:4,sweep:1" into weighted
+// entries.
+func ParseMix(s string) ([]MixEntry, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("load: empty endpoint mix")
+	}
+	var mix []MixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		name, weightStr, hasWeight := strings.Cut(part, ":")
+		if _, ok := endpointPaths[name]; !ok {
+			return nil, fmt.Errorf("load: unknown endpoint %q (valid: evaluate, sweep, healthz, stats)", name)
+		}
+		w := 1.0
+		if hasWeight {
+			var err error
+			if w, err = strconv.ParseFloat(weightStr, 64); err != nil || w <= 0 {
+				return nil, fmt.Errorf("load: bad weight %q for %s", weightStr, name)
+			}
+		}
+		mix = append(mix, MixEntry{Endpoint: name, Weight: w})
+	}
+	return mix, nil
+}
+
+// GenConfig shapes a deterministic request sequence.
+type GenConfig struct {
+	Mix     []MixEntry `json:"mix"`
+	N       int        `json:"n"`       // total requests
+	Seed    uint64     `json:"seed"`    // same seed → byte-identical sequence
+	DupRate float64    `json:"dupRate"` // probability a POST reuses an earlier spec
+	Pool    int        `json:"pool"`    // distinct specs per POST endpoint
+}
+
+// GenRequest is one planned request.
+type GenRequest struct {
+	Index    int    `json:"index"`
+	Endpoint string `json:"endpoint"`
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Body     []byte `json:"body,omitempty"`
+	Fresh    bool   `json:"fresh"` // first use of this spec in the sequence
+}
+
+// Plan is the pre-generated sequence plus its fingerprint. Generating
+// up front (rather than on the fly) is what makes a seeded run
+// reproducible byte for byte: the SHA commits to every body before any
+// timing enters the picture.
+type Plan struct {
+	Requests []GenRequest
+	SHA      string // hex sha256 over "method path\nbody\n" per request
+}
+
+// Generate builds the deterministic sequence for cfg.
+func Generate(cfg GenConfig) (*Plan, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("load: n must be positive, got %d", cfg.N)
+	}
+	if len(cfg.Mix) == 0 {
+		return nil, fmt.Errorf("load: endpoint mix is empty")
+	}
+	if cfg.DupRate < 0 || cfg.DupRate > 1 {
+		return nil, fmt.Errorf("load: duplication rate %v outside [0,1]", cfg.DupRate)
+	}
+	pool := cfg.Pool
+	if pool <= 0 {
+		pool = 64
+	}
+	weights := make([]float64, len(cfg.Mix))
+	for i, m := range cfg.Mix {
+		if _, ok := endpointPaths[m.Endpoint]; !ok {
+			return nil, fmt.Errorf("load: unknown endpoint %q", m.Endpoint)
+		}
+		weights[i] = m.Weight
+	}
+
+	root := rng.New(cfg.Seed, 0x6c6f6164) // "load"
+	pick := root.Derive(1)
+	dup := root.Derive(2)
+
+	// Per-endpoint generator state: which pool indices have been used.
+	used := make(map[string][]int)
+	next := make(map[string]int)
+
+	plan := &Plan{Requests: make([]GenRequest, 0, cfg.N)}
+	h := sha256.New()
+	for i := 0; i < cfg.N; i++ {
+		name := cfg.Mix[pick.Choice(weights)].Endpoint
+		ep := endpointPaths[name]
+		req := GenRequest{Index: i, Endpoint: name, Method: ep.method, Path: ep.path, Fresh: true}
+		if ep.post {
+			var idx int
+			if u := used[name]; len(u) > 0 && dup.Float64() < cfg.DupRate {
+				idx = u[dup.IntN(len(u))]
+				req.Fresh = false
+			} else {
+				idx = next[name] % pool
+				req.Fresh = next[name] < pool // wrapping the pool repeats specs
+				next[name]++
+				used[name] = append(used[name], idx)
+			}
+			req.Body = specBody(name, idx)
+		}
+		fmt.Fprintf(h, "%s %s\n%s\n", req.Method, req.Path, req.Body)
+		plan.Requests = append(plan.Requests, req)
+	}
+	plan.SHA = hex.EncodeToString(h.Sum(nil))
+	return plan, nil
+}
+
+// specBody builds the pool spec j for an endpoint. Bodies are a pure
+// function of (endpoint, j): the sequence's randomness lives entirely
+// in which indices are drawn, which keeps the pool inspectable.
+func specBody(endpoint string, j int) []byte {
+	switch endpoint {
+	case "evaluate":
+		return fmt.Appendf(nil,
+			`{"system":{"preset":"small"},"message":{"flits":%d,"flitBytes":128},"lambda":%g}`,
+			16+8*(j%4), 1e-5*float64(1+j))
+	case "sweep":
+		return fmt.Appendf(nil,
+			`{"system":{"preset":"small"},"message":{"flits":16,"flitBytes":128},"lambda":{"min":1e-6,"max":%g,"points":5}}`,
+			1e-5*float64(2+j))
+	}
+	return nil
+}
+
+// percentile returns the q-quantile (0 < q ≤ 1) of sorted seconds by
+// the nearest-rank method; 0 for an empty slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*q+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// sortedLatencies extracts and sorts the latency column.
+func sortedLatencies(results []RequestResult) []float64 {
+	out := make([]float64, 0, len(results))
+	for _, r := range results {
+		out = append(out, r.LatencySeconds)
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,233 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ccnet/ccnet/internal/rng"
+)
+
+// Options configure one load run over a pre-generated Plan.
+type Options struct {
+	Target Target
+	Plan   *Plan
+
+	// Closed selects the closed-loop runner: Workers goroutines issue
+	// requests back to back, each sleeping an exponentially-distributed
+	// think time (mean ThinkMean) between its requests. The default is
+	// the open-loop runner: Poisson arrivals at RPS, each request on its
+	// own goroutine, at most MaxInflight outstanding.
+	Closed      bool
+	RPS         float64       // open loop: mean arrival rate
+	MaxInflight int           // open loop: concurrency cap (default 256)
+	Workers     int           // closed loop: concurrent workers (default 8)
+	ThinkMean   time.Duration // closed loop: mean think time (0 = none)
+
+	Seed uint64 // arrival/think randomness; independent of the Plan's spec sequence
+}
+
+// RequestResult records one completed request.
+type RequestResult struct {
+	Index          int     `json:"index"`
+	Endpoint       string  `json:"endpoint"`
+	Status         int     `json:"status"`
+	Class          string  `json:"class,omitempty"`
+	LatencySeconds float64 `json:"latencySeconds"`
+	Fresh          bool    `json:"fresh"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Mode           string         `json:"mode"` // "open" or "closed"
+	Requests       int            `json:"requests"`
+	Errors         int            `json:"errors"` // transport errors + non-2xx statuses
+	ErrorRate      float64        `json:"errorRate"`
+	ElapsedSeconds float64        `json:"elapsedSeconds"`
+	TargetRPS      float64        `json:"targetRPS,omitempty"` // open loop only
+	AchievedRPS    float64        `json:"achievedRPS"`
+	P50Seconds     float64        `json:"p50Seconds"`
+	P90Seconds     float64        `json:"p90Seconds"`
+	P99Seconds     float64        `json:"p99Seconds"`
+	P999Seconds    float64        `json:"p999Seconds"`
+	HitRate        float64        `json:"hitRate"` // hit+coalesced fraction of classed responses
+	Classes        map[string]int `json:"classes,omitempty"`
+	SpecSHA        string         `json:"specSequenceSHA256"`
+}
+
+// Run executes the plan against the target and aggregates the results.
+// Results come back indexed like the plan (results[i] is plan request
+// i) regardless of completion order.
+func Run(ctx context.Context, opts Options) ([]RequestResult, Summary, error) {
+	if opts.Target == nil || opts.Plan == nil || len(opts.Plan.Requests) == 0 {
+		return nil, Summary{}, fmt.Errorf("load: target and a non-empty plan are required")
+	}
+	var err error
+	var elapsed time.Duration
+	results := make([]RequestResult, len(opts.Plan.Requests))
+	if opts.Closed {
+		elapsed, err = runClosed(ctx, opts, results)
+	} else {
+		elapsed, err = runOpen(ctx, opts, results)
+	}
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	return results, summarize(opts, results, elapsed), nil
+}
+
+// issue performs plan request i and fills results[i].
+func issue(opts Options, i int, results []RequestResult) {
+	req := opts.Plan.Requests[i]
+	start := time.Now()
+	resp := opts.Target.Do(req.Method, req.Path, req.Body)
+	r := RequestResult{
+		Index:          i,
+		Endpoint:       req.Endpoint,
+		Status:         resp.Status,
+		Class:          resp.Class,
+		LatencySeconds: time.Since(start).Seconds(),
+		Fresh:          req.Fresh,
+	}
+	if resp.Err != nil {
+		r.Error = resp.Err.Error()
+	}
+	results[i] = r
+}
+
+// runOpen fires requests at Poisson arrival times: interarrival gaps
+// are exponential with rate RPS, so the offered load has the bursty
+// character of independent clients rather than a metronome. Arrivals
+// that would exceed MaxInflight wait for a slot (the run degrades
+// toward closed-loop when the server can't keep up, which the achieved
+// RPS in the summary exposes).
+func runOpen(ctx context.Context, opts Options, results []RequestResult) (time.Duration, error) {
+	if opts.RPS <= 0 {
+		return 0, fmt.Errorf("load: open-loop runs need a positive rps, got %v", opts.RPS)
+	}
+	cap := opts.MaxInflight
+	if cap <= 0 {
+		cap = 256
+	}
+	arrivals := rng.New(opts.Seed, 0x6172726976) // "arriv"
+	sem := make(chan struct{}, cap)
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for i := range opts.Plan.Requests {
+		next = next.Add(time.Duration(arrivals.Exp(opts.RPS) * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				wg.Wait()
+				return 0, ctx.Err()
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return 0, ctx.Err()
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			issue(opts, i, results)
+		}(i)
+	}
+	wg.Wait()
+	return time.Since(start), nil
+}
+
+// runClosed drives the plan through a fixed worker pool: each worker
+// claims the next undone index, issues it, then thinks. Throughput is
+// whatever the server sustains at this concurrency — the classic
+// closed-loop saturation probe.
+func runClosed(ctx context.Context, opts Options, results []RequestResult) (time.Duration, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	think := rng.New(opts.Seed, 0x7468696e6b) // "think"
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(stream *rng.Stream) {
+			defer wg.Done()
+			for i := range idx {
+				issue(opts, i, results)
+				if opts.ThinkMean > 0 {
+					pause := time.Duration(stream.Exp(1/opts.ThinkMean.Seconds()) * float64(time.Second))
+					select {
+					case <-time.After(pause):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}(think.Derive(uint64(w)))
+	}
+	var err error
+feed:
+	for i := range opts.Plan.Requests {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+func summarize(opts Options, results []RequestResult, elapsed time.Duration) Summary {
+	sum := Summary{
+		Mode:           "open",
+		Requests:       len(results),
+		ElapsedSeconds: elapsed.Seconds(),
+		TargetRPS:      opts.RPS,
+		Classes:        make(map[string]int),
+		SpecSHA:        opts.Plan.SHA,
+	}
+	if opts.Closed {
+		sum.Mode = "closed"
+		sum.TargetRPS = 0
+	}
+	var classed, hits int
+	for _, r := range results {
+		if r.Error != "" || r.Status < 200 || r.Status >= 300 {
+			sum.Errors++
+		}
+		if r.Class != "" {
+			sum.Classes[r.Class]++
+			classed++
+			if r.Class == "hit" || r.Class == "coalesced" {
+				hits++
+			}
+		}
+	}
+	sum.ErrorRate = float64(sum.Errors) / float64(sum.Requests)
+	if classed > 0 {
+		sum.HitRate = float64(hits) / float64(classed)
+	}
+	if sum.ElapsedSeconds > 0 {
+		sum.AchievedRPS = float64(sum.Requests) / sum.ElapsedSeconds
+	}
+	lats := sortedLatencies(results)
+	sum.P50Seconds = percentile(lats, 0.50)
+	sum.P90Seconds = percentile(lats, 0.90)
+	sum.P99Seconds = percentile(lats, 0.99)
+	sum.P999Seconds = percentile(lats, 0.999)
+	return sum
+}

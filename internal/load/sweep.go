@@ -1,0 +1,169 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SweepConfig is a load matrix: every endpoint × RPS × duplication-rate
+// combination becomes one cell, run open-loop for N requests.
+type SweepConfig struct {
+	Endpoints []string  `json:"endpoints"`
+	RPS       []float64 `json:"rps"`
+	DupRates  []float64 `json:"dupRates"`
+	N         int       `json:"n"`    // requests per cell
+	Seed      uint64    `json:"seed"` // each cell derives its own spec seed
+	Pool      int       `json:"pool"`
+}
+
+// Cell is one matrix point's outcome.
+type Cell struct {
+	Endpoint string  `json:"endpoint"`
+	RPS      float64 `json:"rps"`
+	DupRate  float64 `json:"dupRate"`
+	Summary  Summary `json:"summary"`
+}
+
+// Key identifies the cell in a baseline file.
+func (c Cell) Key() string { return fmt.Sprintf("%s|rps=%g|dup=%g", c.Endpoint, c.RPS, c.DupRate) }
+
+// Report is a completed sweep.
+type Report struct {
+	Config SweepConfig `json:"config"`
+	Cells  []Cell      `json:"cells"`
+}
+
+// RunSweep executes the matrix. newTarget is called once per cell so an
+// in-process sweep can start each cell against a cold server (making
+// the duplication rate, not leftover cache state, determine the hit
+// mix); a remote sweep returns the same shared target each time. The
+// optional progress func is told each cell as it completes.
+func RunSweep(ctx context.Context, cfg SweepConfig, newTarget func() Target, progress func(Cell)) (*Report, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("load: sweep needs a positive n per cell")
+	}
+	if len(cfg.Endpoints) == 0 || len(cfg.RPS) == 0 || len(cfg.DupRates) == 0 {
+		return nil, fmt.Errorf("load: sweep matrix has an empty axis")
+	}
+	rep := &Report{Config: cfg}
+	cellID := uint64(0)
+	for _, ep := range cfg.Endpoints {
+		for _, rps := range cfg.RPS {
+			for _, dup := range cfg.DupRates {
+				cellID++
+				mix, err := ParseMix(ep)
+				if err != nil {
+					return nil, err
+				}
+				plan, err := Generate(GenConfig{
+					Mix: mix, N: cfg.N, DupRate: dup, Pool: cfg.Pool,
+					// Distinct per-cell seeds, stable across runs.
+					Seed: cfg.Seed + cellID*0x9e37,
+				})
+				if err != nil {
+					return nil, err
+				}
+				_, sum, err := Run(ctx, Options{
+					Target: newTarget(), Plan: plan,
+					RPS: rps, Seed: cfg.Seed + cellID,
+				})
+				if err != nil {
+					return nil, err
+				}
+				cell := Cell{Endpoint: ep, RPS: rps, DupRate: dup, Summary: sum}
+				rep.Cells = append(rep.Cells, cell)
+				if progress != nil {
+					progress(cell)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Baseline is the committed reference a sweep is compared against
+// (LOADBASE.json at the repo root). Only the two gate-relevant numbers
+// are kept per cell — throughput floor and latency ceiling.
+type Baseline struct {
+	Cells map[string]BaselineCell `json:"cells"`
+}
+
+// BaselineCell pins one cell's reference performance.
+type BaselineCell struct {
+	AchievedRPS float64 `json:"achievedRPS"`
+	P99Seconds  float64 `json:"p99Seconds"`
+}
+
+// BaselineFromReport distills a sweep into a committable baseline.
+func BaselineFromReport(rep *Report) *Baseline {
+	b := &Baseline{Cells: make(map[string]BaselineCell)}
+	for _, c := range rep.Cells {
+		b.Cells[c.Key()] = BaselineCell{AchievedRPS: c.Summary.AchievedRPS, P99Seconds: c.Summary.P99Seconds}
+	}
+	return b
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("load: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Compare checks a sweep against the baseline: achieved RPS must stay
+// above minRPSPct percent of the baseline's, p99 must stay below the
+// baseline's plus maxP99Pct percent, and no cell may have errors. The
+// thresholds are generous by design — CI machines vary — so a failure
+// means a real regression, not noise. Cells missing from the baseline
+// are violations too: the baseline must be regenerated deliberately.
+func Compare(rep *Report, base *Baseline, minRPSPct, maxP99Pct float64) []string {
+	var violations []string
+	for _, c := range rep.Cells {
+		key := c.Key()
+		if c.Summary.Errors > 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s: %d request errors (error rate %.3f)", key, c.Summary.Errors, c.Summary.ErrorRate))
+		}
+		ref, ok := base.Cells[key]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: not in baseline (regenerate with -write-baseline)", key))
+			continue
+		}
+		if floor := ref.AchievedRPS * minRPSPct / 100; c.Summary.AchievedRPS < floor {
+			violations = append(violations,
+				fmt.Sprintf("%s: achieved %.1f rps < %.1f (%.0f%% of baseline %.1f)",
+					key, c.Summary.AchievedRPS, floor, minRPSPct, ref.AchievedRPS))
+		}
+		if ceil := ref.P99Seconds * (1 + maxP99Pct/100); ref.P99Seconds > 0 && c.Summary.P99Seconds > ceil {
+			violations = append(violations,
+				fmt.Sprintf("%s: p99 %.6fs > %.6fs (baseline %.6fs +%.0f%%)",
+					key, c.Summary.P99Seconds, ceil, ref.P99Seconds, maxP99Pct))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}
+
+// WriteSweepReport writes the full sweep report as indented JSON.
+func WriteSweepReport(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteBaseline writes the baseline JSON with stable key order.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,86 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+)
+
+// Response is what the harness records about one request: the HTTP
+// status, the server's hit-class header, and any transport error.
+type Response struct {
+	Status int
+	Class  string // X-Cache: hit, coalesced, miss, or "" for uncached endpoints
+	Err    error
+}
+
+// Target abstracts where the load goes: an in-process handler or a
+// remote server over TCP. Implementations must be safe for concurrent
+// use.
+type Target interface {
+	Do(method, path string, body []byte) Response
+}
+
+// HandlerTarget drives an http.Handler directly — no sockets, no
+// serialization overhead beyond the handler's own. This is how CI
+// load-tests the service hermetically.
+type HandlerTarget struct{ Handler http.Handler }
+
+func (t HandlerTarget) Do(method, path string, body []byte) Response {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	w := httptest.NewRecorder()
+	w.Body = nil // discard payloads; the harness measures, it doesn't read
+	t.Handler.ServeHTTP(w, req)
+	return Response{Status: w.Code, Class: w.Header().Get("X-Cache")}
+}
+
+// HTTPTarget drives a live server at Base (e.g. http://localhost:8080).
+type HTTPTarget struct {
+	Base   string
+	Client *http.Client
+}
+
+// NewHTTPTarget builds a target with a pooled client sized for load
+// generation (idle connections kept per host so steady-state traffic
+// reuses sockets instead of burning ephemeral ports).
+func NewHTTPTarget(base string) *HTTPTarget {
+	tr := &http.Transport{MaxIdleConnsPerHost: 256}
+	return &HTTPTarget{
+		Base:   strings.TrimSuffix(base, "/"),
+		Client: &http.Client{Transport: tr, Timeout: 60 * time.Second},
+	}
+}
+
+func (t *HTTPTarget) Do(method, path string, body []byte) Response {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, t.Base+path, rd)
+	if err != nil {
+		return Response{Err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return Response{Err: err}
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return Response{Status: resp.StatusCode, Err: fmt.Errorf("reading body: %w", err)}
+	}
+	return Response{Status: resp.StatusCode, Class: resp.Header.Get("X-Cache")}
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentObservations hammers counters, gauges, vec children and
+// histograms from many goroutines (run under -race in CI) and checks
+// that nothing is lost: counters and histogram counts are exact, the
+// histogram sum is exact (every observation lands through the CAS
+// loop), and scraping concurrently with observation neither panics nor
+// corrupts output.
+func TestConcurrentObservations(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 2000
+	)
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	vec := r.CounterVec("v_total", "", "worker")
+	h := r.Histogram("h_seconds", "", DefLatencyBuckets)
+	hv := r.HistogramVec("hv_seconds", "", []float64{0.001, 0.01, 0.1}, "worker")
+
+	var wg, scraperWG sync.WaitGroup
+	stop := make(chan struct{})
+	// A scraper races the writers the whole time; it has its own
+	// WaitGroup because it only exits once the writers are done.
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := r.WriteText(&sb); err != nil {
+				t.Errorf("WriteText: %v", err)
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := fmt.Sprintf("w%d", w%4)
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				vec.With(label).Inc()
+				h.Observe(0.001)
+				hv.With(label).Observe(float64(i%100) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraperWG.Wait()
+
+	total := uint64(goroutines * perG)
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != float64(total) {
+		t.Errorf("gauge = %v, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	if got, want := h.Sum(), float64(total)*0.001; !floatNear(got, want, tol(want)) {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+	var vecTotal uint64
+	for w := 0; w < 4; w++ {
+		vecTotal += vec.With(fmt.Sprintf("w%d", w)).Value()
+	}
+	if vecTotal != total {
+		t.Errorf("vec total = %d, want %d", vecTotal, total)
+	}
+}
+
+// tol returns a tiny relative tolerance: the sum accumulates in FP so
+// ordering can shift the last bits.
+func tol(want float64) float64 { return want * 1e-9 }
+
+func floatNear(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

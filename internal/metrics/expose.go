@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes every family in the Prometheus text exposition
+// format (version 0.0.4): `# HELP` and `# TYPE` headers, then one line
+// per series. Families are ordered by name and series by their label
+// values, so identical registry states produce byte-identical output.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		children := f.collect()
+		if len(children) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range children {
+			f.writeSeries(bw, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) writeSeries(w *bufio.Writer, s series) {
+	switch c := s.child.(type) {
+	case *Counter:
+		writeSample(w, f.name, "", f.labels, s.values, "", "", float64(c.Value()))
+	case *Gauge:
+		writeSample(w, f.name, "", f.labels, s.values, "", "", c.Value())
+	case funcChild:
+		writeSample(w, f.name, "", f.labels, s.values, "", "", c.fn())
+	case *Histogram:
+		cum := c.Cumulative()
+		for i, b := range f.bounds {
+			writeSample(w, f.name, "_bucket", f.labels, s.values, "le", formatFloat(b), float64(cum[i]))
+		}
+		writeSample(w, f.name, "_bucket", f.labels, s.values, "le", "+Inf", float64(cum[len(cum)-1]))
+		writeSample(w, f.name, "_sum", f.labels, s.values, "", "", c.Sum())
+		writeSample(w, f.name, "_count", f.labels, s.values, "", "", float64(cum[len(cum)-1]))
+	}
+}
+
+// writeSample writes one series line, appending the optional extra
+// label (the histogram `le`) after the family labels.
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, extraName, extraValue string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(extraValue)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders values the way Prometheus clients do: shortest
+// round-trip representation, infinities spelled +Inf/-Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// ContentType is the exposition format the handler serves.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+// RegisterGoRuntime adds the standard Go process gauges: goroutine
+// count, heap allocation, total process memory and completed GC cycles.
+// Memory stats are read once per scrape (ReadMemStats stops the world
+// for microseconds — irrelevant at scrape frequency, never on a request
+// path).
+func RegisterGoRuntime(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.HeapAlloc) })
+	r.GaugeFunc("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.Sys) })
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles since process start.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.NumGC) })
+}

@@ -88,6 +88,9 @@ func ParseBatch(r io.Reader) (*BatchRequest, error) {
 func (s *Server) RunBatch(ctx context.Context, items []batch.Item, w io.Writer) (batch.Summary, error) {
 	s.batches.Add(1)
 	s.batchItems.Add(uint64(len(items)))
+	s.m.activeStreams.With("batch").Add(1)
+	defer s.m.activeStreams.With("batch").Add(-1)
+	lines := s.m.streamLines.With("batch")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	eng := &batch.Engine{Workers: s.workers(), Exec: s.exec}
@@ -106,8 +109,12 @@ func (s *Server) RunBatch(ctx context.Context, items []batch.Item, w io.Writer) 
 			line.Error = o.Err.Error()
 		}
 		if err := enc.Encode(line); err != nil {
+			// The client hung up mid-stream: count it and abort the
+			// batch cleanly (the engine stops scheduling new items).
+			s.writeErrors.Add(1)
 			return err
 		}
+		lines.Inc()
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -117,8 +124,10 @@ func (s *Server) RunBatch(ctx context.Context, items []batch.Item, w io.Writer) 
 		return sum, err
 	}
 	if err := enc.Encode(BatchSummaryLine{Type: "summary", Summary: sum}); err != nil {
+		s.writeErrors.Add(1)
 		return sum, err
 	}
+	lines.Inc()
 	if flusher != nil {
 		flusher.Flush()
 	}
@@ -140,7 +149,7 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 	}
 	var payload []byte
 	var key canon.Key
-	var cached bool
+	var class string
 	var err error
 	switch it.Kind {
 	case "evaluate":
@@ -148,19 +157,19 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 		if derr := decodeSpec(it.Spec, &req); derr != nil {
 			return fail(fmt.Errorf("item %d: %w", index, derr))
 		}
-		payload, key, cached, err = s.evaluate(&req)
+		payload, key, class, err = s.evaluate(&req)
 	case "sweep":
 		var req SweepRequest
 		if derr := decodeSpec(it.Spec, &req); derr != nil {
 			return fail(fmt.Errorf("item %d: %w", index, derr))
 		}
-		payload, key, cached, err = s.sweep(&req)
+		payload, key, class, err = s.sweep(&req)
 	case "campaign":
 		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
 		if perr != nil {
 			return fail(perr)
 		}
-		payload, key, cached, err = s.campaign(spec)
+		payload, key, class, err = s.campaign(spec)
 	case "performability":
 		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
 		if perr != nil {
@@ -169,7 +178,7 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 		if spec.Performability == nil {
 			return fail(fmt.Errorf("item %d: performability: section required", index))
 		}
-		payload, key, cached, err = s.performability(spec)
+		payload, key, class, err = s.performability(spec)
 	default:
 		return fail(fmt.Errorf("item %d: kind: unknown kind %q (valid: evaluate, sweep, campaign, performability)", index, it.Kind))
 	}
@@ -178,7 +187,7 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 	}
 	o.Payload = payload
 	o.Key = string(key)
-	o.Cached = cached
+	o.Cached = cachedClass(class)
 	return o
 }
 

@@ -54,6 +54,9 @@ func optimizeKey(spec *optimize.SearchSpec) (canon.Key, error) {
 // -ndjson` and POST /v1/optimize share this path.
 func (s *Server) RunOptimize(ctx context.Context, spec *optimize.SearchSpec, w io.Writer) (*optimize.Report, error) {
 	s.optimizes.Add(1)
+	s.m.activeStreams.With("optimize").Add(1)
+	defer s.m.activeStreams.With("optimize").Add(-1)
+	lines := s.m.streamLines.With("optimize")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	flush := func() {
@@ -68,9 +71,12 @@ func (s *Server) RunOptimize(ctx context.Context, spec *optimize.SearchSpec, w i
 		return nil, err
 	}
 	if payload, ok := s.cache.Get(key); ok {
+		setHitClass(w, classHit)
 		if err := enc.Encode(OptimizeFrontierLine{Type: "frontier", Cached: true, Key: string(key), Result: payload}); err != nil {
+			s.writeErrors.Add(1)
 			return nil, err
 		}
+		lines.Inc()
 		flush()
 		return nil, nil
 	}
@@ -94,8 +100,10 @@ func (s *Server) RunOptimize(ctx context.Context, spec *optimize.SearchSpec, w i
 				}
 				if err := enc.Encode(OptimizeProgressLine{Type: "progress", Progress: p}); err != nil {
 					progressErr = err // client gone; keep computing for the sharers
+					s.writeErrors.Add(1)
 					return
 				}
+				lines.Inc()
 				flush()
 			},
 		}
@@ -113,18 +121,27 @@ func (s *Server) RunOptimize(ctx context.Context, spec *optimize.SearchSpec, w i
 	})
 	if shared {
 		s.coalesced.Add(1)
+		setHitClass(w, classCoalesced)
+	} else {
+		setHitClass(w, classMiss)
 	}
 	if err != nil {
 		s.failures.Add(1)
 		// Streaming has begun; report the failure in-band. Encode errors
 		// here mean the client is gone — nothing left to tell it.
-		_ = enc.Encode(OptimizeErrorLine{Type: "error", Error: err.Error()})
+		if encErr := enc.Encode(OptimizeErrorLine{Type: "error", Error: err.Error()}); encErr != nil {
+			s.writeErrors.Add(1)
+		} else {
+			lines.Inc()
+		}
 		flush()
 		return nil, err
 	}
 	if err := enc.Encode(OptimizeFrontierLine{Type: "frontier", Cached: shared, Key: string(key), Result: payload}); err != nil {
+		s.writeErrors.Add(1)
 		return rep, err
 	}
+	lines.Inc()
 	flush()
 	return rep, nil
 }

@@ -46,16 +46,16 @@ func perfabKey(spec *scenario.Spec) (canon.Key, error) {
 
 // performability computes one performability analysis through the cache
 // without streaming progress; the batch executor uses it.
-func (s *Server) performability(spec *scenario.Spec) (payload []byte, key canon.Key, cached bool, err error) {
+func (s *Server) performability(spec *scenario.Spec) (payload []byte, key canon.Key, class string, err error) {
 	study, err := spec.PerformabilityStudy()
 	if err != nil {
-		return nil, "", false, badRequest(err)
+		return nil, "", "", badRequest(err)
 	}
 	key, err = perfabKey(spec)
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", "", err
 	}
-	payload, cached, err = s.do(key, func() ([]byte, error) {
+	payload, class, err = s.do(key, func() ([]byte, error) {
 		eng := &perfab.Engine{Workers: s.workers()}
 		rep, err := eng.Run(context.Background(), study)
 		if err != nil {
@@ -63,7 +63,7 @@ func (s *Server) performability(spec *scenario.Spec) (payload []byte, key canon.
 		}
 		return json.Marshal(rep)
 	})
-	return payload, key, cached, err
+	return payload, key, class, err
 }
 
 // RunPerformability executes one analysis, streaming NDJSON to w:
@@ -90,6 +90,9 @@ func (s *Server) RunPerformability(ctx context.Context, spec *scenario.Spec, w i
 // hands it straight in.
 func (s *Server) runPerformability(ctx context.Context, spec *scenario.Spec, study *perfab.Study, w io.Writer) (*perfab.Report, error) {
 	s.perfabs.Add(1)
+	s.m.activeStreams.With("performability").Add(1)
+	defer s.m.activeStreams.With("performability").Add(-1)
+	lines := s.m.streamLines.With("performability")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	flush := func() {
@@ -104,9 +107,12 @@ func (s *Server) runPerformability(ctx context.Context, spec *scenario.Spec, stu
 		return nil, err
 	}
 	if payload, ok := s.cache.Get(key); ok {
+		setHitClass(w, classHit)
 		if err := enc.Encode(PerfResultLine{Type: "result", Cached: true, Key: string(key), Result: payload}); err != nil {
+			s.writeErrors.Add(1)
 			return nil, err
 		}
+		lines.Inc()
 		flush()
 		return nil, nil
 	}
@@ -123,8 +129,10 @@ func (s *Server) runPerformability(ctx context.Context, spec *scenario.Spec, stu
 				}
 				if err := enc.Encode(PerfProgressLine{Type: "progress", Progress: p}); err != nil {
 					progressErr = err // client gone; keep computing for the sharers
+					s.writeErrors.Add(1)
 					return
 				}
+				lines.Inc()
 				flush()
 			},
 		}
@@ -142,17 +150,26 @@ func (s *Server) runPerformability(ctx context.Context, spec *scenario.Spec, stu
 	})
 	if shared {
 		s.coalesced.Add(1)
+		setHitClass(w, classCoalesced)
+	} else {
+		setHitClass(w, classMiss)
 	}
 	if err != nil {
 		s.failures.Add(1)
 		// Streaming has begun; report the failure in-band.
-		_ = enc.Encode(PerfErrorLine{Type: "error", Error: err.Error()})
+		if encErr := enc.Encode(PerfErrorLine{Type: "error", Error: err.Error()}); encErr != nil {
+			s.writeErrors.Add(1)
+		} else {
+			lines.Inc()
+		}
 		flush()
 		return nil, err
 	}
 	if err := enc.Encode(PerfResultLine{Type: "result", Cached: shared, Key: string(key), Result: payload}); err != nil {
+		s.writeErrors.Add(1)
 		return rep, err
 	}
+	lines.Inc()
 	flush()
 	return rep, nil
 }

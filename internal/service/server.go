@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -48,16 +49,21 @@ type Server struct {
 	// streaming tests substitute gated executors.
 	exec batch.Exec
 
-	evaluates  atomic.Uint64
-	sweeps     atomic.Uint64
-	campaigns  atomic.Uint64
-	batches    atomic.Uint64
-	batchItems atomic.Uint64
-	optimizes  atomic.Uint64
-	perfabs    atomic.Uint64
-	computes   atomic.Uint64
-	coalesced  atomic.Uint64
-	failures   atomic.Uint64
+	evaluates   atomic.Uint64
+	sweeps      atomic.Uint64
+	campaigns   atomic.Uint64
+	batches     atomic.Uint64
+	batchItems  atomic.Uint64
+	optimizes   atomic.Uint64
+	perfabs     atomic.Uint64
+	computes    atomic.Uint64
+	coalesced   atomic.Uint64
+	failures    atomic.Uint64
+	writeErrors atomic.Uint64
+
+	// m is the /metrics registry and the directly-instrumented series;
+	// built once by initMetrics.
+	m *serviceMetrics
 }
 
 // New builds a Server, applying defaults for zero Options fields.
@@ -76,7 +82,15 @@ func New(opt Options) *Server {
 		cache: NewCache(opt.CacheEntries, opt.CacheBytes, opt.CacheTTL),
 		start: time.Now(),
 	}
-	s.exec = s.execBatchItem
+	s.initMetrics()
+	// The busy-workers gauge wraps the executor so every path into the
+	// batch pool (HTTP, ccscen, tests with the real executor) reports
+	// pool depth.
+	s.exec = func(ctx context.Context, index int, it batch.Item) batch.Outcome {
+		s.m.busyWorkers.Add(1)
+		defer s.m.busyWorkers.Add(-1)
+		return s.execBatchItem(ctx, index, it)
+	}
 	return s
 }
 
@@ -99,17 +113,22 @@ func (s *Server) Computes() uint64 { return s.computes.Load() }
 //	                    (NDJSON progress + report)
 //	GET  /v1/healthz    liveness + version
 //	GET  /v1/stats      request and cache counters
+//	GET  /metrics       Prometheus text exposition
+//
+// Every route runs through the instrumentation middleware: an in-flight
+// gauge and a per-endpoint × status × hit-class latency histogram.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.m.reg.Handler())
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("POST /v1/performability", s.handlePerformability)
-	return mux
+	return s.instrument(mux)
 }
 
 // --- request/response types ----------------------------------------------
@@ -243,13 +262,14 @@ type StatsResult struct {
 	Computes      uint64     `json:"computes"`
 	Coalesced     uint64     `json:"coalesced"`
 	Failures      uint64     `json:"failures"`
+	WriteErrors   uint64     `json:"responseWriteErrors"`
 	Cache         CacheStats `json:"cache"`
 }
 
 // --- handlers --------------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"version":       version.Version,
 		"uptimeSeconds": time.Since(s.start).Seconds(),
@@ -257,7 +277,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResult{
+	s.writeJSON(w, http.StatusOK, StatsResult{
 		Version:       version.Version,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
@@ -272,6 +292,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Computes:      s.computes.Load(),
 		Coalesced:     s.coalesced.Load(),
 		Failures:      s.failures.Load(),
+		WriteErrors:   s.writeErrors.Load(),
 		Cache:         s.cache.Stats(),
 	})
 }
@@ -283,14 +304,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	payload, key, cached, err := s.evaluate(&req)
-	s.finish(w, key, payload, cached, err)
+	payload, key, class, err := s.evaluate(&req)
+	s.finish(w, key, payload, class, err)
 }
 
 // evaluate validates and computes one evaluate request through the
 // cache; the HTTP handler and the batch executor share it. Errors caused
 // by the request are badRequest-tagged.
-func (s *Server) evaluate(req *EvaluateRequest) (payload []byte, key canon.Key, cached bool, err error) {
+func (s *Server) evaluate(req *EvaluateRequest) (payload []byte, key canon.Key, class string, err error) {
 	var errs []error
 	if err := req.System.Validate(); err != nil {
 		errs = append(errs, err)
@@ -303,21 +324,21 @@ func (s *Server) evaluate(req *EvaluateRequest) (payload []byte, key canon.Key, 
 		errs = append(errs, fmt.Errorf("lambda: must be a positive finite rate, got %v", req.Lambda))
 	}
 	if len(errs) > 0 {
-		return nil, "", false, badRequest(errors.Join(errs...))
+		return nil, "", "", badRequest(errors.Join(errs...))
 	}
 	sys, err := req.System.Build("request")
 	if err != nil {
-		return nil, "", false, badRequest(err)
+		return nil, "", "", badRequest(err)
 	}
 
 	msg := netchar.MessageSpec{Flits: req.Message.Flits, FlitBytes: req.Message.FlitBytes}
 	opt := req.Model.Options(req.StoreAndForward)
 	key, err = canon.Hash("evaluate", hashableSystem(sys), msg, opt, req.Lambda)
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", "", err
 	}
 
-	payload, cached, err = s.do(key, func() ([]byte, error) {
+	payload, class, err = s.do(key, func() ([]byte, error) {
 		m, err := core.New(sys, msg, opt)
 		if err != nil {
 			return nil, badRequest(err)
@@ -325,7 +346,7 @@ func (s *Server) evaluate(req *EvaluateRequest) (payload []byte, key canon.Key, 
 		res := m.Evaluate(req.Lambda)
 		return json.Marshal(EvaluateResult{System: systemInfo(sys), PointJSON: pointJSON(res)})
 	})
-	return payload, key, cached, err
+	return payload, key, class, err
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -335,13 +356,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	payload, key, cached, err := s.sweep(&req)
-	s.finish(w, key, payload, cached, err)
+	payload, key, class, err := s.sweep(&req)
+	s.finish(w, key, payload, class, err)
 }
 
 // sweep validates and computes one sweep request through the cache; the
 // HTTP handler and the batch executor share it.
-func (s *Server) sweep(req *SweepRequest) (payload []byte, key canon.Key, cached bool, err error) {
+func (s *Server) sweep(req *SweepRequest) (payload []byte, key canon.Key, class string, err error) {
 	var errs []error
 	if err := req.System.Validate(); err != nil {
 		errs = append(errs, err)
@@ -354,11 +375,11 @@ func (s *Server) sweep(req *SweepRequest) (payload []byte, key canon.Key, cached
 		errs = append(errs, err)
 	}
 	if len(errs) > 0 {
-		return nil, "", false, badRequest(errors.Join(errs...))
+		return nil, "", "", badRequest(errors.Join(errs...))
 	}
 	sys, err := req.System.Build("request")
 	if err != nil {
-		return nil, "", false, badRequest(err)
+		return nil, "", "", badRequest(err)
 	}
 
 	// A synthetic one-series spec reuses the scenario engine's model
@@ -391,15 +412,15 @@ func (s *Server) sweep(req *SweepRequest) (payload []byte, key canon.Key, cached
 		key, err = canon.Hash("sweep-auto", hashableSystem(sys), msg, opt, la)
 	} else {
 		if grid, err = spec.Grid(nil); err != nil {
-			return nil, "", false, badRequest(err)
+			return nil, "", "", badRequest(err)
 		}
 		key, err = canon.Hash("sweep", hashableSystem(sys), msg, opt, grid)
 	}
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", "", err
 	}
 
-	payload, cached, err = s.do(key, func() ([]byte, error) {
+	payload, class, err = s.do(key, func() ([]byte, error) {
 		g := grid
 		var models []*core.Model
 		if g == nil { // auto grid: materialize from the paper model
@@ -430,7 +451,7 @@ func (s *Server) sweep(req *SweepRequest) (payload []byte, key canon.Key, cached
 		}
 		return json.Marshal(out)
 	})
-	return payload, key, cached, err
+	return payload, key, class, err
 }
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
@@ -441,13 +462,13 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	payload, key, cached, err := s.campaign(spec)
-	s.finish(w, key, payload, cached, err)
+	payload, key, class, err := s.campaign(spec)
+	s.finish(w, key, payload, class, err)
 }
 
 // campaign computes one parsed scenario through the cache; the HTTP
 // handler and the batch executor share it.
-func (s *Server) campaign(spec *scenario.Spec) (payload []byte, key canon.Key, cached bool, err error) {
+func (s *Server) campaign(spec *scenario.Spec) (payload []byte, key canon.Key, class string, err error) {
 	// Normalize the one default the runner applies itself, so "seed
 	// omitted" and "seed: 1" share a cache entry.
 	norm := *spec
@@ -456,10 +477,10 @@ func (s *Server) campaign(spec *scenario.Spec) (payload []byte, key canon.Key, c
 	}
 	key, err = canon.Hash("campaign", norm)
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", "", err
 	}
 
-	payload, cached, err = s.do(key, func() ([]byte, error) {
+	payload, class, err = s.do(key, func() ([]byte, error) {
 		runner := &scenario.Runner{Workers: s.workers()}
 		o := runner.Run([]*scenario.Spec{spec})[0]
 		if o.Err != nil {
@@ -492,7 +513,7 @@ func (s *Server) campaign(spec *scenario.Spec) (payload []byte, key canon.Key, c
 		}
 		return json.Marshal(out)
 	})
-	return payload, key, cached, err
+	return payload, key, class, err
 }
 
 // --- plumbing --------------------------------------------------------------
@@ -506,11 +527,12 @@ func (s *Server) workers() int {
 
 // do answers key from the cache, or computes through the singleflight
 // group (so concurrent identical requests compute once) and caches the
-// successful payload. cached reports whether this call avoided its own
-// computation, via either path.
-func (s *Server) do(key canon.Key, compute func() ([]byte, error)) (payload []byte, cached bool, err error) {
+// successful payload. class reports how the answer was produced:
+// classHit (cache), classCoalesced (shared a concurrent identical
+// computation) or classMiss (computed here).
+func (s *Server) do(key canon.Key, compute func() ([]byte, error)) (payload []byte, class string, err error) {
 	if v, ok := s.cache.Get(key); ok {
-		return v, true, nil
+		return v, classHit, nil
 	}
 	v, err, shared := s.flight.Do(string(key), func() ([]byte, error) {
 		s.computes.Add(1)
@@ -522,13 +544,20 @@ func (s *Server) do(key canon.Key, compute func() ([]byte, error)) (payload []by
 	})
 	if shared {
 		s.coalesced.Add(1)
+		return v, classCoalesced, err
 	}
-	return v, shared, err
+	return v, classMiss, err
 }
 
+// cachedClass reports whether class avoided its own computation (the
+// Envelope.Cached field and the batch Outcome.Cached field).
+func cachedClass(class string) bool { return class == classHit || class == classCoalesced }
+
 // finish writes the enveloped payload, or maps the compute error to its
-// status code.
-func (s *Server) finish(w http.ResponseWriter, key canon.Key, payload []byte, cached bool, err error) {
+// status code. The X-Cache header carries the hit class verbatim
+// ("hit", "coalesced" or "miss"); the instrumentation middleware reads
+// it back for the histogram label.
+func (s *Server) finish(w http.ResponseWriter, key canon.Key, payload []byte, class string, err error) {
 	if err != nil {
 		code := http.StatusInternalServerError
 		var br *badRequestError
@@ -538,17 +567,13 @@ func (s *Server) finish(w http.ResponseWriter, key canon.Key, payload []byte, ca
 		s.fail(w, code, err)
 		return
 	}
-	if cached {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
-	}
-	writeJSON(w, http.StatusOK, Envelope{Cached: cached, Key: string(key), Result: payload})
+	w.Header().Set("X-Cache", class)
+	s.writeJSON(w, http.StatusOK, Envelope{Cached: cachedClass(class), Key: string(key), Result: payload})
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	s.failures.Add(1)
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 // badRequestError marks compute-time failures caused by the request
@@ -576,11 +601,18 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes one JSON response body. An encode failure here means
+// the client disconnected (or the connection broke) after the status
+// line — nothing can be re-sent, but the failure is counted in
+// writeErrors / ccserved_response_write_errors_total instead of being
+// dropped silently.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.writeErrors.Add(1)
+	}
 }
 
 // hashableSystem strips the label from a built system so cache keys

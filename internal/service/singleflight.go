@@ -58,3 +58,10 @@ func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err
 	}()
 	return c.val, c.err, false
 }
+
+// Inflight reports how many distinct keys are currently being computed.
+func (g *flightGroup) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
