@@ -25,6 +25,7 @@ import (
 	"github.com/ccnet/ccnet/internal/core"
 	"github.com/ccnet/ccnet/internal/des"
 	"github.com/ccnet/ccnet/internal/experiments"
+	"github.com/ccnet/ccnet/internal/fleetsim"
 	"github.com/ccnet/ccnet/internal/metrics"
 	"github.com/ccnet/ccnet/internal/netchar"
 	"github.com/ccnet/ccnet/internal/optimize"
@@ -580,6 +581,46 @@ func BenchmarkPerfabStates(b *testing.B) {
 		}
 		if i == 0 {
 			b.ReportMetric(float64(rep.StatesEvaluated), "states")
+		}
+	}
+}
+
+// BenchmarkFleetSimEpochs measures the fleet simulator's end-to-end hot
+// loop: one seeded stochastic trajectory over the 4-cluster miniature
+// (Gillespie failure/repair draws, epoch folding into 1000 epochs), the
+// distinct visited states rebuilt and evaluated through the degraded-
+// model path with ordered absorption, and the report assembled with its
+// long-run aggregates. Gated by the CI perf-regression diff against the
+// committed baseline.
+func BenchmarkFleetSimEpochs(b *testing.B) {
+	study := &fleetsim.Study{
+		Perf: &perfab.Study{
+			Name:    "bench-fleet",
+			Sys:     cluster.SmallTestSystem(),
+			GroupOf: []int{0, 0, 1, 1},
+			Msg:     netchar.MessageSpec{Flits: 16, FlitBytes: 128},
+			Block: &perfab.Block{
+				Nodes: []perfab.NodeFailureSpec{
+					{Group: 1, RateSpec: perfab.RateSpec{MTTF: 1500, MTTR: 50, Repairers: 2}},
+				},
+			},
+			Seed: 1,
+		},
+		Block: &fleetsim.Block{Horizon: 100000, Epoch: 100},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := (&fleetsim.Engine{}).Run(context.Background(), study)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Epochs) != 1000 {
+			b.Fatalf("%d epochs, want 1000", len(rep.Epochs))
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Transitions), "transitions")
+			b.ReportMetric(float64(rep.UniqueStates), "states")
 		}
 	}
 }

@@ -13,6 +13,8 @@
 //	                                           Pareto frontier
 //	ccscen perf [flags] <file.json|->          failure/repair performability
 //	                                           analysis (degraded-mode metrics)
+//	ccscen fleet [flags] <file.json|->         time-domain fleet simulation of
+//	                                           a scenario's fleetsim timeline
 //	ccscen validate <file.json|dir> [...]      check files without running
 //	ccscen list [dir]                          summarize a scenario directory
 //
@@ -25,29 +27,38 @@
 //	ccscen optimize examples/scenarios/optimize/budget-cluster-mix.json
 //	ccscen optimize -ndjson spec.json > frontier.ndjson
 //	ccscen perf examples/scenarios/perfab/hetero-node-failures.json
+//	ccscen fleet examples/scenarios/fleetsim/repair-crew-split.json
 //	ccscen validate examples/scenarios
 //	ccscen list examples/scenarios
 //
 // The scenario file format, the batch request/NDJSON stream formats,
-// the optimizer's SearchSpec format and the performability block are
-// documented in README.md. `ccscen batch`, `ccscen optimize` and
-// `ccscen perf` evaluate the same documents POST /v1/batch, /v1/optimize
-// and /v1/performability accept, through the same engine and result
-// cache, without a server.
+// the optimizer's SearchSpec format and the performability/fleetsim
+// blocks are documented in README.md. `ccscen batch`, `ccscen
+// optimize`, `ccscen perf` and `ccscen fleet` evaluate the same
+// documents POST /v1/batch, /v1/optimize, /v1/performability and
+// /v1/fleetsim accept, through the same engine and result cache,
+// without a server. `ccscen validate` is kind-aware: it walks
+// directories recursively and checks scenario, fleetsim and optimize
+// documents each against its own schema.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/ccnet/ccnet/internal/experiments"
+	"github.com/ccnet/ccnet/internal/fleetsim"
 	"github.com/ccnet/ccnet/internal/optimize"
 	"github.com/ccnet/ccnet/internal/perfab"
 	"github.com/ccnet/ccnet/internal/scenario"
@@ -75,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return optimizeCmd(args[1:], stdout, stderr)
 	case "perf":
 		return perfCmd(args[1:], stdout, stderr)
+	case "fleet":
+		return fleetCmd(args[1:], stdout, stderr)
 	case "validate":
 		return validateCmd(args[1:], stdout, stderr)
 	case "list":
@@ -86,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stdout)
 		return 0
 	default:
-		fmt.Fprintf(stderr, "ccscen: unknown verb %q (valid: run, batch, optimize, perf, validate, list)\n", args[0])
+		fmt.Fprintf(stderr, "ccscen: unknown verb %q (valid: run, batch, optimize, perf, fleet, validate, list)\n", args[0])
 		usage(stderr)
 		return 2
 	}
@@ -101,7 +114,10 @@ func usage(w io.Writer) {
   ccscen perf [flags] <file.json|->          failure/repair performability
                                              analysis of a scenario's
                                              performability block
-  ccscen validate <file.json|dir> [...]      check scenario files
+  ccscen fleet [flags] <file.json|->         time-domain fleet simulation of
+                                             a scenario's fleetsim timeline
+  ccscen validate <file.json|dir> [...]      check scenario, fleetsim and
+                                             optimize files (recursive)
   ccscen list [dir]                          summarize a scenario directory
   ccscen -version                            print version and exit
 
@@ -127,6 +143,13 @@ perf flags:
                GOMAXPROCS); the report is identical for every N
   -ndjson      stream NDJSON progress + result lines to stdout (the
                POST /v1/performability wire format) instead of a table
+  -out FILE    also write the full report JSON to FILE
+
+fleet flags:
+  -workers N   worker goroutines evaluating trajectory states (default
+               GOMAXPROCS); the report is identical for every N
+  -ndjson      stream NDJSON epoch + result lines to stdout (the
+               POST /v1/fleetsim wire format) instead of a table
   -out FILE    also write the full report JSON to FILE
 `)
 }
@@ -419,6 +442,169 @@ func writePerfReportFile(path string, rep *perfab.Report, notice, stderr io.Writ
 	return 0
 }
 
+// fleetCmd runs a time-domain fleet simulation offline: a scenario file
+// with a fleetsim block is loaded, the trajectory's unique states are
+// sharded across the worker pool, and the report prints as a table (or,
+// with -ndjson, streams to stdout in the POST /v1/fleetsim wire format).
+// The report is bit-identical for a given spec+seed at any -workers
+// value. Exit status 1 when any fleet assertion fails, so CI can gate on
+// recovery envelopes directly.
+func fleetCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccscen fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workers := fs.Int("workers", 0, "worker goroutines evaluating trajectory states (default GOMAXPROCS)")
+	ndjson := fs.Bool("ndjson", false, "stream NDJSON epoch + result lines to stdout")
+	outFile := fs.String("out", "", "also write the full report JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "ccscen fleet: exactly one scenario file (or - for stdin) required")
+		return 2
+	}
+
+	var spec *scenario.Spec
+	var err error
+	if arg := fs.Arg(0); arg == "-" {
+		spec, err = scenario.Parse(os.Stdin, "<stdin>")
+	} else {
+		spec, err = scenario.Load(arg)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	if spec.FleetSim == nil {
+		fmt.Fprintf(stderr, "ccscen: scenario %s has no fleetsim block\n", spec.Name)
+		return 1
+	}
+
+	if *ndjson {
+		srv := service.New(service.Options{Workers: *workers})
+		rep, err := srv.RunFleetSim(context.Background(), spec, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "ccscen:", err)
+			return 1
+		}
+		// stdout is the NDJSON stream; the write notice goes to stderr.
+		if code := writeFleetReportFile(*outFile, rep, stderr, stderr); code != 0 {
+			return code
+		}
+		return fleetExitCode(rep, stderr)
+	}
+
+	study, err := spec.FleetStudy()
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	start := time.Now()
+	eng := &fleetsim.Engine{Workers: *workers}
+	rep, err := eng.Run(context.Background(), study)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	renderFleetReport(stdout, rep, time.Since(start))
+	if code := writeFleetReportFile(*outFile, rep, stdout, stderr); code != 0 {
+		return code
+	}
+	return fleetExitCode(rep, stderr)
+}
+
+// fleetExitCode maps failed assertions to exit status 1. A nil report
+// (cached -ndjson answer) carries no assertion verdicts to gate on.
+func fleetExitCode(rep *fleetsim.Report, stderr io.Writer) int {
+	if rep == nil || rep.FailedAssertions == 0 {
+		return 0
+	}
+	fmt.Fprintf(stderr, "ccscen: %d of %d fleet assertion(s) failed\n",
+		rep.FailedAssertions, len(rep.Assertions))
+	return 1
+}
+
+// renderFleetReport prints the trajectory summary tables.
+func renderFleetReport(w io.Writer, rep *fleetsim.Report, elapsed time.Duration) {
+	fmt.Fprintf(w, "fleet %s: seed=%d horizon=%.6g epoch=%.6g probe λ=%.6g stochastic=%t\n",
+		rep.Name, rep.Seed, rep.Horizon, rep.Epoch, rep.ProbeLambda, rep.Stochastic)
+	fmt.Fprintf(w, "trajectory: %d epochs, %d stochastic transitions, %d unique states\n",
+		len(rep.Epochs), rep.Transitions, rep.UniqueStates)
+
+	if len(rep.Timeline) > 0 {
+		fmt.Fprintf(w, "\ntimeline (as applied):\n")
+		for _, ev := range rep.Timeline {
+			if ev.Action == "set_lambda" {
+				fmt.Fprintf(w, "  t=%-10.6g %-16s λ=%.6g\n", ev.At, ev.Action, ev.Lambda)
+				continue
+			}
+			fmt.Fprintf(w, "  t=%-10.6g %-16s %-24s requested %d, applied %d\n",
+				ev.At, ev.Action, ev.Class, ev.Requested, ev.Applied)
+		}
+	}
+
+	fmt.Fprintf(w, "\n%-6s %-12s %-8s %-8s %-10s %-12s %-12s %s\n",
+		"epoch", "t0", "failed", "up", "served", "latency", "sat λ", "capacity")
+	for i := range rep.Epochs {
+		ep := &rep.Epochs[i]
+		failed := 0
+		for _, f := range ep.Failed {
+			failed += f
+		}
+		lat := "saturated"
+		if ep.Latency != nil {
+			lat = fmt.Sprintf("%.6g", *ep.Latency)
+		}
+		fmt.Fprintf(w, "%-6d %-12.6g %-8d %-8.4g %-10.6g %-12s %-12.6g %.6g\n",
+			ep.Index, ep.T0, failed, ep.UpFraction, ep.ServedFraction, lat,
+			ep.SaturationLambda, ep.Capacity)
+	}
+
+	lr := &rep.LongRun
+	fmt.Fprintf(w, "\nlong-run (time-weighted over the horizon):\n")
+	fmt.Fprintf(w, "  availability %.8g, E[latency] %.6g, E[served] %.6g\n",
+		lr.Availability, lr.ExpectedLatency, lr.ExpectedServedFraction)
+	fmt.Fprintf(w, "  E[sat λ] %.6g, E[capacity] %.6g, P(SLO violation) %.6g, P(probe servable) %.6g\n",
+		lr.ExpectedSaturation, lr.ExpectedCapacity, lr.SLOViolation, lr.LatencyFiniteProbability)
+
+	if len(rep.Assertions) > 0 {
+		fmt.Fprintf(w, "\nassertions:\n")
+		for _, a := range rep.Assertions {
+			status := "PASS"
+			if !a.Passed {
+				status = "FAIL"
+			}
+			window := ""
+			if a.From != 0 || a.To != 0 {
+				window = fmt.Sprintf(" in [%.6g, %.6g]", a.From, a.To)
+			}
+			fmt.Fprintf(w, "  %-22s %-6.6g %s  observed %.6g%s\n", a.Check, a.Value, status, a.Observed, window)
+		}
+	}
+	fmt.Fprintf(w, "(simulation completed in %v)\n", elapsed.Round(time.Millisecond))
+}
+
+// writeFleetReportFile writes the report JSON to path when requested; a
+// nil report (cached -ndjson answer) skips the write.
+func writeFleetReportFile(path string, rep *fleetsim.Report, notice, stderr io.Writer) int {
+	if path == "" || rep == nil {
+		return 0
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(stderr, "ccscen:", err)
+		return 1
+	}
+	fmt.Fprintf(notice, "wrote %s\n", path)
+	return 0
+}
+
 func runCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ccscen run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -509,31 +695,102 @@ func writeCSV(path string, res *experiments.Result) error {
 	return f.Close()
 }
 
+// validateCmd checks documents without running them. Directories are
+// walked recursively so one invocation covers a whole examples tree,
+// and each file is dispatched by its "kind" field: optimize search
+// specs go through the optimizer's loader, everything else (plain
+// scenarios and kind "fleetsim") through the scenario loader. Every
+// broken file is reported — one bad spec does not hide the rest.
 func validateCmd(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
 		fmt.Fprintln(stderr, "ccscen validate: at least one scenario file or directory required")
 		return 2
 	}
-	specs, err := scenario.LoadAll(args)
+	paths, err := collectSpecFiles(args)
 	if err != nil {
 		fmt.Fprintln(stderr, "ccscen:", err)
 		return 1
 	}
-	// Validation also dry-builds each system: structural constraints
-	// (C = 2(m/2)^n) only the cluster layer can check.
 	bad := 0
-	for _, s := range specs {
-		if _, err := s.BuildSystem(); err != nil {
-			fmt.Fprintf(stderr, "ccscen: scenario %s: %v\n", s.Name, err)
+	for _, p := range paths {
+		name, err := validateFile(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "ccscen: %s: %v\n", p, err)
 			bad++
 			continue
 		}
-		fmt.Fprintf(stdout, "ok: %s\n", s.Name)
+		fmt.Fprintf(stdout, "ok: %s\n", name)
 	}
 	if bad > 0 {
 		return 1
 	}
 	return 0
+}
+
+// collectSpecFiles expands the arguments — files taken as-is,
+// directories walked recursively for *.json — into one sorted list, so
+// validation order is reproducible regardless of argument order.
+func collectSpecFiles(args []string) ([]string, error) {
+	var paths []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		before := len(paths)
+		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".json") {
+				paths = append(paths, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == before {
+			return nil, fmt.Errorf("no *.json files under %s", arg)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// validateFile loads one document through the loader its kind selects,
+// dry-building systems where the schema alone cannot see structural
+// constraints (C = 2(m/2)^n). It returns the document's name.
+func validateFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	// Sniff only the kind; malformed JSON falls through to the kind's
+	// own loader, whose decode errors carry field paths.
+	var sniff struct {
+		Kind string `json:"kind"`
+	}
+	_ = json.Unmarshal(b, &sniff)
+	if sniff.Kind == "optimize" {
+		spec, err := optimize.Parse(bytes.NewReader(b), filepath.Base(path))
+		if err != nil {
+			return "", err
+		}
+		return spec.Name, nil
+	}
+	spec, err := scenario.Parse(bytes.NewReader(b), filepath.Base(path))
+	if err != nil {
+		return "", err
+	}
+	if _, err := spec.BuildSystem(); err != nil {
+		return "", fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	return spec.Name, nil
 }
 
 func listCmd(args []string, stdout, stderr io.Writer) int {

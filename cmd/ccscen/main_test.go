@@ -36,6 +36,16 @@ func TestRun(t *testing.T) {
 		{Name: "perfBadFlag", Args: []string{"perf", "-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
 		{Name: "perfNoFile", Args: []string{"perf"}, WantCode: 2, WantStderr: "exactly one scenario file"},
 		{Name: "perfMissing", Args: []string{"perf", "no-such-file.json"}, WantCode: 1, WantStderr: "no-such-file.json"},
+		{Name: "fleetBadFlag", Args: []string{"fleet", "-no-such-flag"}, WantCode: 2, WantStderr: "flag provided but not defined"},
+		{Name: "fleetNoFile", Args: []string{"fleet"}, WantCode: 2, WantStderr: "exactly one scenario file"},
+		{Name: "fleetMissing", Args: []string{"fleet", "no-such-file.json"}, WantCode: 1, WantStderr: "no-such-file.json"},
+		// validate walks directories recursively and dispatches each file
+		// by kind: fleetsim specs load through the scenario loader,
+		// optimize search specs through the optimizer's.
+		{Name: "validateRecursive", Args: []string{"validate", "../../examples/scenarios"},
+			WantCode: 0, WantStdout: "ok: fleet-az-cascade-1120"},
+		{Name: "validateOptimizeKind", Args: []string{"validate", "../../examples/scenarios/optimize/icn2-upgrade-pareto.json"},
+			WantCode: 0, WantStdout: "ok: icn2-upgrade-pareto"},
 	})
 }
 
@@ -265,5 +275,120 @@ func TestPerfVerb(t *testing.T) {
 	got = clitest.Run(run, "perf", plain)
 	if got.Code != 1 || !strings.Contains(got.Stderr, "no performability block") {
 		t.Fatalf("exit %d stderr %q", got.Code, got.Stderr)
+	}
+}
+
+// fleetScenario is a fast fully-scripted fleet simulation: an 8-node
+// knockout at t=100, repaired at t=500, with a passing recovery bound.
+const fleetScenario = `{
+	"kind": "fleetsim",
+	"name": "cli-fleet",
+	"system": {"preset": "small"},
+	"traffic": {"flits": 16, "flitBytes": [128], "lambda": {"max": 0.01, "points": 4}},
+	"performability": {
+		"nodes": [{"group": 1, "mttf": 1500, "mttr": 50, "repairers": 2}]
+	},
+	"fleetsim": {
+		"horizon": 1000,
+		"epoch": 100,
+		"stochastic": false,
+		"timeline": [
+			{"at": 100, "action": "inject_failure", "class": "nodes[g1]", "count": 8},
+			{"at": 500, "action": "repair", "class": "nodes[g1]", "count": 8}
+		],
+		"assertions": [{"check": "recovers_within", "value": 600}]
+	}
+}`
+
+// TestFleetVerb runs a fleet simulation end to end: the table renders,
+// -out writes the report, repeated runs at different -workers are
+// bit-identical, -ndjson speaks the wire format, and failed assertions
+// map to exit status 1.
+func TestFleetVerb(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(spec, []byte(fleetScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out1 := filepath.Join(dir, "rep1.json")
+	got := clitest.Run(run, "fleet", "-workers", "1", "-out", out1, spec)
+	if got.Code != 0 {
+		t.Fatalf("exit %d: %s", got.Code, got.Stderr)
+	}
+	for _, want := range []string{"timeline (as applied)", "long-run", "recovers_within", "PASS"} {
+		if !strings.Contains(got.Stdout, want) {
+			t.Fatalf("table output missing %q:\n%s", want, got.Stdout)
+		}
+	}
+
+	out2 := filepath.Join(dir, "rep2.json")
+	got = clitest.Run(run, "fleet", "-workers", "8", "-out", out2, spec)
+	if got.Code != 0 {
+		t.Fatalf("exit %d: %s", got.Code, got.Stderr)
+	}
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("reports differ across -workers 1 and 8")
+	}
+
+	got = clitest.Run(run, "fleet", "-ndjson", spec)
+	if got.Code != 0 {
+		t.Fatalf("ndjson exit %d: %s", got.Code, got.Stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(got.Stdout), "\n")
+	for i, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("stdout line %d is not JSON: %q", i, l)
+		}
+	}
+	if len(lines) != 11 {
+		t.Fatalf("%d NDJSON lines, want 10 epochs + result:\n%s", len(lines), got.Stdout)
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"type":"result"`) || !strings.Contains(last, `"cached":false`) {
+		t.Fatalf("terminal NDJSON line: %s", last)
+	}
+
+	// A scenario without the block is a clean failure.
+	plain := filepath.Join(dir, "plain.json")
+	if err := os.WriteFile(plain, []byte(`{
+		"name": "no-fleet-block",
+		"system": {"preset": "small"},
+		"traffic": {"flits": 16, "flitBytes": [128], "lambda": {"max": 0.01, "points": 4}}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = clitest.Run(run, "fleet", plain)
+	if got.Code != 1 || !strings.Contains(got.Stderr, "no fleetsim block") {
+		t.Fatalf("exit %d stderr %q", got.Code, got.Stderr)
+	}
+
+	// A timeline against a class the performability block never declared
+	// fails at load time with the valid labels listed.
+	badClass := filepath.Join(dir, "badclass.json")
+	if err := os.WriteFile(badClass, []byte(strings.ReplaceAll(fleetScenario, "nodes[g1]", "nodes[g7]")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = clitest.Run(run, "fleet", badClass)
+	if got.Code != 1 || !strings.Contains(got.Stderr, "unknown class") || !strings.Contains(got.Stderr, "nodes[g1]") {
+		t.Fatalf("exit %d stderr %q", got.Code, got.Stderr)
+	}
+
+	// A violated assertion renders FAIL and exits 1.
+	failing := filepath.Join(dir, "failing.json")
+	if err := os.WriteFile(failing, []byte(strings.ReplaceAll(fleetScenario, `"value": 600`, `"value": 300`)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = clitest.Run(run, "fleet", failing)
+	if got.Code != 1 || !strings.Contains(got.Stdout, "FAIL") || !strings.Contains(got.Stderr, "fleet assertion(s) failed") {
+		t.Fatalf("exit %d stdout %q stderr %q", got.Code, got.Stdout, got.Stderr)
 	}
 }

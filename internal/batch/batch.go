@@ -34,8 +34,8 @@ type Item struct {
 	// ID is an optional client-chosen label echoed in the item's result
 	// line; items are always also identified by index.
 	ID string `json:"id,omitempty"`
-	// Kind selects the executor: "evaluate", "sweep", "campaign" or
-	// "performability".
+	// Kind selects the executor: "evaluate", "sweep", "campaign",
+	// "performability" or "fleetsim".
 	Kind string `json:"kind"`
 	// Spec is the kind's request body, verbatim: an evaluate/sweep
 	// request object or a full scenario spec.

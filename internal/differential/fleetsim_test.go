@@ -1,0 +1,119 @@
+package differential
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/core"
+	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/perfab"
+	"github.com/ccnet/ccnet/internal/sim"
+	"github.com/ccnet/ccnet/internal/traffic"
+)
+
+// TestFleetStatesTrackSimulator is the fleet-simulator cross-check: the
+// availability states a fleetsim trajectory visits are evaluated through
+// perfab.Evaluator.EvalState, and the same states — materialized as
+// concrete node knockouts via AliveMasks (failed ICN1 leaf switches
+// strand their node interval, failed nodes spread over the survivors) —
+// are replayed in the discrete-event simulator. The analytical latency
+// must stay inside the repo's light-load envelope for every state.
+func TestFleetStatesTrackSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy differential test")
+	}
+
+	// Two groups on a C=8, m=4 organization: four n=2 commodity clusters
+	// (8 nodes each) and four n=3 premium clusters (16 each), 96 nodes
+	// total — the same shape a fleetsim scenario would address as
+	// nodes[g0], nodes[g1] and switches[g1/icn1/L2].
+	sys := &cluster.System{Name: "fleet-diff", Ports: 4, ICN2: netchar.Net1}
+	groupOf := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		n := 2
+		if i >= 4 {
+			n, groupOf[i] = 3, 1
+		}
+		sys.Clusters = append(sys.Clusters, cluster.Config{
+			TreeLevels: n, ICN1: netchar.Net1, ECN1: netchar.Net2,
+		})
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := &perfab.Study{
+		Name:    "fleet-diff",
+		Sys:     sys,
+		GroupOf: groupOf,
+		Msg:     netchar.MessageSpec{Flits: 16, FlitBytes: 128},
+		Opt:     core.Options{GatewayStoreAndForward: true},
+		Block: &perfab.Block{
+			Nodes: []perfab.NodeFailureSpec{
+				{Group: 0, RateSpec: perfab.RateSpec{MTTF: 2000, MTTR: 50}},
+				{Group: 1, RateSpec: perfab.RateSpec{MTTF: 8000, MTTR: 50}},
+			},
+			Switches: []perfab.SwitchFailureSpec{
+				{Group: 1, Network: "icn1", Level: 2, RateSpec: perfab.RateSpec{MTTF: 9000, MTTR: 100}},
+			},
+			Probe: perfab.ProbeSpec{Fraction: lightLoadFraction},
+		},
+	}
+	eval, err := perfab.NewEvaluator(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Failed vectors a trajectory plausibly visits, ordered (nodes[g0],
+	// nodes[g1], switches[g1/icn1/L2]): light wear, a deep node outage in
+	// one group, and a mixed state with a stranded leaf interval.
+	states := [][]int{
+		{5, 0, 0},
+		{0, 16, 0},
+		{8, 12, 2},
+	}
+	for trial, failed := range states {
+		m := eval.EvalState(failed, 0)
+		if !m.Up || m.Latency == nil {
+			t.Fatalf("trial %d: state %v not servable at the probe rate", trial, failed)
+		}
+		masks, err := eval.AliveMasks(failed)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var aliveIDs []int
+		offset := 0
+		for _, mask := range masks {
+			for v, a := range mask {
+				if a {
+					aliveIDs = append(aliveIDs, offset+v)
+				}
+			}
+			offset += len(mask)
+		}
+
+		res, err := sim.Run(sim.Config{
+			Sys: sys, Msg: st.Msg, Lambda: eval.ProbeLambda(),
+			Pattern:     traffic.Survivors{N: sys.TotalNodes(), Alive: aliveIDs},
+			ActiveNodes: aliveIDs,
+			Seed:        uint64(9100 + trial),
+			WarmupCount: 2000, MeasureCount: 20000,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: sim: %v", trial, err)
+		}
+		if res.Saturated {
+			t.Fatalf("trial %d: simulator saturated at light load λ=%g", trial, eval.ProbeLambda())
+		}
+
+		simMean := res.MeanLatency()
+		relPct := math.Abs(*m.Latency-simMean) / simMean * 100
+		t.Logf("trial %d: failed=%v alive=%d model=%.4g sim=%.4g err=%.1f%%",
+			trial, failed, len(aliveIDs), *m.Latency, simMean, relPct)
+		if relPct > envelope {
+			t.Errorf("trial %d: state %v: model %.4g vs sim %.4g: %.1f%% outside the %.0f%% envelope",
+				trial, failed, *m.Latency, simMean, relPct, envelope)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package fleetsim
+
+import (
+	"math"
+	"sort"
+)
+
+// checkAssertions evaluates the block's assertions against the finished
+// epoch trajectory and returns the results plus the failure count.
+func checkAssertions(b *Block, epochs []EpochMetrics) ([]AssertionResult, int) {
+	var out []AssertionResult
+	failed := 0
+	for i := range b.Assertions {
+		a := &b.Assertions[i]
+		res := AssertionResult{Check: a.Check, Value: a.Value, From: a.From, To: a.To}
+		from, to := a.From, a.To
+		if to == 0 {
+			to = b.Horizon
+		}
+		switch a.Check {
+		case CheckP99LatencyBelow:
+			res.Observed = p99Latency(epochs, from, to)
+			res.Passed = res.Observed < a.Value
+			if math.IsInf(res.Observed, 1) {
+				// JSON has no Inf; an unservable window reports the bound
+				// itself as the observation, with passed=false telling the
+				// story.
+				res.Observed = a.Value
+			}
+		case CheckRecoversWithin:
+			res.Observed = recoveryTime(epochs)
+			res.Passed = res.Observed <= a.Value
+		case CheckMinAvailability:
+			res.Observed = windowAvailability(epochs, from, to)
+			res.Passed = res.Observed >= a.Value
+		}
+		if !res.Passed {
+			failed++
+		}
+		out = append(out, res)
+	}
+	return out, failed
+}
+
+// p99Latency is the 99th percentile of per-epoch mean latencies over
+// the epochs overlapping [from, to]; an epoch with no servable time
+// counts as +Inf, so any such epoch in the top percentile fails the
+// bound.
+func p99Latency(epochs []EpochMetrics, from, to float64) float64 {
+	var vals []float64
+	for i := range epochs {
+		e := &epochs[i]
+		if e.T1 <= from || e.T0 >= to {
+			continue
+		}
+		if e.Latency == nil {
+			vals = append(vals, math.Inf(1))
+		} else {
+			vals = append(vals, *e.Latency)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	idx := int(math.Ceil(0.99*float64(len(vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return vals[idx]
+}
+
+// recoveryTime is the end of the last epoch in which the system was not
+// fully serving (0 when the whole trajectory serves everything).
+func recoveryTime(epochs []EpochMetrics) float64 {
+	rec := 0.0
+	for i := range epochs {
+		e := &epochs[i]
+		if e.UpFraction < 1 || e.ServedFraction < 1-1e-9 {
+			rec = e.T1
+		}
+	}
+	return rec
+}
+
+// windowAvailability is the time-weighted up fraction over the epochs
+// overlapping [from, to], weighting each epoch by its overlap.
+func windowAvailability(epochs []EpochMetrics, from, to float64) float64 {
+	var w, up float64
+	for i := range epochs {
+		e := &epochs[i]
+		lo := math.Max(e.T0, from)
+		hi := math.Min(e.T1, to)
+		if hi <= lo {
+			continue
+		}
+		w += hi - lo
+		up += (hi - lo) * e.UpFraction
+	}
+	if w == 0 {
+		return 0
+	}
+	return up / w
+}

@@ -1,0 +1,68 @@
+package fleetsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzTimeline feeds arbitrary bytes through the fleetsim block parser
+// and validator: malformed blocks must come back as errors — never
+// panics — and validation must be deterministic. Blocks that validate
+// must re-validate identically after a marshal round trip (the service
+// canonicalizes specs by re-marshaling, so this is a live invariant).
+func FuzzTimeline(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`not json`,
+		`{"horizon": 100, "epoch": 10}`,
+		`{"horizon": 100, "epoch": 10, "timeline": [
+		  {"at": 5, "action": "inject_failure", "class": "nodes[g1]", "count": 2},
+		  {"at": 50, "action": "repair", "class": "nodes[g1]", "count": 2},
+		  {"at": 60, "action": "set_lambda", "lambda": 0.001}]}`,
+		`{"horizon": 100, "epoch": 10, "stochastic": false,
+		  "assertions": [{"check": "p99_latency_below", "value": 50, "from": 10, "to": 90},
+		                 {"check": "recovers_within", "value": 80},
+		                 {"check": "min_availability", "value": 0.99}]}`,
+		`{"horizon": -1, "epoch": 0, "timeline": [{"at": -5, "action": "explode"}]}`,
+		`{"horizon": 1e308, "epoch": 1e-308}`,
+		`{"horizon": 100, "epoch": 10, "timeline": [{"at": 200, "action": "repair"}]}`,
+		`{"horizon": 100, "epoch": 10, "timeline": [{"at": 1, "action": "set_lambda",
+		  "lambda": -3, "class": "nodes[g0]", "count": 2}]}`,
+		`{"horizon": 100, "epoch": 10, "assertions": [{"check": "", "value": 0}]}`,
+		`[{"at": 1}]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	labels := []string{"nodes[g0]", "nodes[g1]", "switches[g1/icn1/L1]", "icn2Switches[L0]"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var b Block
+		if err := dec.Decode(&b); err != nil {
+			return
+		}
+		err1 := b.Validate("fleetsim", labels)
+		if err2 := b.Validate("fleetsim", labels); (err1 == nil) != (err2 == nil) ||
+			(err1 != nil && err1.Error() != err2.Error()) {
+			t.Fatalf("non-deterministic validation: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		// Round trip: a valid block stays valid through marshal/unmarshal.
+		out, err := json.Marshal(&b)
+		if err != nil {
+			t.Fatalf("valid block does not marshal: %v", err)
+		}
+		var again Block
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("marshaled block does not parse: %v", err)
+		}
+		if err := again.Validate("fleetsim", labels); err != nil {
+			t.Fatalf("round-tripped block fails validation: %v", err)
+		}
+	})
+}

@@ -52,6 +52,10 @@ const (
 // SearchSpec is one declarative design-space study. The zero value is
 // invalid; construct with Parse or Load so defaults and validation apply.
 type SearchSpec struct {
+	// Kind tags the file as an optimizer search spec ("optimize") so
+	// kind-aware tools (`ccscen validate`) can dispatch without guessing;
+	// empty is accepted for backward compatibility.
+	Kind string `json:"kind,omitempty"`
 	// Name identifies the study in results (required; same safe-path
 	// alphabet as scenario names).
 	Name string `json:"name"`
@@ -226,6 +230,10 @@ func (s *SearchSpec) Validate() error {
 	var errs []error
 	add := func(path, format string, args ...any) {
 		errs = append(errs, fieldErr(path, format, args...))
+	}
+
+	if s.Kind != "" && s.Kind != "optimize" {
+		add("kind", `must be "optimize" (or absent) in a search spec, got %q`, s.Kind)
 	}
 
 	if s.Name == "" {

@@ -2,12 +2,10 @@ package perfab
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"sort"
 
 	"github.com/ccnet/ccnet/internal/batch"
-	"github.com/ccnet/ccnet/internal/core"
 )
 
 // Methods the engine reports.
@@ -120,32 +118,13 @@ type Engine struct {
 // Run analyzes the study and returns its report. Cancelling ctx stops
 // the analysis with the context's error.
 func (e *Engine) Run(ctx context.Context, st *Study) (*Report, error) {
-	ev, err := compile(st)
+	// The intact reference and the probe rate resolution live in the
+	// shared Evaluator (internal/fleetsim builds the same one).
+	eval, err := NewEvaluator(st)
 	if err != nil {
 		return nil, err
 	}
-
-	// The intact reference: the probe rate derives from its saturation
-	// point unless the block fixes an absolute rate.
-	nominal, err := core.New(st.Sys, st.Msg, st.Opt)
-	if err != nil {
-		return nil, err
-	}
-	sat := nominal.SaturationPoint(1.0, 1e-4)
-	if sat <= 0 {
-		return nil, fmt.Errorf("perfab: intact system saturates at any positive rate")
-	}
-	ev.probe = st.Block.Probe.Lambda
-	if ev.probe == 0 {
-		ev.probe = st.Block.Probe.fraction() * sat
-	}
-	if st.Block.SLO != nil {
-		ev.slo = *st.Block.SLO
-	}
-	nomRes := nominal.Evaluate(ev.probe)
-	if nomRes.Saturated {
-		return nil, fmt.Errorf("perfab: probe rate %g saturates the intact system (λ* = %g)", ev.probe, sat)
-	}
+	ev := eval.ev
 
 	// Materialize the availability states.
 	size := stateSpaceSize(ev.classes)
@@ -164,22 +143,8 @@ func (e *Engine) Run(ctx context.Context, st *Study) (*Report, error) {
 		Method:      method,
 		ProbeLambda: ev.probe,
 		StateSpace:  size,
-		Nominal: NominalInfo{
-			Nodes:            ev.total,
-			Clusters:         st.Sys.NumClusters(),
-			SaturationLambda: sat,
-			Capacity:         sat * float64(ev.total),
-			Latency:          nomRes.MeanLatency,
-		},
-	}
-	for i := range ev.classes {
-		cl := &ev.classes[i]
-		rep.Classes = append(rep.Classes, ClassInfo{
-			Label:          cl.label,
-			Count:          cl.count,
-			Availability:   cl.rate.MTTF / (cl.rate.MTTF + cl.rate.MTTR),
-			ExpectedFailed: distMean(cl.dist),
-		})
+		Nominal:     eval.nominal,
+		Classes:     eval.Classes(),
 	}
 
 	agg := &aggregator{engine: e, method: method, spaceSize: size, states: len(states)}
@@ -193,7 +158,7 @@ func (e *Engine) Run(ctx context.Context, st *Study) (*Report, error) {
 		eng := &batch.Engine{
 			Workers: e.Workers,
 			Exec: func(_ context.Context, i int, _ batch.Item) batch.Outcome {
-				m := ev.evalState(chunk[i].failed)
+				m := ev.evalState(chunk[i].failed, ev.probe)
 				m.Weight = chunk[i].weight
 				results[lo+i] = m
 				return batch.Outcome{}

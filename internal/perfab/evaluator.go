@@ -1,0 +1,177 @@
+package perfab
+
+import (
+	"fmt"
+
+	"github.com/ccnet/ccnet/internal/core"
+	"github.com/ccnet/ccnet/internal/topology"
+)
+
+// Evaluator is the compiled, reusable form of one study: the validated
+// failure classes, the intact reference model and the resolved probe
+// rate. Engine.Run builds one per analysis; the fleet simulator
+// (internal/fleetsim) builds one and drives EvalState with the failed
+// vectors its trajectory visits. Safe for concurrent EvalState calls.
+type Evaluator struct {
+	ev      *evaluator
+	nominal NominalInfo
+	classes []ClassInfo
+}
+
+// NewEvaluator validates and compiles the study, builds the intact
+// reference model and resolves the probe rate (an absolute lambda, or
+// the configured fraction of the intact saturation point). It fails on
+// everything Engine.Run would fail on before evaluating any state.
+func NewEvaluator(st *Study) (*Evaluator, error) {
+	ev, err := compile(st)
+	if err != nil {
+		return nil, err
+	}
+	nominal, err := core.New(st.Sys, st.Msg, st.Opt)
+	if err != nil {
+		return nil, err
+	}
+	sat := nominal.SaturationPoint(1.0, 1e-4)
+	if sat <= 0 {
+		return nil, fmt.Errorf("perfab: intact system saturates at any positive rate")
+	}
+	ev.probe = st.Block.Probe.Lambda
+	if ev.probe == 0 {
+		ev.probe = st.Block.Probe.fraction() * sat
+	}
+	if st.Block.SLO != nil {
+		ev.slo = *st.Block.SLO
+	}
+	nomRes := nominal.Evaluate(ev.probe)
+	if nomRes.Saturated {
+		return nil, fmt.Errorf("perfab: probe rate %g saturates the intact system (λ* = %g)", ev.probe, sat)
+	}
+	e := &Evaluator{
+		ev: ev,
+		nominal: NominalInfo{
+			Nodes:            ev.total,
+			Clusters:         st.Sys.NumClusters(),
+			SaturationLambda: sat,
+			Capacity:         sat * float64(ev.total),
+			Latency:          nomRes.MeanLatency,
+		},
+	}
+	for i := range ev.classes {
+		cl := &ev.classes[i]
+		e.classes = append(e.classes, ClassInfo{
+			Label:          cl.label,
+			Count:          cl.count,
+			Availability:   cl.rate.MTTF / (cl.rate.MTTF + cl.rate.MTTR),
+			ExpectedFailed: distMean(cl.dist),
+		})
+	}
+	return e, nil
+}
+
+// ProbeLambda returns the resolved probe rate.
+func (e *Evaluator) ProbeLambda() float64 { return e.ev.probe }
+
+// Nominal returns the intact system's reference point.
+func (e *Evaluator) Nominal() NominalInfo { return e.nominal }
+
+// Classes summarizes the compiled failure classes in failed-vector
+// order (the order Block.ClassLabels documents).
+func (e *Evaluator) Classes() []ClassInfo {
+	return append([]ClassInfo(nil), e.classes...)
+}
+
+// ClassRates returns each class's failure/repair behavior in
+// failed-vector order, for callers that simulate the chains themselves.
+func (e *Evaluator) ClassRates() []RateSpec {
+	out := make([]RateSpec, len(e.ev.classes))
+	for i := range e.ev.classes {
+		out[i] = e.ev.classes[i].rate
+	}
+	return out
+}
+
+// EvalState rebuilds and evaluates one availability state at the given
+// traffic rate (lambda <= 0 uses the study's resolved probe rate). The
+// failed vector indexes the classes in declaration order and each count
+// must lie in [0, class count]. Safe for concurrent calls; the result
+// is a pure function of (failed, lambda).
+func (e *Evaluator) EvalState(failed []int, lambda float64) StateMetrics {
+	if lambda <= 0 {
+		lambda = e.ev.probe
+	}
+	return e.ev.evalState(failed, lambda)
+}
+
+// AliveMasks maps one availability state to the canonical per-cluster
+// node-alive masks the state rebuild places: failed ICN1 leaf switches
+// strand their node intervals, failed nodes spread evenly over the
+// remaining population. Only node and ICN1 leaf-switch classes are
+// representable as node knockouts; a state with failures in any other
+// class returns an error. The DES differential drives the simulator
+// from these masks.
+func (e *Evaluator) AliveMasks(failed []int) ([][]bool, error) {
+	ev := e.ev
+	C := ev.st.Sys.NumClusters()
+	leafFailed := make([]int, C)
+	nodeFailed := make([]int, C)
+	for ci := range ev.classes {
+		cl := &ev.classes[ci]
+		j := failed[ci]
+		if j == 0 {
+			continue
+		}
+		switch {
+		case cl.kind == kNodes:
+			idx := ev.groupIdx[cl.group]
+			for q, c := range idx {
+				nodeFailed[c] += share(j, len(idx), q)
+			}
+		case cl.kind == kSwitch && cl.network == NetICN1 && cl.level == ev.groupTree[cl.group].N-1:
+			idx := ev.groupIdx[cl.group]
+			for q, c := range idx {
+				leafFailed[c] += share(j, len(idx), q)
+			}
+		default:
+			return nil, fmt.Errorf("perfab: class %s is not representable as node knockouts", cl.label)
+		}
+	}
+	masks := make([][]bool, C)
+	for c := 0; c < C; c++ {
+		tree := ev.groupTree[ev.st.GroupOf[c]]
+		masks[c] = aliveMask(tree, leafFailed[c], nodeFailed[c])
+	}
+	return masks, nil
+}
+
+// aliveMask places the canonical damage pattern on one cluster's tree:
+// leafFailed whole leaf intervals spread evenly, then nodeFailed further
+// nodes spread evenly over the remaining population (the same placement
+// survivorDist derives distributions from).
+func aliveMask(tree *topology.Tree, leafFailed, nodeFailed int) []bool {
+	alive := make([]bool, tree.Nodes())
+	for i := range alive {
+		alive[i] = true
+	}
+	intervals, width := tree.LeafIntervals()
+	if leafFailed >= intervals {
+		return make([]bool, tree.Nodes())
+	}
+	for _, t := range spreadIdx(leafFailed, intervals) {
+		for i := t * width; i < (t+1)*width; i++ {
+			alive[i] = false
+		}
+	}
+	live := make([]int, 0, tree.Nodes()-leafFailed*width)
+	for i, a := range alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	if nodeFailed >= len(live) {
+		return make([]bool, tree.Nodes())
+	}
+	for _, t := range spreadIdx(nodeFailed, len(live)) {
+		alive[live[t]] = false
+	}
+	return alive
+}

@@ -371,13 +371,13 @@ func TestEvalStateDamage(t *testing.T) {
 	ev.probe = 0.5 * nominal.SaturationPoint(1.0, 1e-4)
 
 	// Intact state.
-	intact := ev.evalState([]int{0, 0, 0, 0})
+	intact := ev.evalState([]int{0, 0, 0, 0}, ev.probe)
 	if !intact.Up || intact.ServedFraction != 1 || intact.SLOViolation {
 		t.Fatalf("intact state misreported: %+v", intact)
 	}
 
 	// Node failures shrink the served fraction but keep the system up.
-	nodes := ev.evalState([]int{2, 3, 0, 0})
+	nodes := ev.evalState([]int{2, 3, 0, 0}, ev.probe)
 	if !nodes.Up {
 		t.Fatal("node failures took the system down")
 	}
@@ -391,14 +391,14 @@ func TestEvalStateDamage(t *testing.T) {
 
 	// The single ICN2 switch failing downs everything (class order:
 	// nodes g0, nodes g1, switches g1, icn2Switches).
-	icn2 := ev.evalState([]int{0, 0, 0, 1})
+	icn2 := ev.evalState([]int{0, 0, 0, 1}, ev.probe)
 	if icn2.Up || icn2.ServedFraction != 0 || !icn2.SLOViolation {
 		t.Errorf("ICN2 root failure misreported: %+v", icn2)
 	}
 
 	// All nodes of group 0 failing still leaves group 1 serving.
 	g0 := ev.classes[0].count
-	half := ev.evalState([]int{g0, 0, 0, 0})
+	half := ev.evalState([]int{g0, 0, 0, 0}, ev.probe)
 	if half.Up {
 		// Group 0's clusters die entirely — the survivors must carry on.
 		if half.ServedFraction >= 1 {

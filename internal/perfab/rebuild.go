@@ -255,10 +255,11 @@ type StateMetrics struct {
 	SLOViolation bool `json:"sloViolation"`
 }
 
-// evalState rebuilds and evaluates one availability state. It is safe
-// for concurrent calls; all placements are canonical (balanced spreads),
-// so the result is a pure function of the failed vector.
-func (ev *evaluator) evalState(failed []int) StateMetrics {
+// evalState rebuilds and evaluates one availability state at the probe
+// rate. It is safe for concurrent calls; all placements are canonical
+// (balanced spreads), so the result is a pure function of (failed,
+// probe).
+func (ev *evaluator) evalState(failed []int, probe float64) StateMetrics {
 	C := ev.st.Sys.NumClusters()
 	cs := make([]clusterState, C)
 	for i := range cs {
@@ -401,7 +402,7 @@ func (ev *evaluator) evalState(failed []int) StateMetrics {
 	m.Up = true
 	m.SaturationLambda = model.SaturationPoint(1.0, 1e-4)
 	m.Capacity = m.SaturationLambda * float64(served)
-	res := model.Evaluate(ev.probe)
+	res := model.Evaluate(probe)
 	if res.Saturated || math.IsInf(res.MeanLatency, 0) || math.IsNaN(res.MeanLatency) {
 		m.SLOViolation = true
 	} else {

@@ -302,6 +302,30 @@ func (b *Block) percentiles() []float64 {
 	return b.Percentiles
 }
 
+// ClassLabels lists the block's failure-class labels in failed-vector
+// order: nodes, switches, icn2Switches, links, icn2Links — each in
+// declaration order. Timeline events reference classes by these labels.
+func (b *Block) ClassLabels() []string {
+	var out []string
+	for i := range b.Nodes {
+		out = append(out, classLabel("nodes", "", b.Nodes[i].Group, -1))
+	}
+	for i := range b.Switches {
+		s := &b.Switches[i]
+		out = append(out, classLabel("switches", s.Network, s.Group, s.Level))
+	}
+	for i := range b.ICN2Switches {
+		out = append(out, classLabel("icn2Switches", "", -1, b.ICN2Switches[i].Level))
+	}
+	for i := range b.Links {
+		out = append(out, classLabel("links", b.Links[i].Network, b.Links[i].Group, -1))
+	}
+	if b.ICN2Links != nil {
+		out = append(out, classLabel("icn2Links", "", -1, -1))
+	}
+	return out
+}
+
 // classLabel names a class in reports: "nodes[g0]", "switches[g1/icn1/L2]".
 func classLabel(kind, network string, group, level int) string {
 	var b strings.Builder

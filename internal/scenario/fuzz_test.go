@@ -30,6 +30,20 @@ func FuzzParse(f *testing.F) {
 		`{"name": "dup", "seed": 18446744073709551615}`,
 		`[1, 2, 3]`,
 		`{"name": "deep", "system": {"icn2": {"bandwidth": 1e308, "networkLatency": 1e-300, "switchLatency": 0}}}`,
+		`{"kind": "flootsim", "name": "k"}`,
+		`{"kind": "optimize", "name": "k"}`,
+		`{"kind": "fleetsim", "name": "fleet", "system": {"preset": "small"},
+		  "traffic": {"flits": 16, "flitBytes": [128], "lambda": {"max": 1e-4, "points": 3}},
+		  "engines": {}, "model": {},
+		  "performability": {"nodes": [{"group": 1, "mttf": 1500, "mttr": 50}]},
+		  "fleetsim": {"horizon": 100, "epoch": 10, "timeline": [
+		    {"at": 5, "action": "inject_failure", "class": "nodes[g1]", "count": 2},
+		    {"at": 50, "action": "repair", "class": "nodes[g1]", "count": 2},
+		    {"at": 60, "action": "set_lambda", "lambda": 0.001}],
+		   "assertions": [{"check": "recovers_within", "value": 90}]}}`,
+		`{"kind": "fleetsim", "name": "bad", "fleetsim": {"horizon": -1, "epoch": 0,
+		  "timeline": [{"at": 1e999, "action": "explode", "class": ""}]}}`,
+		`{"kind": "fleetsim", "name": "cap", "fleetsim": {"horizon": 1e18, "epoch": 1e-18}}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

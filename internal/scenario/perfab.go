@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/fleetsim"
 	"github.com/ccnet/ccnet/internal/netchar"
 	"github.com/ccnet/ccnet/internal/perfab"
 )
@@ -131,4 +132,18 @@ func (s *Spec) PerformabilityStudy() (*perfab.Study, error) {
 		Block:   s.Performability,
 		Seed:    s.Seed,
 	}, nil
+}
+
+// FleetStudy assembles the fleet-simulation study of a validated kind
+// "fleetsim" spec: the performability study (system, group map, failure
+// classes, seed) plus the fleetsim block driving it through time.
+func (s *Spec) FleetStudy() (*fleetsim.Study, error) {
+	if s.FleetSim == nil {
+		return nil, fieldErr("fleetsim", "section required")
+	}
+	perf, err := s.PerformabilityStudy()
+	if err != nil {
+		return nil, err
+	}
+	return &fleetsim.Study{Perf: perf, Block: s.FleetSim}, nil
 }

@@ -165,6 +165,44 @@ func TestValidationErrors(t *testing.T) {
 			  "traffic": {"flits": 8, "flitBytes": [64], "lambda": {"max": 1e-3, "points": 4}}}`,
 			[]string{"system.preset", "excludes explicit"},
 		},
+		{
+			// Regression: an unknown kind used to surface as a bare decode
+			// error; it must name the field and the valid kinds.
+			"unknown kind",
+			`{"kind": "flootsim", "name": "t", "system": {"preset": "small"},
+			  "traffic": {"flits": 8, "flitBytes": [64], "lambda": {"max": 1e-3, "points": 4}}}`,
+			[]string{"kind", `unknown kind "flootsim"`, "scenario, fleetsim, optimize"},
+		},
+		{
+			"optimize kind in the scenario loader",
+			`{"kind": "optimize", "name": "t", "system": {"preset": "small"},
+			  "traffic": {"flits": 8, "flitBytes": [64], "lambda": {"max": 1e-3, "points": 4}}}`,
+			[]string{"kind", "optimizer search spec", "ccscen optimize"},
+		},
+		{
+			"fleetsim kind without its sections",
+			`{"kind": "fleetsim", "name": "t", "system": {"preset": "small"},
+			  "traffic": {"flits": 8, "flitBytes": [64], "lambda": {"max": 1e-3, "points": 4}}}`,
+			[]string{`fleetsim: section required for kind "fleetsim"`,
+				`performability: section required for kind "fleetsim"`},
+		},
+		{
+			"fleetsim block without the kind",
+			`{"name": "t", "system": {"preset": "small"},
+			  "traffic": {"flits": 8, "flitBytes": [64], "lambda": {"max": 1e-3, "points": 4}},
+			  "performability": {"nodes": [{"group": 0, "mttf": 1500, "mttr": 50}]},
+			  "fleetsim": {"horizon": 100, "epoch": 10}}`,
+			[]string{`fleetsim: section requires kind "fleetsim"`},
+		},
+		{
+			"fleetsim timeline against unknown class",
+			`{"kind": "fleetsim", "name": "t", "system": {"preset": "small"},
+			  "traffic": {"flits": 8, "flitBytes": [64], "lambda": {"max": 1e-3, "points": 4}},
+			  "performability": {"nodes": [{"group": 1, "mttf": 1500, "mttr": 50}]},
+			  "fleetsim": {"horizon": 100, "epoch": 10,
+			    "timeline": [{"at": 5, "action": "inject_failure", "class": "nodes[g7]"}]}}`,
+			[]string{"fleetsim.timeline[0].class", `unknown class "nodes[g7]"`, "nodes[g1]"},
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -229,6 +267,36 @@ func TestListDirReportsBrokenFiles(t *testing.T) {
 	}
 	if sums[1].Err != nil || sums[1].Name != "t" {
 		t.Errorf("good.json misreported: %+v", sums[1])
+	}
+}
+
+// TestFleetStudy: a valid kind "fleetsim" spec assembles a runnable
+// fleet study wired to the performability classes.
+func TestFleetStudy(t *testing.T) {
+	s, err := parse(t, `{"kind": "fleetsim", "name": "t", "system": {"preset": "small"},
+	  "traffic": {"flits": 8, "flitBytes": [64], "lambda": {"max": 1e-3, "points": 4}},
+	  "performability": {"nodes": [{"group": 1, "mttf": 1500, "mttr": 50, "repairers": 2}]},
+	  "fleetsim": {"horizon": 200, "epoch": 20,
+	    "timeline": [{"at": 10, "action": "inject_failure", "class": "nodes[g1]", "count": 4}],
+	    "assertions": [{"check": "min_availability", "value": 0.5}]}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.FleetStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Block.Horizon != 200 || st.Perf.Name != "t" || len(st.Perf.GroupOf) != 4 {
+		t.Fatalf("study misassembled: %+v", st)
+	}
+	// A plain scenario has no fleet study.
+	plain, err := parse(t, validSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.FleetStudy(); err == nil ||
+		!strings.Contains(err.Error(), "fleetsim: section required") {
+		t.Fatalf("FleetStudy on a plain scenario = %v, want section-required error", err)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/ccnet/ccnet/internal/fleetsim"
 	"github.com/ccnet/ccnet/internal/netchar"
 	"github.com/ccnet/ccnet/internal/perfab"
 )
@@ -32,6 +33,12 @@ import (
 // Spec is one fully described scenario. The zero value is invalid;
 // construct Specs with Parse or Load so defaults and validation apply.
 type Spec struct {
+	// Kind selects the spec family: "scenario" (the default — the
+	// analysis/simulation campaign format) or "fleetsim" (a time-domain
+	// fleet simulation driven by the performability block's failure
+	// classes). Optimizer search specs carry kind "optimize" and load
+	// via `ccscen optimize` instead of this loader.
+	Kind string `json:"kind,omitempty"`
 	// Name identifies the scenario in results and CSV output (required).
 	Name string `json:"name"`
 	// Title is the human-readable headline; defaults to Name.
@@ -54,6 +61,13 @@ type Spec struct {
 	// ignored by `ccscen run` campaigns; `ccscen perf` and POST
 	// /v1/performability analyze it (see Spec.PerformabilityStudy).
 	Performability *perfab.Block `json:"performability,omitempty"`
+
+	// FleetSim is the time-domain fleet-simulation block (kind
+	// "fleetsim" only): horizon, epoch width, scripted timeline and
+	// trajectory assertions over the performability block's failure
+	// classes. `ccscen fleet` and POST /v1/fleetsim run it (see
+	// Spec.FleetStudy).
+	FleetSim *fleetsim.Block `json:"fleetsim,omitempty"`
 }
 
 // SystemSpec describes the cluster-of-clusters organization, either as a
@@ -286,6 +300,10 @@ var knownPatterns = []string{"uniform", "hotspot", "cluster-local"}
 // knownPresets lists the valid system presets.
 var knownPresets = []string{"N=1120", "N=544", "small"}
 
+// knownKinds lists the spec kinds this loader accepts; "optimize" is
+// valid in files but loads through the optimizer's own loader.
+var knownKinds = []string{"scenario", "fleetsim", "optimize"}
+
 // Validate checks the whole spec and returns every problem found, each a
 // field-path error, joined with errors.Join. A nil return means the spec
 // can be built and run.
@@ -293,6 +311,25 @@ func (s *Spec) Validate() error {
 	var errs []error
 	add := func(path, format string, args ...any) {
 		errs = append(errs, fieldErr(path, format, args...))
+	}
+
+	// --- kind -----------------------------------------------------------
+	switch s.Kind {
+	case "", "scenario":
+		if s.FleetSim != nil {
+			add("fleetsim", `section requires kind "fleetsim"`)
+		}
+	case "fleetsim":
+		if s.FleetSim == nil {
+			add("fleetsim", `section required for kind "fleetsim" (horizon, epoch, timeline)`)
+		}
+		if s.Performability == nil {
+			add("performability", `section required for kind "fleetsim" (it defines the failure classes)`)
+		}
+	case "optimize":
+		add("kind", `"optimize" is an optimizer search spec; load it via ccscen optimize`)
+	default:
+		add("kind", "unknown kind %q (valid: %s)", s.Kind, strings.Join(knownKinds, ", "))
 	}
 
 	if s.Name == "" {
@@ -374,6 +411,13 @@ func (s *Spec) Validate() error {
 			if err := s.Performability.Validate("performability", shapes, s.System.icn2Levels(shapes)); err != nil {
 				errs = append(errs, err)
 			}
+		}
+	}
+
+	// --- fleetsim -------------------------------------------------------
+	if s.FleetSim != nil && s.Performability != nil {
+		if err := s.FleetSim.Validate("fleetsim", s.Performability.ClassLabels()); err != nil {
+			errs = append(errs, err)
 		}
 	}
 

@@ -179,8 +179,17 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 			return fail(fmt.Errorf("item %d: performability: section required", index))
 		}
 		payload, key, class, err = s.performability(spec)
+	case "fleetsim":
+		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
+		if perr != nil {
+			return fail(perr)
+		}
+		if spec.FleetSim == nil {
+			return fail(fmt.Errorf("item %d: fleetsim: section required", index))
+		}
+		payload, key, class, err = s.fleetsimItem(spec)
 	default:
-		return fail(fmt.Errorf("item %d: kind: unknown kind %q (valid: evaluate, sweep, campaign, performability)", index, it.Kind))
+		return fail(fmt.Errorf("item %d: kind: unknown kind %q (valid: evaluate, sweep, campaign, performability, fleetsim)", index, it.Kind))
 	}
 	if err != nil {
 		return fail(fmt.Errorf("item %d: %w", index, err))

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"github.com/ccnet/ccnet/internal/canon"
+	"github.com/ccnet/ccnet/internal/fleetsim"
+	"github.com/ccnet/ccnet/internal/scenario"
+)
+
+// FleetEpochLine is one trajectory epoch of a running fleet simulation,
+// streamed as soon as every state occupying the epoch has evaluated.
+type FleetEpochLine struct {
+	Type string `json:"type"` // always "epoch"
+	fleetsim.EpochMetrics
+}
+
+// FleetResultLine is the terminal NDJSON line: the canonical cache key,
+// whether the report came from the cache, and the full report.
+type FleetResultLine struct {
+	Type   string          `json:"type"` // always "result"
+	Cached bool            `json:"cached"`
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// fleetsimKey hashes the scenario spec with its defaults resolved, so
+// "seed omitted" and "seed": 1 share a cache entry.
+func fleetsimKey(spec *scenario.Spec) (canon.Key, error) {
+	norm := *spec
+	if norm.Seed == 0 {
+		norm.Seed = 1
+	}
+	return canon.Hash("fleetsim", norm)
+}
+
+// fleetsimItem computes one fleet simulation through the cache without
+// streaming epochs; the batch executor uses it.
+func (s *Server) fleetsimItem(spec *scenario.Spec) (payload []byte, key canon.Key, class string, err error) {
+	study, err := spec.FleetStudy()
+	if err != nil {
+		return nil, "", "", badRequest(err)
+	}
+	key, err = fleetsimKey(spec)
+	if err != nil {
+		return nil, "", "", err
+	}
+	payload, class, err = s.do(key, func() ([]byte, error) {
+		eng := &fleetsim.Engine{Workers: s.workers()}
+		rep, err := eng.Run(context.Background(), study)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		return json.Marshal(rep)
+	})
+	return payload, key, class, err
+}
+
+// RunFleetSim executes one fleet simulation, streaming NDJSON to w:
+// epoch lines as the trajectory evaluates (flushed immediately when w is
+// an http.Flusher), then one terminal result line. A spec already
+// answered is served from the canonical-spec result cache as a single
+// result line with cached=true, and concurrent identical specs coalesce
+// onto one computation (late arrivals stream no epochs, just the shared
+// result marked cached). The returned report is nil when this call did
+// not run the simulation itself. `ccscen fleet -ndjson` and POST
+// /v1/fleetsim share this path.
+func (s *Server) RunFleetSim(ctx context.Context, spec *scenario.Spec, w io.Writer) (*fleetsim.Report, error) {
+	study, err := spec.FleetStudy()
+	if err != nil {
+		s.fleetsims.Add(1)
+		s.failures.Add(1)
+		return nil, badRequest(err)
+	}
+	return s.runFleetSim(ctx, spec, study, w)
+}
+
+// runFleetSim is RunFleetSim with the study already built — the HTTP
+// handler assembles it once for its pre-stream validation and hands it
+// straight in.
+func (s *Server) runFleetSim(ctx context.Context, spec *scenario.Spec, study *fleetsim.Study, w io.Writer) (*fleetsim.Report, error) {
+	s.fleetsims.Add(1)
+	s.m.activeStreams.With("fleetsim").Add(1)
+	defer s.m.activeStreams.With("fleetsim").Add(-1)
+	lines := s.m.streamLines.With("fleetsim")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	key, err := fleetsimKey(spec)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+	if payload, ok := s.cache.Get(key); ok {
+		setHitClass(w, classHit)
+		if err := enc.Encode(FleetResultLine{Type: "result", Cached: true, Key: string(key), Result: payload}); err != nil {
+			s.writeErrors.Add(1)
+			return nil, err
+		}
+		lines.Inc()
+		flush()
+		return nil, nil
+	}
+
+	var rep *fleetsim.Report
+	payload, err, shared := s.flight.Do(string(key), func() ([]byte, error) {
+		s.computes.Add(1)
+		var streamErr error
+		eng := &fleetsim.Engine{
+			Workers: s.workers(),
+			EpochReady: func(em fleetsim.EpochMetrics) {
+				if streamErr != nil {
+					return
+				}
+				if err := enc.Encode(FleetEpochLine{Type: "epoch", EpochMetrics: em}); err != nil {
+					streamErr = err // client gone; keep computing for the sharers
+					s.writeErrors.Add(1)
+					return
+				}
+				lines.Inc()
+				flush()
+			},
+		}
+		r, err := eng.Run(ctx, study)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		rep = r
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if shared {
+		s.coalesced.Add(1)
+		setHitClass(w, classCoalesced)
+	} else {
+		setHitClass(w, classMiss)
+	}
+	if err != nil {
+		s.failures.Add(1)
+		// Streaming has begun; report the failure in-band.
+		if encErr := enc.Encode(PerfErrorLine{Type: "error", Error: err.Error()}); encErr != nil {
+			s.writeErrors.Add(1)
+		} else {
+			lines.Inc()
+		}
+		flush()
+		return nil, err
+	}
+	if err := enc.Encode(FleetResultLine{Type: "result", Cached: shared, Key: string(key), Result: payload}); err != nil {
+		s.writeErrors.Add(1)
+		return rep, err
+	}
+	lines.Inc()
+	flush()
+	return rep, nil
+}
+
+// handleFleetSim serves POST /v1/fleetsim: the body is a kind "fleetsim"
+// scenario spec (performability + fleetsim sections), decoded and
+// validated up front (problems are a plain 400), then the trajectory
+// streams back as chunked NDJSON — epoch lines and a terminal result
+// line. A client that disconnects cancels the evaluation via the
+// request context.
+func (s *Server) handleFleetSim(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	spec, err := scenario.Parse(r.Body, "request")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.FleetSim == nil {
+		s.fail(w, http.StatusBadRequest, errors.New("fleetsim: section required"))
+		return
+	}
+	// Structural problems only the builder can see (C = 2(m/2)^n) must
+	// fail before the status line commits to streaming.
+	study, err := spec.FleetStudy()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = s.runFleetSim(r.Context(), spec, study, w)
+}

@@ -78,6 +78,8 @@ func (s *Server) initMetrics() {
 		func() float64 { return float64(s.optimizes.Load()) }, "endpoint", "optimize")
 	reg.CounterFunc("ccserved_requests_total", reqHelp,
 		func() float64 { return float64(s.perfabs.Load()) }, "endpoint", "performability")
+	reg.CounterFunc("ccserved_requests_total", reqHelp,
+		func() float64 { return float64(s.fleetsims.Load()) }, "endpoint", "fleetsim")
 	reg.CounterFunc("ccserved_batch_items_total", "Batch items accepted.",
 		func() float64 { return float64(s.batchItems.Load()) })
 	reg.CounterFunc("ccserved_computes_total",
@@ -123,7 +125,7 @@ func endpointLabel(path string) string {
 	name = strings.TrimPrefix(name, "/")
 	switch name {
 	case "evaluate", "sweep", "campaign", "batch", "optimize", "performability",
-		"healthz", "stats", "metrics":
+		"fleetsim", "healthz", "stats", "metrics":
 		return name
 	}
 	return "other"

@@ -56,6 +56,7 @@ type Server struct {
 	batchItems  atomic.Uint64
 	optimizes   atomic.Uint64
 	perfabs     atomic.Uint64
+	fleetsims   atomic.Uint64
 	computes    atomic.Uint64
 	coalesced   atomic.Uint64
 	failures    atomic.Uint64
@@ -106,11 +107,13 @@ func (s *Server) Computes() uint64 { return s.computes.Load() }
 //	POST /v1/evaluate   one analytical evaluation at a single rate
 //	POST /v1/sweep      an analytical sweep over a lambda grid
 //	POST /v1/campaign   a full scenario spec (same JSON as ccscen files)
-//	POST /v1/batch      a batch of evaluate/sweep/campaign/performability
-//	                    items (NDJSON stream)
+//	POST /v1/batch      a batch of evaluate/sweep/campaign/performability/
+//	                    fleetsim items (NDJSON stream)
 //	POST /v1/optimize   a design-space search spec (NDJSON progress + frontier)
 //	POST /v1/performability  a scenario spec with a performability block
 //	                    (NDJSON progress + report)
+//	POST /v1/fleetsim   a kind "fleetsim" scenario spec (NDJSON epoch
+//	                    stream + report)
 //	GET  /v1/healthz    liveness + version
 //	GET  /v1/stats      request and cache counters
 //	GET  /metrics       Prometheus text exposition
@@ -128,6 +131,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("POST /v1/performability", s.handlePerformability)
+	mux.HandleFunc("POST /v1/fleetsim", s.handleFleetSim)
 	return s.instrument(mux)
 }
 
@@ -259,6 +263,7 @@ type StatsResult struct {
 	BatchItems    uint64     `json:"batchItems"`
 	Optimizes     uint64     `json:"optimizes"`
 	Perfabs       uint64     `json:"performabilities"`
+	FleetSims     uint64     `json:"fleetsims"`
 	Computes      uint64     `json:"computes"`
 	Coalesced     uint64     `json:"coalesced"`
 	Failures      uint64     `json:"failures"`
@@ -289,6 +294,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		BatchItems:    s.batchItems.Load(),
 		Optimizes:     s.optimizes.Load(),
 		Perfabs:       s.perfabs.Load(),
+		FleetSims:     s.fleetsims.Load(),
 		Computes:      s.computes.Load(),
 		Coalesced:     s.coalesced.Load(),
 		Failures:      s.failures.Load(),
