@@ -624,3 +624,116 @@ func BenchmarkFleetSimEpochs(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOptimizeNeighbor measures the search engine's neighbor-walk
+// hot loop: a beam search over the ~1.7k-candidate grid space, where
+// successive candidates differ in one axis by construction and each
+// worker's precompute handle serves the unchanged pair-class tables and
+// distance distributions from cache. Compare candidates/op against
+// BenchmarkOptimizeGrid's cold enumeration to see the incremental win.
+// Gated by the CI perf-regression diff against the committed baseline.
+func BenchmarkOptimizeNeighbor(b *testing.B) {
+	spec, err := optimize.Parse(strings.NewReader(`{
+		"name": "bench-neighbor",
+		"seed": 7,
+		"space": {
+			"ports": [4],
+			"icn2": ["net1", "net2"],
+			"icn2Scale": [1, 1.5, 2],
+			"groups": [
+				{"counts": [0, 4, 8, 16], "treeLevels": [1, 2, 3], "icn1": ["net1", "net2"], "ecn1": ["net2"]},
+				{"counts": [0, 4, 8], "treeLevels": [2], "icn1": ["net1", "net2"], "ecn1": ["net2"]}
+			]
+		},
+		"message": {"flits": 32, "flitBytes": 256},
+		"constraints": {"cost": {"switchBase": 400, "linkBase": 40, "linkPerBandwidth": 0.1}},
+		"search": {"method": "beam", "maxCandidates": 1200, "beamWidth": 24}
+	}`), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := (&optimize.Engine{}).Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Best == nil {
+			b.Fatal("beam found nothing")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Evaluated), "candidates")
+		}
+	}
+}
+
+// BenchmarkPerfabStateArena isolates the per-state rebuild that
+// BenchmarkPerfabStates amortizes over a whole study: one compiled
+// Evaluator, a fixed cycle of failure states, each EvalState call
+// re-deriving the degraded model through the per-worker arena and
+// precompute handle. This is the allocation budget the arena pass
+// bounds. Gated by the CI perf-regression diff against the committed
+// baseline.
+func BenchmarkPerfabStateArena(b *testing.B) {
+	study := &perfab.Study{
+		Name:    "bench-arena",
+		Sys:     cluster.SmallTestSystem(),
+		GroupOf: []int{0, 0, 1, 1},
+		Msg:     netchar.MessageSpec{Flits: 16, FlitBytes: 128},
+		Block: &perfab.Block{
+			Nodes: []perfab.NodeFailureSpec{
+				{Group: 1, RateSpec: perfab.RateSpec{MTTF: 1500, MTTR: 50, Repairers: 2}},
+			},
+			Switches: []perfab.SwitchFailureSpec{
+				{Group: 1, Network: perfab.NetICN1, Level: 1, RateSpec: perfab.RateSpec{MTTF: 4000, MTTR: 100}},
+				{Group: 1, Network: perfab.NetECN1, Level: 1, RateSpec: perfab.RateSpec{MTTF: 3000, MTTR: 100}},
+			},
+			States: perfab.StatesSpec{MaxExact: 2000},
+		},
+		Seed: 1,
+	}
+	ev, err := perfab.NewEvaluator(study)
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := [][]int{
+		{0, 0, 0},
+		{1, 0, 0},
+		{2, 0, 0},
+		{0, 1, 0},
+		{1, 0, 1},
+		{3, 1, 1},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := ev.EvalState(states[i%len(states)], 0)
+		if !m.Up {
+			b.Fatalf("state %v reported down", states[i%len(states)])
+		}
+	}
+}
+
+// BenchmarkDESFig measures the figure pipelines' simulation leg: the
+// Fig 5 system (N=544, M=32) driven through the wormhole DES at three
+// points of the load curve, the shape every Fig 3–6 regeneration
+// repeats per λ. The calendar-queue kernel, journey/message pooling and
+// route memoization all land here. Gated by the CI perf-regression diff
+// against the committed baseline.
+func BenchmarkDESFig(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		for j, lambda := range [...]float64{1e-4, 3e-4, 5e-4} {
+			m, err := sim.Run(sim.Config{
+				Sys: cluster.System544(), Msg: netchar.MessageSpec{Flits: 32, FlitBytes: 256},
+				Lambda: lambda, Seed: uint64(j + 1), WarmupCount: 200, MeasureCount: 2000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += m.Events
+		}
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}

@@ -66,17 +66,17 @@ func capacity(f float64) float64 {
 // entries summing to one, or all-zero (a population without pairs).
 func validDist(p []float64, want int, path string) error {
 	if len(p) != want {
-		return fmt.Errorf("core: %s: distribution has %d entries, want %d", path, len(p), want)
+		return fmt.Errorf("%s: distribution has %d entries, want %d", path, len(p), want)
 	}
 	sum := 0.0
 	for i, v := range p {
 		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("core: %s[%d]: invalid probability %v", path, i, v)
+			return fmt.Errorf("%s[%d]: invalid probability %v", path, i, v)
 		}
 		sum += v
 	}
 	if sum != 0 && math.Abs(sum-1) > 1e-9 {
-		return fmt.Errorf("core: %s: distribution sums to %v", path, sum)
+		return fmt.Errorf("%s: distribution sums to %v", path, sum)
 	}
 	return nil
 }
@@ -84,7 +84,7 @@ func validDist(p []float64, want int, path string) error {
 // validCapacity checks an inflation factor.
 func validCapacity(f float64, path string) error {
 	if f != 0 && (f < 1 || math.IsNaN(f) || math.IsInf(f, 0)) {
-		return fmt.Errorf("core: %s: capacity factor %v must be >= 1", path, f)
+		return fmt.Errorf("%s: capacity factor %v must be >= 1", path, f)
 	}
 	return nil
 }
@@ -112,11 +112,11 @@ func validateDegraded(sys *cluster.System, deg *Degradation) error {
 	}
 	if deg.ICN2Dist != nil {
 		if err := validDist(deg.ICN2Dist, deg.ICN2Levels, "icn2 distribution"); err != nil {
-			return err
+			return fmt.Errorf("core: %w", err)
 		}
 	}
 	if err := validCapacity(deg.ICN2Capacity, "icn2 capacity"); err != nil {
-		return err
+		return fmt.Errorf("core: %w", err)
 	}
 	total := 0
 	for i, cc := range sys.Clusters {
@@ -134,16 +134,18 @@ func validateDegraded(sys *cluster.System, deg *Degradation) error {
 			return fmt.Errorf("core: cluster %d: %d survivors outside [1,%d]",
 				i, d.Nodes, sys.ClusterNodes(i))
 		}
+		// Path strings are built only on failure: this runs per rebuilt
+		// state on the performability hot path.
 		if d.Dist != nil {
-			if err := validDist(d.Dist, cc.TreeLevels, fmt.Sprintf("cluster %d distribution", i)); err != nil {
-				return err
+			if err := validDist(d.Dist, cc.TreeLevels, "distribution"); err != nil {
+				return fmt.Errorf("core: cluster %d: %w", i, err)
 			}
 		}
-		if err := validCapacity(d.IntraCapacity, fmt.Sprintf("cluster %d intra capacity", i)); err != nil {
-			return err
+		if err := validCapacity(d.IntraCapacity, "intra capacity"); err != nil {
+			return fmt.Errorf("core: cluster %d: %w", i, err)
 		}
-		if err := validCapacity(d.ECNCapacity, fmt.Sprintf("cluster %d ECN capacity", i)); err != nil {
-			return err
+		if err := validCapacity(d.ECNCapacity, "ECN capacity"); err != nil {
+			return fmt.Errorf("core: cluster %d: %w", i, err)
 		}
 		total += d.Nodes
 	}
@@ -168,5 +170,5 @@ func NewDegraded(sys *cluster.System, msg netchar.MessageSpec, opt Options, deg 
 	if err := msg.Validate(); err != nil {
 		return nil, err
 	}
-	return newModel(sys, msg, opt, deg)
+	return newModel(sys, msg, opt, deg, nil)
 }

@@ -41,9 +41,10 @@ type pairCell struct {
 // per-channel rate coefficients of Eqs 22–25 (rates are linear in λ),
 // Eq 28's relaxing factor, and the service-time constants.
 type pairClass struct {
-	cells []pairCell
-	eex   float64 // Eq 33/34 tail sum (λ-independent)
-	sf    float64 // gateway serialization term (0 unless S&F)
+	cells  []pairCell
+	nr, nv int     // crossing-length ranges: cells is (r, v, l) lexicographic
+	eex    float64 // Eq 33/34 tail sum (λ-independent)
+	sf     float64 // gateway serialization term (0 unless S&F)
 
 	lamE1Cof  float64 // Eq 22: λ_E1 = λ·lamE1Cof
 	etaSrcCof float64 // Eq 24: η_E1(src) = λ·etaSrcCof
@@ -59,14 +60,12 @@ type pairClass struct {
 
 // precomputePairs fills m.pairs for every ordered class pair that can
 // occur (src ≠ dst cluster; a class pairs with itself only when it has
-// at least two members).
-func (m *Model) precomputePairs() {
+// at least two members). With a precompute handle, pair tables are
+// looked up by their full input key and shared read-only across models
+// — a cache hit returns exactly the bytes a cold build would produce.
+func (m *Model) precomputePairs(pre *Precompute) {
 	members := make([]int, m.nClasses)
-	rep := make([]int, m.nClasses)
-	for i, c := range m.classOf {
-		if members[c] == 0 {
-			rep[c] = i
-		}
+	for _, c := range m.classOf {
 		members[c]++
 	}
 	m.pairs = make([]pairClass, m.nClasses*m.nClasses)
@@ -75,7 +74,21 @@ func (m *Model) precomputePairs() {
 			if a == b && members[a] < 2 {
 				continue // no ordered pair of distinct clusters exists
 			}
-			m.pairs[a*m.nClasses+b] = m.buildPairClass(rep[a], rep[b])
+			i, j := m.classRep[a], m.classRep[b]
+			if pre == nil {
+				m.pairs[a*m.nClasses+b] = m.buildPairClass(i, j)
+				continue
+			}
+			key := m.pairKeyFor(i, j)
+			pc, ok := pre.pairs[key]
+			if !ok {
+				pc = m.buildPairClass(i, j)
+				if len(pre.pairs) >= prePairCap {
+					clear(pre.pairs)
+				}
+				pre.pairs[key] = pc
+			}
+			m.pairs[a*m.nClasses+b] = pc
 		}
 	}
 }
@@ -88,6 +101,9 @@ func (m *Model) buildPairClass(i, j int) pairClass {
 	M := float64(m.Msg.Flits)
 
 	pc := pairClass{
+		nr:       src.n,
+		nv:       dst.n,
+		cells:    make([]pairCell, 0, src.n*dst.n*m.nc),
 		tcsE1Src: src.tcsE1,
 		tcsE1Dst: dst.tcsE1,
 		tcnE1Src: src.tcnE1,
@@ -166,6 +182,52 @@ func (m *Model) buildPairClass(i, j int) pairClass {
 	return pc
 }
 
+// maxFastCells bounds the stack buffer of cellLatencies; larger cell
+// sets fall back to per-cell stageChain3.
+const maxFastCells = 32
+
+// cellLatencies fills ts[i] with cell i's merged-unit latency — the
+// value stageChain3 returns for that cell, computed with the shared
+// backward prefix factored out. Every cell's recurrence starts from the
+// destination end with t = M·t_cn^{E1(j)}, runs v−1 destination steps,
+// 2l−1 ICN2 steps, then r source steps; cells that share (v, l) differ
+// only in how many source steps follow, so one chain per (v, l) captures
+// t after each additional source step. The split is at step boundaries
+// of the identical sequential recurrence, so each ts[i] is bit-identical
+// to the standalone call; callers keep their original summation order.
+func (m *Model) cellLatencies(pc *pairClass, etaSrc, etaI2, etaDst float64, ts []float64) {
+	M := float64(m.Msg.Flits)
+	mult := 1
+	if m.Opt.CalibratedECNCrossing {
+		mult = 2
+	}
+	stride := pc.nv * m.nc
+	for v := 1; v <= pc.nv; v++ {
+		vSteps := v*mult - 1
+		for l := 1; l <= m.nc; l++ {
+			t := M * pc.tcnE1Dst
+			wSum := 0.5 * etaDst * t * t
+			for s := 0; s < vSteps; s++ {
+				t = M*pc.tcsE1Dst + wSum
+				wSum += 0.5 * etaDst * t * t
+			}
+			for s := 0; s < 2*l-1; s++ {
+				t = M*m.tcsI2 + wSum
+				wSum += 0.5 * etaI2 * t * t
+			}
+			idx := (v-1)*m.nc + (l - 1)
+			for r := 1; r <= pc.nr; r++ {
+				for s := 0; s < mult; s++ {
+					t = M*pc.tcsE1Src + wSum
+					wSum += 0.5 * etaSrc * t * t
+				}
+				ts[idx] = t
+				idx += stride
+			}
+		}
+	}
+}
+
 // PairLatency evaluates the inter-cluster latency of the ordered pair
 // (i → j) at rate lambdaG — the analytical counterpart of the trace
 // summary's per-pair statistics. It panics on out-of-range or equal
@@ -198,10 +260,18 @@ func (m *Model) pairLatency(lambdaG float64, classPair int, res *PairResult) {
 
 	// Eqs 20–21, 26–30: average the merged-unit latency over the
 	// (r, v, l) crossing-length distribution.
-	for _, c := range pc.cells {
-		t := stageChain3(c.k, c.lo, c.hi, M, pc.tcnE1Dst,
-			pc.tcsE1Src, m.tcsI2, pc.tcsE1Dst, etaSrc, etaI2, etaDst)
-		res.TEx += c.p * t
+	if len(pc.cells) <= maxFastCells {
+		var ts [maxFastCells]float64
+		m.cellLatencies(pc, etaSrc, etaI2, etaDst, ts[:])
+		for i, c := range pc.cells {
+			res.TEx += c.p * ts[i]
+		}
+	} else {
+		for _, c := range pc.cells {
+			t := stageChain3(c.k, c.lo, c.hi, M, pc.tcnE1Dst,
+				pc.tcsE1Src, m.tcsI2, pc.tcsE1Dst, etaSrc, etaI2, etaDst)
+			res.TEx += c.p * t
+		}
 	}
 
 	// Eq 31: source queue of the inter-cluster branch.

@@ -111,8 +111,13 @@ type Model struct {
 	// class pair and reused — Table 1's 32-cluster system has only three
 	// classes, collapsing 992 pair evaluations per λ into at most 9.
 	classOf  []int // cluster index → class index
+	classRep []int // class index → first cluster of the class
 	nClasses int
 	pairs    []pairClass // [src*nClasses+dst]; zero when the pair cannot occur
+
+	// icn2DistID identifies a degraded ICN2 distance-distribution
+	// override for the precompute cache (nil when Eq 6 applies).
+	icn2DistID *float64
 }
 
 // clusterDerived caches per-cluster constants.
@@ -126,10 +131,10 @@ type clusterDerived struct {
 	tcnI1, tcsI1 float64
 	tcnE1, tcsE1 float64
 
-	eIn      float64 // Eq 19 tail pipeline time (λ-independent)
-	etaI1Cof float64 // Eq 10 per-channel rate / λ: (1−U)·dMean/(4n)
-	ecnCap   float64 // ECN1 per-channel rate inflation (1 when intact)
-	distKey  string  // degraded-distribution fingerprint ("" when Eq 6)
+	eIn      float64  // Eq 19 tail pipeline time (λ-independent)
+	etaI1Cof float64  // Eq 10 per-channel rate / λ: (1−U)·dMean/(4n)
+	ecnCap   float64  // ECN1 per-channel rate inflation (1 when intact)
+	distID   *float64 // degraded-distribution identity (nil when Eq 6)
 }
 
 // New validates the system and precomputes per-cluster constants.
@@ -140,13 +145,14 @@ func New(sys *cluster.System, msg netchar.MessageSpec, opt Options) (*Model, err
 	if err := msg.Validate(); err != nil {
 		return nil, err
 	}
-	return newModel(sys, msg, opt, nil)
+	return newModel(sys, msg, opt, nil, nil)
 }
 
 // newModel is the shared constructor behind New and NewDegraded: every
 // λ-independent quantity is precomputed here, from the intact closed
-// forms or from the degradation's overrides.
-func newModel(sys *cluster.System, msg netchar.MessageSpec, opt Options, deg *Degradation) (*Model, error) {
+// forms or from the degradation's overrides. A non-nil pre reuses
+// cached tables across builds (see Precompute).
+func newModel(sys *cluster.System, msg netchar.MessageSpec, opt Options, deg *Degradation, pre *Precompute) (*Model, error) {
 	var nc int
 	if deg != nil {
 		nc = deg.ICN2Levels
@@ -160,11 +166,20 @@ func newModel(sys *cluster.System, msg netchar.MessageSpec, opt Options, deg *De
 		return nil, fmt.Errorf("core: locality fraction %v outside [0,1)", opt.LocalityFraction)
 	}
 	m := &Model{Sys: sys, Msg: msg, Opt: opt, nc: nc, icn2Cap: 1}
-	m.pI2 = distanceDist(sys.K(), nc)
+	if pre != nil {
+		m.pI2 = pre.distanceDist(sys.K(), nc)
+	} else {
+		m.pI2 = distanceDist(sys.K(), nc)
+	}
 	if deg != nil {
 		m.icn2Cap = capacity(deg.ICN2Capacity)
 		if deg.ICN2Dist != nil {
-			m.pI2 = append([]float64(nil), deg.ICN2Dist...)
+			m.icn2DistID = &deg.ICN2Dist[0]
+			if pre != nil {
+				m.pI2 = deg.ICN2Dist
+			} else {
+				m.pI2 = append([]float64(nil), deg.ICN2Dist...)
+			}
 		}
 	}
 	for h, p := range m.pI2 {
@@ -199,13 +214,21 @@ func newModel(sys *cluster.System, msg netchar.MessageSpec, opt Options, deg *De
 		if opt.UseLocality {
 			d.u = 1 - opt.LocalityFraction
 		}
-		d.p = distanceDist(sys.K(), cc.TreeLevels)
+		if pre != nil {
+			d.p = pre.distanceDist(sys.K(), cc.TreeLevels)
+		} else {
+			d.p = distanceDist(sys.K(), cc.TreeLevels)
+		}
 		intraCap := 1.0
 		if deg != nil {
 			cd := &deg.Clusters[i]
 			if cd.Dist != nil {
-				d.p = append([]float64(nil), cd.Dist...)
-				d.distKey = fmt.Sprint(cd.Dist)
+				d.distID = &cd.Dist[0]
+				if pre != nil {
+					d.p = cd.Dist
+				} else {
+					d.p = append([]float64(nil), cd.Dist...)
+				}
 			}
 			intraCap = capacity(cd.IntraCapacity)
 			d.ecnCap = capacity(cd.ECNCapacity)
@@ -223,9 +246,22 @@ func newModel(sys *cluster.System, msg netchar.MessageSpec, opt Options, deg *De
 		}
 		d.etaI1Cof = intraCap * (1 - d.u) * d.dMean / (4 * float64(d.n))
 	}
-	m.classifyClusters()
-	m.precomputePairs()
+	m.classifyClusters(pre)
+	m.precomputePairs(pre)
 	return m, nil
+}
+
+// classKey groups analytically identical clusters; see classifyClusters.
+// Distance-distribution overrides key by slice identity — distinct
+// slices with equal contents split a class, which duplicates work but
+// never changes a computed value.
+type classKey struct {
+	n          int
+	icn1, ecn1 netchar.Characteristics
+	nodes      int
+	etaCof     float64 // folds in U and any intra-capacity factor
+	ecnCap     float64
+	distID     *float64
 }
 
 // classifyClusters groups analytically identical clusters: same tree
@@ -235,28 +271,42 @@ func newModel(sys *cluster.System, msg netchar.MessageSpec, opt Options, deg *De
 // identical intra terms and pair terms. On intact systems the population
 // and overrides follow from the shape, so the key reduces to the
 // original (height, networks) triple.
-func (m *Model) classifyClusters() {
-	type class struct {
-		n          int
-		icn1, ecn1 netchar.Characteristics
-		nodes      int
-		etaCof     float64 // folds in U and any intra-capacity factor
-		ecnCap     float64
-		distKey    string
+func (m *Model) classifyClusters(pre *Precompute) {
+	var index map[classKey]int
+	if pre != nil {
+		if pre.classes == nil {
+			pre.classes = make(map[classKey]int)
+		}
+		clear(pre.classes)
+		index = pre.classes
+	} else {
+		index = make(map[classKey]int)
 	}
-	index := make(map[class]int)
-	m.classOf = make([]int, len(m.cl))
+	// classOf and classRep (≤ len(cl) entries) share one allocation.
+	buf := make([]int, len(m.cl), 2*len(m.cl))
+	m.classOf = buf
+	m.classRep = buf[len(m.cl):len(m.cl):cap(buf)]
+	var prev classKey
+	prevID := -1
 	for i := range m.cl {
 		cc := m.Sys.Clusters[i]
 		d := &m.cl[i]
-		c := class{n: cc.TreeLevels, icn1: cc.ICN1, ecn1: cc.ECN1,
-			nodes: d.nodes, etaCof: d.etaI1Cof, ecnCap: d.ecnCap, distKey: d.distKey}
+		c := classKey{n: cc.TreeLevels, icn1: cc.ICN1, ecn1: cc.ECN1,
+			nodes: d.nodes, etaCof: d.etaI1Cof, ecnCap: d.ecnCap, distID: d.distID}
+		// Identical clusters come in runs (group templates), so compare
+		// against the previous key before paying a map lookup.
+		if c == prev && prevID >= 0 {
+			m.classOf[i] = prevID
+			continue
+		}
 		id, ok := index[c]
 		if !ok {
 			id = len(index)
 			index[c] = id
+			m.classRep = append(m.classRep, i)
 		}
 		m.classOf[i] = id
+		prev, prevID = c, id
 	}
 	m.nClasses = len(index)
 }

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/cluster"
+	"github.com/ccnet/ccnet/internal/netchar"
+)
+
+// resultBits flattens a Result to the raw bit patterns of every field,
+// so equality means bit-identical (== on float64 would conflate +0 and
+// −0 and DeepEqual inherits that).
+func resultBits(r *Result) []uint64 {
+	bits := []uint64{
+		math.Float64bits(r.Lambda),
+		math.Float64bits(r.MeanLatency),
+		math.Float64bits(r.MeanIntra),
+		math.Float64bits(r.MeanInter),
+	}
+	if r.Saturated {
+		bits = append(bits, 1)
+	} else {
+		bits = append(bits, 0)
+	}
+	for i := range r.PerCluster {
+		c := &r.PerCluster[i]
+		for _, v := range [...]float64{c.U, c.WIn, c.TIn, c.EIn, c.LIn, c.WEx, c.TEx, c.EEx, c.WD, c.LOut, c.Mean} {
+			bits = append(bits, math.Float64bits(v))
+		}
+	}
+	return bits
+}
+
+// requireSameEvaluation drives warm (handle-built) and cold
+// (from-scratch) models over the same probe points and fails on the
+// first bit that differs.
+func requireSameEvaluation(t *testing.T, label string, warm, cold *Model) {
+	t.Helper()
+	satW := warm.SaturationPoint(1.0, 1e-4)
+	satC := cold.SaturationPoint(1.0, 1e-4)
+	if math.Float64bits(satW) != math.Float64bits(satC) {
+		t.Fatalf("%s: saturation point %v (warm) vs %v (cold)", label, satW, satC)
+	}
+	if satC <= 0 {
+		t.Fatalf("%s: system saturated at any positive rate", label)
+	}
+	for _, frac := range [...]float64{0.125, 0.5, 0.9, 1.05} {
+		l := satC * frac
+		rw, rc := warm.Evaluate(l), cold.Evaluate(l)
+		if !reflect.DeepEqual(resultBits(rw), resultBits(rc)) {
+			t.Fatalf("%s: Evaluate(%g) differs between handle and cold build:\nwarm %+v\ncold %+v",
+				label, l, rw, rc)
+		}
+	}
+}
+
+// mutateAxis changes exactly one axis of (sys, msg, opt) — the move an
+// optimizer neighbor step or a perfab state change makes — keeping the
+// system valid. Ports stay fixed: changing arity changes the cluster
+// count, which is a different spec, not a neighbor.
+func mutateAxis(r *rand.Rand, sys *cluster.System, msg *netchar.MessageSpec, opt *Options) {
+	maxLevels := 3
+	if sys.Ports == 8 {
+		maxLevels = 2
+	}
+	i := r.Intn(len(sys.Clusters))
+	switch r.Intn(6) {
+	case 0:
+		sys.Clusters[i].TreeLevels = 1 + r.Intn(maxLevels)
+	case 1:
+		sys.Clusters[i].ICN1 = randomNet(r)
+	case 2:
+		sys.Clusters[i].ECN1 = randomNet(r)
+	case 3:
+		sys.ICN2 = randomNet(r)
+	case 4:
+		*msg = randomMsg(r)
+	case 5:
+		opt.GatewayStoreAndForward = !opt.GatewayStoreAndForward
+	}
+}
+
+// TestPrecomputeNeighborWalkBitIdentical is the contract promised by
+// the Precompute doc comment: along randomized axis-neighbor sequences,
+// models built through one shared handle evaluate bit-identically to
+// from-scratch builds — revisited axes (cache hits) included, because
+// each walk mutates a small spec repeatedly.
+func TestPrecomputeNeighborWalkBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for walk := 0; walk < 6; walk++ {
+		sys := randomSystem(r)
+		msg := randomMsg(r)
+		opt := Options{}
+		pre := NewPrecompute()
+		for step := 0; step < 10; step++ {
+			if step > 0 {
+				mutateAxis(r, sys, &msg, &opt)
+			}
+			if err := sys.Validate(); err != nil {
+				t.Fatalf("walk %d step %d: invalid system: %v", walk, step, err)
+			}
+			warm, err := NewWith(sys, msg, opt, pre)
+			if err != nil {
+				t.Fatalf("walk %d step %d: NewWith: %v", walk, step, err)
+			}
+			cold, err := New(sys, msg, opt)
+			if err != nil {
+				t.Fatalf("walk %d step %d: New: %v", walk, step, err)
+			}
+			requireSameEvaluation(t, fmt.Sprintf("walk %d step %d", walk, step), warm, cold)
+		}
+	}
+}
+
+// randDist draws a valid survivor distance distribution of length n.
+func randDist(r *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	sum := 0.0
+	for i := range p {
+		p[i] = 0.1 + r.Float64()
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// mutateDegradation changes one degradation axis: a cluster's survivor
+// count, a distance-distribution override (fresh slice each time — the
+// handle adopts override slices by pointer, so stale aliasing here
+// would be exactly the bug this test guards), or a capacity factor.
+func mutateDegradation(r *rand.Rand, sys *cluster.System, deg *Degradation) {
+	i := r.Intn(len(deg.Clusters))
+	switch r.Intn(7) {
+	case 0:
+		deg.Clusters[i].Nodes = 1 + r.Intn(sys.ClusterNodes(i))
+	case 1:
+		if r.Intn(2) == 0 {
+			deg.Clusters[i].Dist = randDist(r, sys.Clusters[i].TreeLevels)
+		} else {
+			deg.Clusters[i].Dist = nil
+		}
+	case 2:
+		deg.Clusters[i].IntraCapacity = 1 + r.Float64()*2
+	case 3:
+		deg.Clusters[i].ECNCapacity = 1 + r.Float64()*2
+	case 4:
+		if r.Intn(2) == 0 {
+			deg.ICN2Dist = randDist(r, deg.ICN2Levels)
+		} else {
+			deg.ICN2Dist = nil
+		}
+	case 5:
+		deg.ICN2Capacity = 1 + r.Float64()
+	case 6:
+		sys.Clusters[i].ECN1 = randomNet(r)
+	}
+}
+
+// TestPrecomputeDegradedNeighborBitIdentical runs the same contract
+// over degraded builds — the perfab workload: one physical system,
+// randomized failure-state sequences, each state built warm through a
+// shared handle and cold from scratch.
+func TestPrecomputeDegradedNeighborBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for walk := 0; walk < 6; walk++ {
+		sys := randomSystem(r)
+		msg := randomMsg(r)
+		opt := Options{GatewayStoreAndForward: walk%2 == 0}
+		nc, err := sys.ICN2Levels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg := &Degradation{Clusters: make([]ClusterDegradation, len(sys.Clusters)), ICN2Levels: nc}
+		for i := range deg.Clusters {
+			deg.Clusters[i].Nodes = sys.ClusterNodes(i)
+		}
+		pre := NewPrecompute()
+		for step := 0; step < 10; step++ {
+			if step > 0 {
+				mutateDegradation(r, sys, deg)
+			}
+			warm, err := NewDegradedWith(sys, msg, opt, deg, pre)
+			if err != nil {
+				t.Fatalf("walk %d step %d: NewDegradedWith: %v", walk, step, err)
+			}
+			cold, err := NewDegraded(sys, msg, opt, deg)
+			if err != nil {
+				t.Fatalf("walk %d step %d: NewDegraded: %v", walk, step, err)
+			}
+			requireSameEvaluation(t, fmt.Sprintf("degraded walk %d step %d", walk, step), warm, cold)
+		}
+	}
+}
+
+// TestSaturatedProbeMatchesEvaluate: the allocation-free Saturated
+// probe must agree with Evaluate's Saturated bit at every rate, on
+// intact and degraded models alike — SaturationPoint's bisection
+// consumes only the probe, so a disagreement would silently shift every
+// reported saturation point.
+func TestSaturatedProbeMatchesEvaluate(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		m := mustRandomModel(t, r, Options{GatewayStoreAndForward: trial%2 == 0})
+		sat := m.SaturationPoint(1.0, 1e-4)
+		if sat <= 0 {
+			t.Fatalf("trial %d: saturated at any positive rate", trial)
+		}
+		for _, frac := range [...]float64{0, 0.25, 0.7, 0.95, 0.999, 1.001, 1.1, 1.5} {
+			l := sat * frac
+			if got, want := m.Saturated(l), m.Evaluate(l).Saturated; got != want {
+				t.Fatalf("trial %d: Saturated(%g) = %v, Evaluate = %v", trial, l, got, want)
+			}
+		}
+	}
+}

@@ -75,16 +75,17 @@ func (m *Model) SaturationPoint(hi, tol float64) float64 {
 	if hi <= 0 || tol <= 0 {
 		panic(fmt.Sprintf("core: invalid saturation search hi=%v tol=%v", hi, tol))
 	}
-	if !m.Evaluate(hi).Saturated {
+	var hint satHint // carries the binding queue across probes
+	if !m.saturated(hi, &hint) {
 		return hi
 	}
 	lo := hi * math.Ldexp(1, -60)
-	if m.Evaluate(lo).Saturated {
+	if m.saturated(lo, &hint) {
 		return 0
 	}
 	for (hi-lo)/hi > tol {
 		mid := (lo + hi) / 2
-		if m.Evaluate(mid).Saturated {
+		if m.saturated(mid, &hint) {
 			hi = mid
 		} else {
 			lo = mid

@@ -3,12 +3,14 @@
 // FIFO tie-breaking for events scheduled at the same instant.
 //
 // The kernel is single-goroutine by design — network simulators of this
-// kind are dominated by event ordering, and a sequential heap-based
-// calendar is both fastest and exactly reproducible.
+// kind are dominated by event ordering, and a sequential calendar is both
+// fastest and exactly reproducible. Events live by value in the calendar
+// buckets (no per-event allocation), and the ScheduleCall variants take a
+// shared handler plus a context argument so steady-state scheduling does
+// not allocate closures either.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -16,36 +18,49 @@ import (
 // Handler is the action executed when an event fires.
 type Handler func()
 
+// event is one calendar entry. Exactly one of fn and call is set; call
+// receives arg, letting callers schedule a long-lived func value instead
+// of allocating a closure per event.
 type event struct {
 	time float64
-	seq  uint64 // insertion order; breaks ties deterministically
+	vi   int64 // virtual bucket index floor(time/width) at enqueue width
+	seq  uint64
 	fn   Handler
+	call func(any)
+	arg  any
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// Calendar-queue sizing bounds. The bucket array doubles while the
+// population exceeds two events per bucket and halves when it falls
+// below a quarter event per bucket, keeping both the per-pop bucket scan
+// and the empty-bucket walk O(1) amortized.
+const (
+	minBuckets = 16
+	maxBuckets = 1 << 16
+)
 
 // Kernel owns the simulation clock and event calendar. The zero value is
 // ready to use.
+//
+// The calendar is a classic Brown calendar queue ordered by (time, seq):
+// events hash into buckets[vi & mask] by their virtual day index
+// vi = floor(time/width). A pop scans the current day's bucket; after a
+// fruitless year it falls back to a direct scan of every bucket, so
+// sparse or clustered calendars degrade gracefully instead of looping.
+// The bucket width is re-derived from the live population's time span at
+// every resize.
 type Kernel struct {
-	pq        eventHeap
+	buckets [][]event
+	mask    int
+	width   float64
+	curVi   int64
+	size    int
+
+	// memo caches the located minimum between a peek and the pop that
+	// follows it; any push invalidates it.
+	memoValid    bool
+	memoB, memoI int
+
 	now       float64
 	seq       uint64
 	processed uint64
@@ -58,7 +73,7 @@ func (k *Kernel) Now() float64 { return k.now }
 func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of scheduled but unexecuted events.
-func (k *Kernel) Pending() int { return len(k.pq) }
+func (k *Kernel) Pending() int { return k.size }
 
 // Schedule runs fn after delay simulation-time units. Negative or NaN
 // delays panic: they would break causality.
@@ -77,20 +92,180 @@ func (k *Kernel) ScheduleAt(t float64, fn Handler) {
 	if fn == nil {
 		panic("des: nil handler")
 	}
+	k.push(event{time: t, fn: fn})
+}
+
+// ScheduleCall runs fn(arg) after delay simulation-time units. fn is
+// typically a long-lived func value shared by every event of one kind,
+// so the call allocates nothing beyond the calendar slot.
+func (k *Kernel) ScheduleCall(delay float64, fn func(any), arg any) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: invalid delay %v", delay))
+	}
+	k.ScheduleCallAt(k.now+delay, fn, arg)
+}
+
+// ScheduleCallAt runs fn(arg) at absolute simulation time t (>= Now).
+func (k *Kernel) ScheduleCallAt(t float64, fn func(any), arg any) {
+	if t < k.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("des: scheduling into the past (t=%v, now=%v)", t, k.now))
+	}
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	k.push(event{time: t, call: fn, arg: arg})
+}
+
+// viOf maps a timestamp to its virtual day at the current width,
+// saturating instead of overflowing for astronomically late events.
+func (k *Kernel) viOf(t float64) int64 {
+	v := t / k.width
+	if v >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
+
+func (k *Kernel) push(e event) {
+	if k.buckets == nil {
+		k.buckets = make([][]event, minBuckets)
+		k.mask = minBuckets - 1
+		k.width = 1
+		k.curVi = 0
+	}
+	if k.size >= 2*len(k.buckets) && len(k.buckets) < maxBuckets {
+		k.resize(2 * len(k.buckets))
+	}
 	k.seq++
-	heap.Push(&k.pq, &event{time: t, seq: k.seq, fn: fn})
+	e.seq = k.seq
+	e.vi = k.viOf(e.time)
+	// curVi can sit ahead of the clock's own day (findMin advances it
+	// past empty days, resize floors it to the then-present minimum), so
+	// a new event may land on an earlier day — pull the scan back.
+	if e.vi < k.curVi {
+		k.curVi = e.vi
+	}
+	b := int(e.vi) & k.mask
+	k.buckets[b] = append(k.buckets[b], e)
+	k.size++
+	k.memoValid = false
+}
+
+// resize redistributes the calendar over n buckets and re-derives the
+// bucket width from the live population's span (targeting a few events
+// per virtual day). All inputs are functions of the scheduled events, so
+// identical schedules resize identically — determinism is preserved.
+func (k *Kernel) resize(n int) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range k.buckets {
+		for i := range b {
+			if t := b[i].time; !math.IsInf(t, 0) {
+				lo, hi = math.Min(lo, t), math.Max(hi, t)
+			}
+		}
+	}
+	if span := hi - lo; span > 0 && k.size > 1 && !math.IsInf(span, 0) {
+		k.width = 2 * span / float64(k.size)
+	}
+	old := k.buckets
+	k.buckets = make([][]event, n)
+	k.mask = n - 1
+	minVi := int64(math.MaxInt64)
+	for _, ob := range old {
+		for i := range ob {
+			e := ob[i]
+			e.vi = k.viOf(e.time)
+			if e.vi < minVi {
+				minVi = e.vi
+			}
+			b := int(e.vi) & k.mask
+			k.buckets[b] = append(k.buckets[b], e)
+		}
+	}
+	if k.size > 0 {
+		k.curVi = minVi
+	} else {
+		k.curVi = k.viOf(k.now)
+	}
+	k.memoValid = false
+}
+
+// findMin locates the earliest event by (time, seq). It walks virtual
+// days from curVi, taking the (time, seq)-minimum among the current
+// day's events; after a whole year without a hit it scans every bucket
+// directly. The position is memoized until the next push or pop.
+func (k *Kernel) findMin() (int, int) {
+	if k.memoValid {
+		return k.memoB, k.memoI
+	}
+	for range k.buckets {
+		b := int(k.curVi) & k.mask
+		best := -1
+		var bt float64
+		var bs uint64
+		for i := range k.buckets[b] {
+			e := &k.buckets[b][i]
+			if e.vi != k.curVi {
+				continue
+			}
+			if best < 0 || e.time < bt || (e.time == bt && e.seq < bs) {
+				best, bt, bs = i, e.time, e.seq
+			}
+		}
+		if best >= 0 {
+			k.memoValid, k.memoB, k.memoI = true, b, best
+			return b, best
+		}
+		k.curVi++
+	}
+	bestB, bestI := -1, -1
+	var bt float64
+	var bs uint64
+	for b := range k.buckets {
+		for i := range k.buckets[b] {
+			e := &k.buckets[b][i]
+			if bestI < 0 || e.time < bt || (e.time == bt && e.seq < bs) {
+				bestB, bestI, bt, bs = b, i, e.time, e.seq
+			}
+		}
+	}
+	k.curVi = k.buckets[bestB][bestI].vi
+	k.memoValid, k.memoB, k.memoI = true, bestB, bestI
+	return bestB, bestI
+}
+
+// pop removes and returns the earliest event.
+func (k *Kernel) pop() event {
+	b, i := k.findMin()
+	bucket := k.buckets[b]
+	e := bucket[i]
+	last := len(bucket) - 1
+	bucket[i] = bucket[last]
+	bucket[last] = event{} // drop handler/arg references
+	k.buckets[b] = bucket[:last]
+	k.size--
+	k.curVi = e.vi
+	k.memoValid = false
+	if k.size < len(k.buckets)/4 && len(k.buckets) > minBuckets {
+		k.resize(len(k.buckets) / 2)
+	}
+	return e
 }
 
 // Step executes the next event. It reports false when the calendar is
 // empty.
 func (k *Kernel) Step() bool {
-	if len(k.pq) == 0 {
+	if k.size == 0 {
 		return false
 	}
-	e := heap.Pop(&k.pq).(*event)
+	e := k.pop()
 	k.now = e.time
 	k.processed++
-	e.fn()
+	if e.fn != nil {
+		e.fn()
+	} else {
+		e.call(e.arg)
+	}
 	return true
 }
 
@@ -99,7 +274,7 @@ func (k *Kernel) Step() bool {
 // of events executed by this call.
 func (k *Kernel) Run(stop func() bool) uint64 {
 	start := k.processed
-	for len(k.pq) > 0 {
+	for k.size > 0 {
 		if stop != nil && stop() {
 			break
 		}
@@ -111,7 +286,11 @@ func (k *Kernel) Run(stop func() bool) uint64 {
 // RunUntil executes events with timestamps <= t, advancing the clock to t
 // if the calendar drains earlier.
 func (k *Kernel) RunUntil(t float64) {
-	for len(k.pq) > 0 && k.pq[0].time <= t {
+	for k.size > 0 {
+		b, i := k.findMin()
+		if k.buckets[b][i].time > t {
+			break
+		}
 		k.Step()
 	}
 	if k.now < t {

@@ -3,7 +3,10 @@ package optimize
 import (
 	"context"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/ccnet/ccnet/internal/batch"
 	"github.com/ccnet/ccnet/internal/rng"
@@ -135,8 +138,13 @@ func (e *Engine) Run(ctx context.Context, spec *SearchSpec) (*Report, error) {
 		Infeasible: st.infeasible,
 		Frontier:   st.frontier.Points(),
 	}
+	// Materialize the system sections only for the surviving points.
+	for i := range rep.Frontier {
+		rep.Frontier[i].System = space.SystemSpec(rep.Frontier[i].ID)
+	}
 	if st.hasBest {
 		p := space.point(&st.best)
+		p.System = space.SystemSpec(p.ID)
 		rep.Best = &p
 	}
 	return rep, nil
@@ -163,6 +171,20 @@ type searchState struct {
 	hasBest  bool
 
 	sinceProgress int
+
+	// scratchPool recycles evalScratch values across evaluation waves;
+	// results are scratch-independent, so pooling cannot perturb the
+	// deterministic trajectory.
+	scratchPool sync.Pool
+	// evalChunk wave buffer, reused across waves.
+	results []candResult
+}
+
+func (st *searchState) getScratch() *evalScratch {
+	if sc, ok := st.scratchPool.Get().(*evalScratch); ok {
+		return sc
+	}
+	return st.space.newScratch()
 }
 
 // absorb folds one evaluated candidate into the state. Duplicates —
@@ -238,46 +260,100 @@ func (st *searchState) emitProgress() {
 	st.engine.Progress(p)
 }
 
-// evalChunk shards ids across the batch worker pool and absorbs the
-// results in id-list order, so aggregation is deterministic at any
-// worker count.
+// evalChunk shards ids across a worker pool and absorbs the results in
+// id-list order, so aggregation is deterministic at any worker count.
+// The pool is a bare atomic-counter shard (no per-item channel), and the
+// chunk's result buffer is reused across waves.
 func (st *searchState) evalChunk(ctx context.Context, ids []uint64) error {
 	if len(ids) == 0 {
 		return nil
 	}
-	results := make([]candResult, len(ids))
-	eng := &batch.Engine{
-		Workers: st.engine.Workers,
-		Exec: func(_ context.Context, i int, _ batch.Item) batch.Outcome {
-			results[i] = st.space.evaluate(ids[i], make([]int, st.space.Dims()))
-			return batch.Outcome{}
-		},
+	if cap(st.results) < len(ids) {
+		st.results = make([]candResult, len(ids))
 	}
-	_, err := eng.Run(ctx, make([]batch.Item, len(ids)), func(o batch.Outcome) error {
-		st.absorb(&results[o.Index])
-		return nil
-	})
-	return err
+	results := st.results[:len(ids)]
+
+	workers := st.engine.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		sc := st.getScratch()
+		for i, id := range ids {
+			if ctx.Err() != nil {
+				break
+			}
+			results[i] = st.space.evaluate(id, sc)
+		}
+		st.scratchPool.Put(sc)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				sc := st.getScratch()
+				defer st.scratchPool.Put(sc)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ids) || ctx.Err() != nil {
+						return
+					}
+					results[i] = st.space.evaluate(ids[i], sc)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := context.Cause(ctx); err != nil {
+		return err
+	}
+	for i := range results {
+		st.absorb(&results[i])
+	}
+	return nil
 }
 
 // --- grid ------------------------------------------------------------------
 
 // runGrid enumerates every canonical candidate in rank order.
 // Non-canonical aliases (dead axes of absent groups) are skipped without
-// evaluation.
+// evaluation. Ranks are sequential, so the digit vector advances as an
+// odometer instead of being re-decoded per id; a vector is canonical
+// exactly when every absent group's dependent digits are zero.
 func (st *searchState) runGrid(ctx context.Context) error {
-	scratch := make([]int, st.space.Dims())
+	sp := st.space
+	digits := make([]int, sp.Dims())
 	buf := make([]uint64, 0, chunkSize)
-	for id := uint64(0); id < st.space.Size(); id++ {
-		if st.space.Canonical(id, scratch) != id {
-			continue
-		}
-		buf = append(buf, id)
-		if len(buf) == chunkSize {
-			if err := st.evalChunk(ctx, buf); err != nil {
-				return err
+	for id := uint64(0); id < sp.Size(); id++ {
+		canonical := true
+		for gi := range sp.groups {
+			base := 3 + gi*groupDims
+			if sp.groups[gi].counts[digits[base]] == 0 &&
+				digits[base+1]|digits[base+2]|digits[base+3] != 0 {
+				canonical = false
+				break
 			}
-			buf = buf[:0]
+		}
+		if canonical {
+			buf = append(buf, id)
+			if len(buf) == chunkSize {
+				if err := st.evalChunk(ctx, buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		for d := len(digits) - 1; d >= 0; d-- {
+			digits[d]++
+			if digits[d] < sp.radix[d] {
+				break
+			}
+			digits[d] = 0
 		}
 	}
 	return st.evalChunk(ctx, buf)
@@ -432,10 +508,11 @@ func (st *searchState) runAnneal(ctx context.Context) error {
 func (sp *Space) annealChain(stream *rng.Stream, steps int) []candResult {
 	scratch := make([]int, sp.Dims())
 	digits := make([]int, sp.Dims())
+	sc := sp.newScratch()
 	out := make([]candResult, 0, steps)
 
 	cur := sp.Canonical(stream.Uint64()%sp.Size(), scratch)
-	curRes := sp.evaluate(cur, digits)
+	curRes := sp.evaluate(cur, sc)
 	out = append(out, curRes)
 
 	for step := 1; step < steps; step++ {
@@ -453,7 +530,7 @@ func (sp *Space) annealChain(stream *rng.Stream, steps int) []candResult {
 			digits[d] = v
 		}
 		cand := sp.Canonical(sp.ID(digits), scratch)
-		candRes := sp.evaluate(cand, digits)
+		candRes := sp.evaluate(cand, sc)
 		out = append(out, candRes)
 
 		if acceptMove(&curRes, &candRes, temp, stream) {

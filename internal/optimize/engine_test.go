@@ -82,13 +82,13 @@ func TestFrontierNonDominated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	digits := make([]int, sp.Dims())
+	sc := sp.newScratch()
 	scratch := make([]int, sp.Dims())
 	for id := uint64(0); id < sp.Size(); id++ {
 		if sp.Canonical(id, scratch) != id {
 			continue
 		}
-		r := sp.evaluate(id, digits)
+		r := sp.evaluate(id, sc)
 		if !r.feasible {
 			continue
 		}

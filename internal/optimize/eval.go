@@ -76,15 +76,17 @@ type candResult struct {
 // enough that one candidate costs ~15 Evaluate calls.
 const satTolerance = 1e-4
 
-// evaluate scores candidate id. digits is caller-provided scratch of
-// Dims length; evaluate is safe for concurrent calls with distinct
-// scratch. The candidate must be canonical (Canonical(id) == id) for
-// dedup accounting to hold, but evaluation itself does not care.
-func (sp *Space) evaluate(id uint64, digits []int) candResult {
+// evaluate scores candidate id through sc's buffers and precompute
+// handle; evaluate is safe for concurrent calls with distinct scratch,
+// and the result is bit-identical whatever the scratch's cache state.
+// The candidate must be canonical (Canonical(id) == id) for dedup
+// accounting to hold, but evaluation itself does not care.
+func (sp *Space) evaluate(id uint64, sc *evalScratch) candResult {
 	res := candResult{id: id}
 	co := &sp.spec.Constraints
 
-	geo, ok := sp.geometry(id, digits)
+	geo, ok := sp.geometry(id, sc.digits, sc.groups)
+	sc.groups = geo.groups // keep the (possibly grown) buffer for reuse
 	if !ok {
 		res.reason = infStructure
 		return res
@@ -93,7 +95,7 @@ func (sp *Space) evaluate(id uint64, digits []int) candResult {
 		res.reason = infStructure
 		return res
 	}
-	res.fingerprint = geo.fingerprint()
+	res.fingerprint = sc.fingerprint(&geo)
 	res.nodes, res.clusters = geo.nodes, geo.clusters
 
 	// Cheap pre-model constraints: size and budget.
@@ -107,11 +109,14 @@ func (sp *Space) evaluate(id uint64, digits []int) candResult {
 		return res
 	}
 
-	// Build the analytical model and locate the saturation point.
-	sys := geo.system(sp.spec.Name)
-	model, err := core.New(sys, netchar.MessageSpec{
+	// Build the analytical model and locate the saturation point. The
+	// System is scratch-owned: the model built from it (and anything
+	// else referencing it) must not outlive this call.
+	sys := geo.system(sp.spec.Name, sc.sys)
+	sc.sys = sys
+	model, err := core.NewWith(sys, netchar.MessageSpec{
 		Flits: sp.spec.Message.Flits, FlitBytes: sp.spec.Message.FlitBytes,
-	}, sp.spec.Model.Options(false))
+	}, sp.spec.Model.Options(false), sc.pre)
 	if err != nil {
 		// Structurally valid geometries can still be rejected by the
 		// model layer (degenerate service times); count as structure.
@@ -144,7 +149,7 @@ func (sp *Space) evaluate(id uint64, digits []int) candResult {
 	// Performability weighting: run the failure analysis and apply the
 	// availability constraints.
 	if sp.spec.Performability != nil {
-		if !sp.evaluatePerf(id, digits, sys, &res) {
+		if !sp.evaluatePerf(id, sc.digits, sys, &res) {
 			return res
 		}
 	}
@@ -169,9 +174,17 @@ func (sp *Space) objectiveValue(r *candResult) float64 {
 }
 
 // system materializes the geometry as a cluster.System directly (the
-// hot path: no JSON round-trip through scenario.SystemSpec).
-func (g *candGeometry) system(name string) *cluster.System {
-	sys := &cluster.System{Name: name, Ports: g.ports, ICN2: g.icn2}
+// hot path: no JSON round-trip through scenario.SystemSpec), reusing
+// sys's cluster buffer when the caller provides one.
+func (g *candGeometry) system(name string, sys *cluster.System) *cluster.System {
+	if sys == nil {
+		sys = &cluster.System{}
+	}
+	sys.Name, sys.Ports, sys.ICN2 = name, g.ports, g.icn2
+	if cap(sys.Clusters) < g.clusters {
+		sys.Clusters = make([]cluster.Config, 0, g.clusters)
+	}
+	sys.Clusters = sys.Clusters[:0]
 	for _, grp := range g.groups {
 		for i := 0; i < grp.count; i++ {
 			sys.Clusters = append(sys.Clusters, cluster.Config{
@@ -182,14 +195,16 @@ func (g *candGeometry) system(name string) *cluster.System {
 	return sys
 }
 
-// point converts a feasible result into its reported frontier form.
-// With a performability block the Pareto latency metric is the expected
-// latency, so cost trades against what the cluster delivers under
-// failures rather than its fault-free best case.
+// point converts a feasible result into its frontier form. The System
+// section is left empty — frontier membership tests consume only the
+// metrics, so the report builder materializes System for the surviving
+// points instead of for every feasible candidate. With a performability
+// block the Pareto latency metric is the expected latency, so cost
+// trades against what the cluster delivers under failures rather than
+// its fault-free best case.
 func (sp *Space) point(r *candResult) Point {
 	p := Point{
 		ID:               r.id,
-		System:           sp.SystemSpec(r.id),
 		Nodes:            r.nodes,
 		Clusters:         r.clusters,
 		Cost:             r.cost,

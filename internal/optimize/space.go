@@ -3,8 +3,6 @@ package optimize
 import (
 	"fmt"
 	"math"
-	"sort"
-	"strings"
 
 	"github.com/ccnet/ccnet/internal/netchar"
 	"github.com/ccnet/ccnet/internal/scenario"
@@ -26,6 +24,7 @@ type Space struct {
 
 	icn2      []netchar.Characteristics
 	icn2Scale []float64
+	icn2Str   []string // fingerprint text per (icn2, scale) axis pair
 	groups    []compiledGroup
 }
 
@@ -35,9 +34,18 @@ type compiledGroup struct {
 	levels []int
 	icn1   []netchar.Characteristics
 	ecn1   []netchar.Characteristics
+	// fingerprint text per axis value, precomputed so the per-candidate
+	// fingerprint formats no floats
+	icn1Str []string
+	ecn1Str []string
 	// axis source specs, for materializing SystemSpec JSON
 	icn1Spec []scenario.NetSpec
 	ecn1Spec []scenario.NetSpec
+}
+
+// charStr renders a network tier the way fingerprints spell it.
+func charStr(c netchar.Characteristics) string {
+	return fmt.Sprintf("%v,%v,%v", c.Bandwidth, c.NetworkLatency, c.SwitchLatency)
 }
 
 // dimensions per group after the three global dims.
@@ -72,6 +80,11 @@ func Compile(spec *SearchSpec) (*Space, error) {
 	if len(sp.icn2Scale) == 0 {
 		sp.icn2Scale = []float64{1}
 	}
+	for _, c := range sp.icn2 {
+		for _, f := range sp.icn2Scale {
+			sp.icn2Str = append(sp.icn2Str, charStr(c.ScaleBandwidth(f)))
+		}
+	}
 
 	sp.radix = append(sp.radix, len(ss.Ports), len(icn2Axis), len(sp.icn2Scale))
 	for gi := range ss.Groups {
@@ -94,6 +107,7 @@ func Compile(spec *SearchSpec) (*Space, error) {
 				return nil, err
 			}
 			cg.icn1 = append(cg.icn1, c)
+			cg.icn1Str = append(cg.icn1Str, charStr(c))
 		}
 		for i := range cg.ecn1Spec {
 			c, err := cg.ecn1Spec[i].Resolve(fmt.Sprintf("space.groups[%d].ecn1[%d]", gi, i))
@@ -101,6 +115,7 @@ func Compile(spec *SearchSpec) (*Space, error) {
 				return nil, err
 			}
 			cg.ecn1 = append(cg.ecn1, c)
+			cg.ecn1Str = append(cg.ecn1Str, charStr(c))
 		}
 		sp.groups = append(sp.groups, cg)
 		sp.radix = append(sp.radix, len(cg.counts), len(g.TreeLevels), len(cg.icn1), len(cg.ecn1))
@@ -213,25 +228,31 @@ type candGeometry struct {
 	ports    int
 	k        int
 	icn2     netchar.Characteristics
+	icn2Str  string // precomputed fingerprint text
 	clusters int
 	nodes    int
 	groups   []candGroup // only groups with count > 0
 }
 
 type candGroup struct {
-	count  int
-	levels int
-	icn1   netchar.Characteristics
-	ecn1   netchar.Characteristics
+	count   int
+	levels  int
+	icn1    netchar.Characteristics
+	ecn1    netchar.Characteristics
+	icn1Str string // precomputed fingerprint text
+	ecn1Str string
 }
 
-// geometry decodes id into its geometric summary. ok is false when the
-// digit vector cannot form a system at all (every group absent).
-func (sp *Space) geometry(id uint64, digits []int) (g candGeometry, ok bool) {
+// geometry decodes id into its geometric summary, appending groups into
+// buf (may be nil). ok is false when the digit vector cannot form a
+// system at all (every group absent).
+func (sp *Space) geometry(id uint64, digits []int, buf []candGroup) (g candGeometry, ok bool) {
 	sp.Digits(id, digits)
+	g.groups = buf[:0]
 	g.ports = sp.spec.Space.Ports[digits[0]]
 	g.k = g.ports / 2
 	g.icn2 = sp.icn2[digits[1]].ScaleBandwidth(sp.icn2Scale[digits[2]])
+	g.icn2Str = sp.icn2Str[digits[1]*len(sp.icn2Scale)+digits[2]]
 	for gi, cg := range sp.groups {
 		base := 3 + gi*groupDims
 		count := cg.counts[digits[base]]
@@ -242,42 +263,25 @@ func (sp *Space) geometry(id uint64, digits []int) (g candGeometry, ok bool) {
 		g.clusters += count
 		g.nodes += count * clusterNodes(g.k, levels)
 		g.groups = append(g.groups, candGroup{
-			count:  count,
-			levels: levels,
-			icn1:   cg.icn1[digits[base+2]],
-			ecn1:   cg.ecn1[digits[base+3]],
+			count:   count,
+			levels:  levels,
+			icn1:    cg.icn1[digits[base+2]],
+			ecn1:    cg.ecn1[digits[base+3]],
+			icn1Str: cg.icn1Str[digits[base+2]],
+			ecn1Str: cg.ecn1Str[digits[base+3]],
 		})
 	}
 	return g, g.clusters > 0
 }
 
-// fingerprint identifies the physical system a geometry builds,
-// independent of which axes produced it: distinct digit vectors can
-// materialize the same multiset of clusters (two group templates
-// swapping roles, one absent, or a count split across identical
-// templates — 8 = 2+6 = 4+4), and the search reports each system once.
-// Group entries are sorted by class and identical classes merged by
-// summing counts, so only the cluster multiset matters.
-func (g *candGeometry) fingerprint() string {
-	groups := append([]candGroup(nil), g.groups...)
-	sort.Slice(groups, func(i, j int) bool { return classLess(&groups[i], &groups[j]) })
-	merged := groups[:0]
-	for _, grp := range groups {
-		if n := len(merged); n > 0 && !classLess(&merged[n-1], &grp) && !classLess(&grp, &merged[n-1]) {
-			merged[n-1].count += grp.count
-			continue
-		}
-		merged = append(merged, grp)
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "m%d|%v,%v,%v", g.ports, g.icn2.Bandwidth, g.icn2.NetworkLatency, g.icn2.SwitchLatency)
-	for _, grp := range merged {
-		fmt.Fprintf(&b, "|%d,%d,%v,%v,%v,%v,%v,%v", grp.count, grp.levels,
-			grp.icn1.Bandwidth, grp.icn1.NetworkLatency, grp.icn1.SwitchLatency,
-			grp.ecn1.Bandwidth, grp.ecn1.NetworkLatency, grp.ecn1.SwitchLatency)
-	}
-	return b.String()
-}
+// A candidate's fingerprint (see evalScratch.fingerprint) identifies
+// the physical system a geometry builds, independent of which axes
+// produced it: distinct digit vectors can materialize the same multiset
+// of clusters (two group templates swapping roles, one absent, or a
+// count split across identical templates — 8 = 2+6 = 4+4), and the
+// search reports each system once. Group entries are sorted by class
+// and identical classes merged by summing counts, so only the cluster
+// multiset matters.
 
 // classLess orders groups by cluster class (tree height and network
 // tiers), ignoring count — equal classes merge in fingerprint.
@@ -298,13 +302,16 @@ func classLess(a, b *candGroup) bool {
 }
 
 // clusterNodes returns 2·k^n, the node count of an m-port n-tree,
-// saturating at MaxInt on overflow.
+// saturating at MaxInt32 on overflow.
 func clusterNodes(k, n int) int {
-	nodes := 2.0 * math.Pow(float64(k), float64(n))
-	if nodes > math.MaxInt32 {
-		return math.MaxInt32
+	nodes := 2
+	for i := 0; i < n; i++ {
+		if nodes > math.MaxInt32/k {
+			return math.MaxInt32
+		}
+		nodes *= k
 	}
-	return int(nodes)
+	return nodes
 }
 
 // icn2Levels returns the ICN2 tree height nc with C = 2·k^nc, or ok

@@ -108,7 +108,7 @@ func TestSystemSpecMaterialization(t *testing.T) {
 		if sp.Canonical(id, scratch) != id {
 			continue
 		}
-		geo, ok := sp.geometry(id, digits)
+		geo, ok := sp.geometry(id, digits, nil)
 		if !ok {
 			continue
 		}
@@ -123,7 +123,7 @@ func TestSystemSpecMaterialization(t *testing.T) {
 		if err != nil {
 			t.Fatalf("candidate %d: Build: %v", id, err)
 		}
-		direct := geo.system("check")
+		direct := geo.system("check", nil)
 		if built.TotalNodes() != direct.TotalNodes() || built.NumClusters() != direct.NumClusters() {
 			t.Fatalf("candidate %d: spec builds N=%d C=%d, evaluator scored N=%d C=%d",
 				id, built.TotalNodes(), built.NumClusters(), direct.TotalNodes(), direct.NumClusters())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ccnet/ccnet/internal/cluster"
 	"github.com/ccnet/ccnet/internal/core"
@@ -73,10 +74,52 @@ type evaluator struct {
 	slo       SLOSpec
 
 	mu        sync.Mutex
-	distCache map[distCacheKey][]float64
+	distCache map[distCacheKey]*distEntry
+	icn2Cache map[string]*distEntry // alive-cluster mask → ICN2 survivor dist
+	// distComputes counts survivorDist cache fills; concurrent misses on
+	// one key must coalesce into a single computation (tested).
+	distComputes atomic.Uint64
+
+	arenas sync.Pool // of *stateArena
 }
 
 type distCacheKey struct{ group, leafFailed, nodeFailed int }
+
+// distEntry coalesces concurrent cache misses on one key: the first
+// caller computes under the entry's once, later callers wait on it
+// instead of redoing the enumeration.
+type distEntry struct {
+	once sync.Once
+	d    []float64
+}
+
+// stateArena is one worker's reusable rebuild state: the per-cluster
+// damage buffers, the degraded system/degradation skeletons, and a
+// core.Precompute handle serving the unchanged pair-class tables across
+// successive states. An arena is exclusive to one evalState call at a
+// time; every placement is canonical, so results are bit-identical
+// whichever arena serves a state.
+type stateArena struct {
+	cs        []clusterState
+	survivors []int
+	dists     [][]float64
+	mask      []bool
+	maskKey   []byte
+	sys       *cluster.System
+	deg       *core.Degradation
+	pre       *core.Precompute
+}
+
+func (ev *evaluator) getArena() *stateArena {
+	if ar, ok := ev.arenas.Get().(*stateArena); ok {
+		return ar
+	}
+	return &stateArena{
+		sys: &cluster.System{},
+		deg: &core.Degradation{},
+		pre: core.NewPrecompute(),
+	}
+}
 
 // compile validates the study and builds the evaluator: group structure,
 // topology trees, component pools and their steady-state distributions.
@@ -106,7 +149,12 @@ func compile(st *Study) (*evaluator, error) {
 			groups = g + 1
 		}
 	}
-	ev := &evaluator{st: st, groupIdx: make([][]int, groups), distCache: make(map[distCacheKey][]float64)}
+	ev := &evaluator{
+		st:        st,
+		groupIdx:  make([][]int, groups),
+		distCache: make(map[distCacheKey]*distEntry),
+		icn2Cache: make(map[string]*distEntry),
+	}
 	for i, g := range st.GroupOf {
 		ev.groupIdx[g] = append(ev.groupIdx[g], i)
 	}
@@ -260,10 +308,18 @@ type StateMetrics struct {
 // (balanced spreads), so the result is a pure function of (failed,
 // probe).
 func (ev *evaluator) evalState(failed []int, probe float64) StateMetrics {
+	ar := ev.getArena()
+	defer ev.arenas.Put(ar)
 	C := ev.st.Sys.NumClusters()
-	cs := make([]clusterState, C)
+	if cap(ar.cs) < C {
+		ar.cs = make([]clusterState, C)
+		ar.survivors = make([]int, C)
+		ar.dists = make([][]float64, C)
+		ar.mask = make([]bool, C)
+	}
+	cs := ar.cs[:C]
 	for i := range cs {
-		cs[i].intraCap, cs[i].ecnCap = 1, 1
+		cs[i] = clusterState{intraCap: 1, ecnCap: 1}
 	}
 	icn2Cap := 1.0
 	icn2Dead := false
@@ -326,10 +382,13 @@ func (ev *evaluator) evalState(failed []int, probe float64) StateMetrics {
 		}
 	}
 
-	// Resolve per-cluster survivors and distance distributions.
-	m := StateMetrics{Failed: failed}
-	survivors := make([]int, C)
-	dists := make([][]float64, C)
+	// Resolve per-cluster survivors and distance distributions. Failed is
+	// copied: the metrics outlive the call, and samplers reuse their
+	// failed-vector buffer between states.
+	m := StateMetrics{Failed: append([]int(nil), failed...)}
+	survivors := ar.survivors[:C]
+	dists := ar.dists[:C]
+	clear(dists)
 	served := 0
 	aliveClusters := 0
 	for c := 0; c < C; c++ {
@@ -369,15 +428,20 @@ func (ev *evaluator) evalState(failed []int, probe float64) StateMetrics {
 
 	// Assemble the degraded system: the surviving clusters keep their
 	// ICN2 leaf positions, so the ICN2 distance distribution is
-	// re-derived over the alive positions when any cluster dropped.
-	sys := &cluster.System{Name: ev.st.Sys.Name, Ports: ev.st.Sys.Ports, ICN2: ev.st.Sys.ICN2}
-	deg := &core.Degradation{ICN2Levels: ev.icn2Tree.N, ICN2Capacity: icn2Cap}
+	// re-derived over the alive positions when any cluster dropped. The
+	// system and degradation skeletons live in the arena; the model built
+	// from them does not outlive this call.
+	sys := ar.sys
+	sys.Name, sys.Ports, sys.ICN2 = ev.st.Sys.Name, ev.st.Sys.Ports, ev.st.Sys.ICN2
+	sys.Clusters = sys.Clusters[:0]
+	deg := ar.deg
+	*deg = core.Degradation{ICN2Levels: ev.icn2Tree.N, ICN2Capacity: icn2Cap, Clusters: deg.Clusters[:0]}
 	if aliveClusters < C {
-		mask := make([]bool, C)
+		mask := ar.mask[:C]
 		for c := 0; c < C; c++ {
 			mask[c] = !cs[c].dead
 		}
-		deg.ICN2Dist = ev.icn2Tree.SurvivorDistanceDistribution(mask)
+		deg.ICN2Dist = ev.icn2SurvivorDist(mask, ar)
 	}
 	for c := 0; c < C; c++ {
 		if cs[c].dead {
@@ -392,7 +456,7 @@ func (ev *evaluator) evalState(failed []int, probe float64) StateMetrics {
 		})
 	}
 
-	model, err := core.NewDegraded(sys, ev.st.Msg, ev.st.Opt, deg)
+	model, err := core.NewDegradedWith(sys, ev.st.Msg, ev.st.Opt, deg, ar.pre)
 	if err != nil {
 		// A state the model layer rejects (degenerate service times under
 		// extreme capacity loss) counts as down.
@@ -421,15 +485,58 @@ func (ev *evaluator) evalState(failed []int, probe float64) StateMetrics {
 // survivorDist returns the cached survivor distance distribution of one
 // group's canonical damage pattern: leafFailed whole leaf intervals
 // spread evenly, then nodeFailed further nodes spread evenly over the
-// remaining population.
+// remaining population. Concurrent misses on one key coalesce: exactly
+// one caller runs the enumeration, the others block on its entry (the
+// map lock is held only to install the entry, never during the
+// computation).
 func (ev *evaluator) survivorDist(group, leafFailed, nodeFailed int) []float64 {
 	key := distCacheKey{group, leafFailed, nodeFailed}
 	ev.mu.Lock()
-	d, ok := ev.distCache[key]
-	ev.mu.Unlock()
-	if ok {
-		return d
+	e, ok := ev.distCache[key]
+	if !ok {
+		e = &distEntry{}
+		ev.distCache[key] = e
 	}
+	ev.mu.Unlock()
+	e.once.Do(func() {
+		ev.distComputes.Add(1)
+		e.d = ev.computeDist(group, leafFailed, nodeFailed)
+	})
+	return e.d
+}
+
+// icn2SurvivorDist returns the cached ICN2 survivor distance
+// distribution for one alive-cluster mask. Beyond saving the
+// enumeration, the cache keeps the returned slice's identity stable
+// across states with the same surviving clusters, which is what lets
+// the per-arena core.Precompute recognize their pair classes as equal.
+func (ev *evaluator) icn2SurvivorDist(mask []bool, ar *stateArena) []float64 {
+	key := ar.maskKey[:0]
+	for _, a := range mask {
+		b := byte(0)
+		if a {
+			b = 1
+		}
+		key = append(key, b)
+	}
+	ar.maskKey = key
+	ev.mu.Lock()
+	e, ok := ev.icn2Cache[string(key)]
+	if !ok {
+		e = &distEntry{}
+		ev.icn2Cache[string(key)] = e
+	}
+	ev.mu.Unlock()
+	e.once.Do(func() {
+		e.d = ev.icn2Tree.SurvivorDistanceDistribution(mask)
+	})
+	return e.d
+}
+
+// computeDist derives one canonical damage pattern's survivor distance
+// distribution from scratch. Cached slices are immutable once stored:
+// degraded models adopt them without copying.
+func (ev *evaluator) computeDist(group, leafFailed, nodeFailed int) []float64 {
 	tree := ev.groupTree[group]
 	alive := make([]bool, tree.Nodes())
 	for i := range alive {
@@ -452,9 +559,5 @@ func (ev *evaluator) survivorDist(group, leafFailed, nodeFailed int) []float64 {
 			alive[live[t]] = false
 		}
 	}
-	d = tree.SurvivorDistanceDistribution(alive)
-	ev.mu.Lock()
-	ev.distCache[key] = d
-	ev.mu.Unlock()
-	return d
+	return tree.SurvivorDistanceDistribution(alive)
 }

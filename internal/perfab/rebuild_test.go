@@ -1,0 +1,127 @@
+package perfab
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/core"
+)
+
+// testEvaluator compiles the small study and resolves a probe rate, the
+// way NewEvaluator would.
+func testEvaluator(t *testing.T) *evaluator {
+	t.Helper()
+	st := smallStudy(failureBlock())
+	ev, err := compile(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, err := core.New(st.Sys, st.Msg, st.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.probe = 0.5 * nominal.SaturationPoint(1.0, 1e-4)
+	return ev
+}
+
+// TestEvalStateCopiesFailed is the aliasing regression test: the
+// returned metrics must own their Failed vector. Samplers and the fleet
+// simulator reuse one failed buffer between states, so storing the
+// caller's slice would silently rewrite earlier results.
+func TestEvalStateCopiesFailed(t *testing.T) {
+	ev := testEvaluator(t)
+	failed := []int{2, 3, 0, 0}
+	m := ev.evalState(failed, ev.probe)
+	if !reflect.DeepEqual(m.Failed, []int{2, 3, 0, 0}) {
+		t.Fatalf("Failed = %v, want the evaluated vector", m.Failed)
+	}
+	if &m.Failed[0] == &failed[0] {
+		t.Fatal("StateMetrics.Failed aliases the caller's slice")
+	}
+	failed[0], failed[1] = 9, 9
+	if !reflect.DeepEqual(m.Failed, []int{2, 3, 0, 0}) {
+		t.Fatalf("mutating the caller's buffer changed stored metrics: %v", m.Failed)
+	}
+}
+
+// TestEvalStateArenaReuse drives many states through one evaluator in
+// varying order and checks each against a fresh evaluator's answer —
+// the arena and precompute reuse must not leak state between calls.
+func TestEvalStateArenaReuse(t *testing.T) {
+	shared := testEvaluator(t)
+	states := [][]int{
+		{0, 0, 0, 0},
+		{2, 3, 0, 0},
+		{0, 0, 1, 0},
+		{5, 0, 0, 0},
+		{0, 0, 0, 1},
+		{1, 1, 1, 0},
+		{2, 3, 0, 0}, // repeat: must match its own first answer too
+	}
+	var first *StateMetrics
+	for i, f := range states {
+		fresh := testEvaluator(t)
+		fresh.probe = shared.probe
+		got := shared.evalState(f, shared.probe)
+		want := fresh.evalState(f, fresh.probe)
+		if !metricsEqual(got, want) {
+			t.Errorf("state %d %v: shared %+v, fresh %+v", i, f, got, want)
+		}
+		if i == 1 {
+			m := got
+			first = &m
+		}
+		if i == len(states)-1 && !metricsEqual(got, *first) {
+			t.Errorf("repeat of %v drifted: %+v vs %+v", f, got, *first)
+		}
+	}
+}
+
+// metricsEqual compares two StateMetrics bit-exactly (Latency by value).
+func metricsEqual(a, b StateMetrics) bool {
+	if (a.Latency == nil) != (b.Latency == nil) {
+		return false
+	}
+	if a.Latency != nil && math.Float64bits(*a.Latency) != math.Float64bits(*b.Latency) {
+		return false
+	}
+	a.Latency, b.Latency = nil, nil
+	return reflect.DeepEqual(a, b)
+}
+
+// TestSurvivorDistCoalescesMisses is the cache-stampede regression
+// test: concurrent misses on one cold key must run the enumeration
+// exactly once, and every caller must see the same slice.
+func TestSurvivorDistCoalescesMisses(t *testing.T) {
+	ev := testEvaluator(t)
+	const workers = 16
+	results := make([][]float64, workers)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer done.Done()
+			start.Wait()
+			results[w] = ev.survivorDist(1, 0, 3)
+		}(w)
+	}
+	start.Done()
+	done.Wait()
+	if got := ev.distComputes.Load(); got != 1 {
+		t.Fatalf("%d concurrent misses ran %d computations, want 1", workers, got)
+	}
+	for w := 1; w < workers; w++ {
+		if &results[w][0] != &results[0][0] {
+			t.Fatalf("worker %d got a different slice than worker 0", w)
+		}
+	}
+	// A second key computes independently; a repeat hit computes nothing.
+	ev.survivorDist(1, 1, 0)
+	ev.survivorDist(1, 0, 3)
+	if got := ev.distComputes.Load(); got != 2 {
+		t.Fatalf("distComputes = %d after second key + repeat hit, want 2", got)
+	}
+}

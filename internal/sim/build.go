@@ -74,7 +74,18 @@ type fabric struct {
 	clusters []clusterNets
 	icn2     *network
 	offsets  []int // global node id base per cluster
+
+	// Route memos: deterministic routing means every (endpoints) pair
+	// always resolves to the same channel sequence, so paths are built
+	// once and shared read-only across messages. Keys are (cluster,
+	// from, to) with the meaning depending on the segment kind.
+	intraCache map[pathKey][]*wormhole.Channel // {cluster, srcLocal, dstLocal}
+	seg1Cache  map[pathKey][]*wormhole.Channel // {cluster, srcLocal, exitRoot}
+	icn2Cache  map[pathKey][]*wormhole.Channel // {0, srcCluster, dstCluster}
+	seg3Cache  map[pathKey][]*wormhole.Channel // {cluster, entryRoot, dstLocal}
 }
+
+type pathKey struct{ c, a, b int }
 
 func buildFabric(e *wormhole.Engine, sys *cluster.System, flitBytes, bufferDepth int) (*fabric, error) {
 	if bufferDepth < 1 {
@@ -84,7 +95,14 @@ func buildFabric(e *wormhole.Engine, sys *cluster.System, flitBytes, bufferDepth
 	if err != nil {
 		return nil, err
 	}
-	f := &fabric{sys: sys, offsets: make([]int, sys.NumClusters()+1)}
+	f := &fabric{
+		sys:        sys,
+		offsets:    make([]int, sys.NumClusters()+1),
+		intraCache: make(map[pathKey][]*wormhole.Channel),
+		seg1Cache:  make(map[pathKey][]*wormhole.Channel),
+		icn2Cache:  make(map[pathKey][]*wormhole.Channel),
+		seg3Cache:  make(map[pathKey][]*wormhole.Channel),
+	}
 
 	icn2Tree, err := topology.New(sys.Ports, nc)
 	if err != nil {
@@ -144,11 +162,17 @@ func (f *fabric) clusterOf(node int) int {
 	return lo
 }
 
-// intraPath builds the single-segment channel sequence for a message that
-// stays inside cluster c.
+// intraPath builds (or recalls) the single-segment channel sequence for
+// a message that stays inside cluster c.
 func (f *fabric) intraPath(c, srcLocal, dstLocal int) []*wormhole.Channel {
+	key := pathKey{c, srcLocal, dstLocal}
+	if p, ok := f.intraCache[key]; ok {
+		return p
+	}
 	cn := &f.clusters[c]
-	return cn.icn1.channels(routing.Route(cn.icn1.tree, srcLocal, dstLocal))
+	p := cn.icn1.channels(routing.Route(cn.icn1.tree, srcLocal, dstLocal))
+	f.intraCache[key] = p
+	return p
 }
 
 // interPath builds the three chained segments of an inter-cluster
@@ -164,17 +188,32 @@ func (f *fabric) interPath(srcCluster, dstCluster, srcLocal, dstLocal, dstGlobal
 	// Segment 1: ascend ECN1(i) to the exit root chosen by destination
 	// hash (balances gateway ports), then cross into the gateway.
 	exitRoot := dstGlobal % srcNets.ecn1.tree.NumRoots()
-	up := routing.RouteToRoot(srcNets.ecn1.tree, srcLocal, exitRoot)
-	seg1 := append(srcNets.ecn1.channels(up), srcNets.concEntry[exitRoot])
+	k1 := pathKey{srcCluster, srcLocal, exitRoot}
+	seg1, ok := f.seg1Cache[k1]
+	if !ok {
+		up := routing.RouteToRoot(srcNets.ecn1.tree, srcLocal, exitRoot)
+		seg1 = append(srcNets.ecn1.channels(up), srcNets.concEntry[exitRoot])
+		f.seg1Cache[k1] = seg1
+	}
 
 	// Segment 2: ICN2 treats gateways as its leaves.
-	seg2 := f.icn2.channels(routing.Route(f.icn2.tree, srcCluster, dstCluster))
+	k2 := pathKey{0, srcCluster, dstCluster}
+	seg2, ok := f.icn2Cache[k2]
+	if !ok {
+		seg2 = f.icn2.channels(routing.Route(f.icn2.tree, srcCluster, dstCluster))
+		f.icn2Cache[k2] = seg2
+	}
 
 	// Segment 3: leave the gateway through the destination-hashed root of
 	// ECN1(j) and descend.
 	entryRoot := dstGlobal % dstNets.ecn1.tree.NumRoots()
-	down := routing.RouteFromRoot(dstNets.ecn1.tree, entryRoot, dstLocal)
-	seg3 := append([]*wormhole.Channel{dstNets.dispEntry[entryRoot]}, dstNets.ecn1.channels(down)...)
+	k3 := pathKey{dstCluster, entryRoot, dstLocal}
+	seg3, ok := f.seg3Cache[k3]
+	if !ok {
+		down := routing.RouteFromRoot(dstNets.ecn1.tree, entryRoot, dstLocal)
+		seg3 = append([]*wormhole.Channel{dstNets.dispEntry[entryRoot]}, dstNets.ecn1.channels(down)...)
+		f.seg3Cache[k3] = seg3
+	}
 
 	return [3][]*wormhole.Channel{seg1, seg2, seg3}
 }

@@ -190,6 +190,22 @@ func Run(cfg Config) (*Metrics, error) {
 	aborted := false
 	var traceErr error
 
+	// With no trace writer retaining per-message state, messages and
+	// journeys are recycled through freelists: steady state then runs at
+	// a near-constant live set instead of one message+journey garbage
+	// pile per delivery.
+	pooled := cfg.Trace == nil
+	var msgFree []*message
+	newMessage := func() *message {
+		if n := len(msgFree); n > 0 {
+			m := msgFree[n-1]
+			msgFree[n-1] = nil
+			msgFree = msgFree[:n-1]
+			return m
+		}
+		return &message{}
+	}
+
 	deliver := func(msg *message, deliveredAt float64) {
 		inflight--
 		lat := deliveredAt - msg.gen
@@ -225,11 +241,24 @@ func Run(cfg Config) (*Metrics, error) {
 				aborted = true
 			}
 		}
+		if pooled {
+			msgFree = append(msgFree, msg)
+		}
+	}
+
+	// recycle returns a completed segment's journey to the engine once
+	// its Acquire/exits views have been read out.
+	recycle := func(jn *wormhole.Journey) {
+		if pooled {
+			engine.Recycle(jn)
+		}
 	}
 
 	launch := func(src int, at float64) {
 		dst := pattern.Pick(src, destStream)
-		msg := &message{id: metrics.Generated, src: src, dst: dst, gen: at, phase: collector.NextPhase()}
+		msg := newMessage()
+		*msg = message{id: metrics.Generated, src: src, dst: dst, gen: at,
+			phase: collector.NextPhase(), segStarts: msg.segStarts[:0]}
 		metrics.Generated++
 		inflight++
 		if inflight > metrics.PeakBacklog {
@@ -243,14 +272,15 @@ func Run(cfg Config) (*Metrics, error) {
 
 		if srcCluster == dstCluster {
 			msg.intra = true
-			engine.Start(&wormhole.Journey{
-				Channels: f.intraPath(srcCluster, srcLocal, dstLocal),
-				Flits:    cfg.Msg.Flits,
-				OnComplete: func(jn *wormhole.Journey, exits []float64) {
-					msg.segStarts = append(msg.segStarts, jn.Acquire[0])
-					deliver(msg, exits[len(exits)-1])
-				},
-			}, at)
+			j := engine.NewJourney()
+			j.Channels = f.intraPath(srcCluster, srcLocal, dstLocal)
+			j.Flits = cfg.Msg.Flits
+			j.OnComplete = func(jn *wormhole.Journey, exits []float64) {
+				msg.segStarts = append(msg.segStarts, jn.Acquire[0])
+				deliver(msg, exits[len(exits)-1])
+				recycle(jn)
+			}
+			engine.Start(j, at)
 			return
 		}
 
@@ -265,48 +295,63 @@ func Run(cfg Config) (*Metrics, error) {
 		segs := f.interPath(srcCluster, dstCluster, srcLocal, dstLocal, dst)
 		seg3 := func(jn *wormhole.Journey, exits []float64) {
 			msg.segStarts = append(msg.segStarts, jn.Acquire[0])
-			engine.Start(&wormhole.Journey{
-				Channels: segs[2], Flits: cfg.Msg.Flits,
-				OnComplete: func(jn3 *wormhole.Journey, ex []float64) {
-					msg.segStarts = append(msg.segStarts, jn3.Acquire[0])
-					deliver(msg, ex[len(ex)-1])
-				},
-			}, exits[len(exits)-1])
+			at := exits[len(exits)-1]
+			recycle(jn)
+			j := engine.NewJourney()
+			j.Channels = segs[2]
+			j.Flits = cfg.Msg.Flits
+			j.OnComplete = func(jn3 *wormhole.Journey, ex []float64) {
+				msg.segStarts = append(msg.segStarts, jn3.Acquire[0])
+				deliver(msg, ex[len(ex)-1])
+				recycle(jn3)
+			}
+			engine.Start(j, at)
 		}
 		seg2 := func(jn *wormhole.Journey, exits []float64) {
 			msg.segStarts = append(msg.segStarts, jn.Acquire[0])
-			engine.Start(&wormhole.Journey{
-				Channels: segs[1], Flits: cfg.Msg.Flits,
-				OnComplete: seg3,
-			}, exits[len(exits)-1])
+			at := exits[len(exits)-1]
+			recycle(jn)
+			j := engine.NewJourney()
+			j.Channels = segs[1]
+			j.Flits = cfg.Msg.Flits
+			j.OnComplete = seg3
+			engine.Start(j, at)
 		}
-		engine.Start(&wormhole.Journey{
-			Channels: segs[0], Flits: cfg.Msg.Flits,
-			OnComplete: seg2,
-		}, at)
+		j := engine.NewJourney()
+		j.Channels = segs[0]
+		j.Flits = cfg.Msg.Flits
+		j.OnComplete = seg2
+		engine.Start(j, at)
 	}
 
 	// Self-perpetuating generation: the paper keeps generating through
-	// the drain phase so that measured messages complete under load.
+	// the drain phase so that measured messages complete under load. The
+	// arrival handler is one shared func value and the source ids are
+	// boxed once, so each arrival event allocates nothing.
+	srcArg := make([]any, f.totalNodes())
+	for i := range srcArg {
+		srcArg[i] = i
+	}
 	var generate func()
-	scheduleNext := func() {
+	var onArrival func(any)
+	onArrival = func(a any) {
+		if collector.DoneMeasuring() || aborted {
+			return // stop generating; let the calendar drain
+		}
+		if inflight >= cfg.MaxBacklog {
+			aborted = true
+			return
+		}
+		launch(a.(int), kernel.Now())
+		generate()
+	}
+	generate = func() {
 		t, src := source.Next()
 		if active != nil {
 			src = active[src]
 		}
-		kernel.ScheduleAt(t, func() {
-			if collector.DoneMeasuring() || aborted {
-				return // stop generating; let the calendar drain
-			}
-			if inflight >= cfg.MaxBacklog {
-				aborted = true
-				return
-			}
-			launch(src, kernel.Now())
-			generate()
-		})
+		kernel.ScheduleCallAt(t, onArrival, srcArg[src])
 	}
-	generate = scheduleNext
 	generate()
 
 	kernel.Run(func() bool {

@@ -109,9 +109,14 @@ type Journey struct {
 	// start(j,k) matrix stored column-major (start[k][j]); computed[k]
 	// counts the settled rows of column k. Columns advance as ragged
 	// frontiers: a cell is evaluated the moment its dependencies exist.
+	// Acquire, exits and the start columns are views into one shared
+	// slab (floats), so a grant costs three allocations, all reusable
+	// through Engine.Recycle.
 	start    [][]float64
 	computed []int
 	exits    []float64 // d(j, L−1)
+	floats   []float64 // backing slab: Acquire | exits | start columns
+	prepared bool
 	done     bool
 }
 
@@ -121,10 +126,53 @@ type Engine struct {
 
 	// Started and Completed count journeys, for conservation checks.
 	Started, Completed uint64
+
+	// requestFn and releaseFn are the shared des.ScheduleCall handlers
+	// for head advancement and tail release — one func value each for
+	// the whole run, so steady-state scheduling allocates no closures.
+	requestFn func(any)
+	releaseFn func(any)
+
+	free []*Journey // Recycle freelist
 }
 
 // NewEngine returns an Engine bound to kernel k.
 func NewEngine(k *des.Kernel) *Engine { return &Engine{K: k} }
+
+// handlers lazily builds the shared event handlers (NewEngine callers
+// get them on first Start; zero-value Engines too).
+func (e *Engine) handlers() {
+	if e.requestFn == nil {
+		e.requestFn = func(a any) { e.request(a.(*Journey)) }
+		e.releaseFn = func(a any) { e.release(a.(*Channel)) }
+	}
+}
+
+// NewJourney returns a zeroed Journey, reusing recurrence buffers from a
+// recycled one when available.
+func (e *Engine) NewJourney() *Journey {
+	if n := len(e.free); n > 0 {
+		j := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return j
+	}
+	return &Journey{}
+}
+
+// Recycle returns a completed journey's buffers to the engine for reuse
+// by a later NewJourney. The caller must be done with the journey and
+// every slice the engine filled in (Acquire, the exits passed to
+// OnComplete): they are views into buffers the next journey overwrites.
+// Safe to call from within the journey's own OnComplete.
+func (e *Engine) Recycle(j *Journey) {
+	if j == nil {
+		return
+	}
+	start, computed, floats := j.start, j.computed, j.floats
+	*j = Journey{start: start, computed: computed, floats: floats, prepared: false}
+	e.free = append(e.free, j)
+}
 
 // NewChannel creates a channel with the given per-flit time and the
 // paper's single-flit input buffer.
@@ -163,9 +211,11 @@ func (e *Engine) Start(j *Journey, at float64) {
 	}
 	j.idx = 0
 	j.acquired = 0
+	j.prepared = false
 	j.done = false
 	e.Started++
-	e.K.ScheduleAt(at, func() { e.request(j) })
+	e.handlers()
+	e.K.ScheduleCallAt(at, e.requestFn, j)
 }
 
 // request tries to acquire j's next channel, queueing FIFO if held.
@@ -190,18 +240,33 @@ func (e *Engine) grant(ch *Channel, j *Journey) {
 	ch.lastAcquire = now
 	ch.Acquisitions++
 
-	if j.start == nil {
+	if !j.prepared {
 		// Allocated on first grant, not Start: journeys queued at their
-		// first channel (the source queue) cost no recurrence state.
-		L := len(j.Channels)
-		j.Acquire = make([]float64, L)
-		j.computed = make([]int, L)
-		j.exits = make([]float64, j.Flits)
-		slab := make([]float64, L*j.Flits)
-		j.start = make([][]float64, L)
-		for k := range j.start {
-			j.start[k] = slab[k*j.Flits : (k+1)*j.Flits]
+		// first channel (the source queue) cost no recurrence state. One
+		// slab backs Acquire, exits and the start matrix; recycled
+		// journeys reuse it outright.
+		L, M := len(j.Channels), j.Flits
+		need := L + M + L*M
+		if cap(j.floats) < need {
+			j.floats = make([]float64, need)
 		}
+		fl := j.floats[:need]
+		j.Acquire = fl[:L:L]
+		j.exits = fl[L : L+M : L+M]
+		slab := fl[L+M:]
+		if cap(j.start) < L {
+			j.start = make([][]float64, L)
+		}
+		j.start = j.start[:L]
+		for k := range j.start {
+			j.start[k] = slab[k*M : (k+1)*M : (k+1)*M]
+		}
+		if cap(j.computed) < L {
+			j.computed = make([]int, L)
+		}
+		j.computed = j.computed[:L]
+		clear(j.computed)
+		j.prepared = true
 	}
 	j.Acquire[j.idx] = now
 	j.acquired++
@@ -210,7 +275,7 @@ func (e *Engine) grant(ch *Channel, j *Journey) {
 	if !last {
 		j.idx++
 		// The head flit reaches the next switch after one flit time.
-		e.K.Schedule(ch.FlitTime, func() { e.request(j) })
+		e.K.ScheduleCall(ch.FlitTime, e.requestFn, j)
 	}
 	e.advance(j)
 	if last {
@@ -278,8 +343,7 @@ func (e *Engine) advance(j *Journey) {
 					j.exits[fl] = st + sk
 				}
 				if fl == M-1 {
-					ch := j.Channels[k]
-					e.K.ScheduleAt(st+sk, func() { e.release(ch) })
+					e.K.ScheduleCallAt(st+sk, e.releaseFn, j.Channels[k])
 				}
 			}
 		}
