@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/ccnet/ccnet/internal/load"
+	"github.com/ccnet/ccnet/internal/routertest"
 	"github.com/ccnet/ccnet/internal/service"
 	"github.com/ccnet/ccnet/internal/version"
 )
@@ -88,6 +89,8 @@ run flags:
   -workers W      closed loop: concurrent workers (default 8)
   -think D        closed loop: mean think time, e.g. 10ms (default 0)
   -url URL        drive a remote server instead of in-process
+  -routed K       drive an in-process K-replica cluster behind ccrouter
+                  instead of a single in-process server
   -server-workers N  in-process server worker pool (default GOMAXPROCS)
   -out FILE       write the NDJSON artifact to FILE instead of stdout
   -dry-run        print the generated sequence and its SHA, send nothing
@@ -102,6 +105,7 @@ sweep flags:
   -pool K          distinct specs per endpoint pool (default 64)
   -url URL         drive a remote server (default: fresh in-process
                    server per cell)
+  -routed K        drive a shared in-process K-replica routed cluster
   -server-workers N  in-process server worker pool (default GOMAXPROCS)
   -out FILE        write the sweep report JSON to FILE
   -baseline FILE   compare against FILE; violations exit 1
@@ -131,6 +135,7 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 8, "closed-loop workers")
 	think := fs.Duration("think", 0, "closed-loop mean think time")
 	url := fs.String("url", "", "remote server URL")
+	routed := fs.Int("routed", 0, "replicas behind an in-process router")
 	serverWorkers := fs.Int("server-workers", 0, "in-process server workers")
 	out := fs.String("out", "", "artifact file")
 	dryRun := fs.Bool("dry-run", false, "print the sequence, send nothing")
@@ -139,6 +144,10 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "ccload run: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *url != "" && *routed > 0 {
+		fmt.Fprintln(stderr, "ccload run: -url and -routed are mutually exclusive")
 		return 2
 	}
 
@@ -173,7 +182,14 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	target, targetName := makeTarget(*url, *serverWorkers)
+	target, targetName, cleanup, err := makeTarget(*url, *serverWorkers, *routed)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccload run: %v\n", err)
+		return 1
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
 	opts := load.Options{
 		Target: target, Plan: plan, Seed: *seed,
 		Closed: *closed, RPS: *rps, Workers: *workers, ThinkMean: *think,
@@ -210,6 +226,7 @@ func sweepCmd(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "base seed")
 	pool := fs.Int("pool", 64, "distinct specs per endpoint")
 	url := fs.String("url", "", "remote server URL")
+	routed := fs.Int("routed", 0, "replicas behind an in-process router")
 	serverWorkers := fs.Int("server-workers", 0, "in-process server workers")
 	out := fs.String("out", "", "report file")
 	baseline := fs.String("baseline", "", "baseline file to compare against")
@@ -225,6 +242,10 @@ func sweepCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	if *baseline != "" && *writeBaseline != "" {
 		fmt.Fprintln(stderr, "ccload sweep: -baseline and -write-baseline are mutually exclusive")
+		return 2
+	}
+	if *url != "" && *routed > 0 {
+		fmt.Fprintln(stderr, "ccload sweep: -url and -routed are mutually exclusive")
 		return 2
 	}
 
@@ -246,12 +267,24 @@ func sweepCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg := load.SweepConfig{Endpoints: eps, RPS: rpsAxis, DupRates: dupAxis, N: *n, Seed: *seed, Pool: *pool}
 
+	// A remote or routed target is shared across cells (one server, one
+	// cluster); the in-process default gets a fresh server per cell so
+	// cache state cannot leak between cells.
 	newTarget := func() load.Target {
-		t, _ := makeTarget(*url, *serverWorkers)
+		t, _, _, _ := makeTarget("", *serverWorkers, 0)
 		return t
 	}
-	if *url != "" {
+	switch {
+	case *url != "":
 		shared := load.NewHTTPTarget(*url)
+		newTarget = func() load.Target { return shared }
+	case *routed > 0:
+		shared, _, cleanup, err := makeTarget("", *serverWorkers, *routed)
+		if err != nil {
+			fmt.Fprintf(stderr, "ccload sweep: %v\n", err)
+			return 1
+		}
+		defer cleanup()
 		newTarget = func() load.Target { return shared }
 	}
 
@@ -317,14 +350,26 @@ func sweepCmd(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// makeTarget returns the load target: a remote client for url, else the
-// full ccserved handler in-process.
-func makeTarget(url string, serverWorkers int) (load.Target, string) {
+// makeTarget returns the load target: a remote client for url, a live
+// routed cluster for routed > 0 (cleanup tears it down), else the full
+// ccserved handler in-process.
+func makeTarget(url string, serverWorkers, routed int) (load.Target, string, func(), error) {
 	if url != "" {
-		return load.NewHTTPTarget(url), url
+		return load.NewHTTPTarget(url), url, nil, nil
+	}
+	if routed > 0 {
+		c, err := routertest.Start(routertest.Config{
+			Replicas:      routed,
+			ProbeInterval: 250 * time.Millisecond,
+			Workers:       serverWorkers,
+		})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return load.NewHTTPTarget(c.BaseURL()), fmt.Sprintf("routed:%d", routed), c.Close, nil
 	}
 	srv := service.New(service.Options{Workers: serverWorkers})
-	return load.HandlerTarget{Handler: srv.Handler()}, "in-process"
+	return load.HandlerTarget{Handler: srv.Handler()}, "in-process", nil, nil
 }
 
 func writeReport(w io.Writer, rep *load.Report) error {

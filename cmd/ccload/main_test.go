@@ -28,7 +28,35 @@ func TestCLI(t *testing.T) {
 		{Name: "sweep baseline conflict",
 			Args:     []string{"sweep", "-baseline", "a.json", "-write-baseline", "b.json"},
 			WantCode: 2, WantStderr: "mutually exclusive"},
+		{Name: "run url routed conflict",
+			Args:     []string{"run", "-url", "http://x", "-routed", "3"},
+			WantCode: 2, WantStderr: "mutually exclusive"},
+		{Name: "sweep url routed conflict",
+			Args:     []string{"sweep", "-url", "http://x", "-routed", "3"},
+			WantCode: 2, WantStderr: "mutually exclusive"},
 	})
+}
+
+// TestRunRouted drives a tiny load run through a live 2-replica routed
+// cluster: the artifact's meta must name the routed target and every
+// request must succeed.
+func TestRunRouted(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "routed.ndjson")
+	got := clitest.Run(run, "run", "-routed", "2", "-n", "20", "-rps", "2000", "-seed", "5", "-dup", "0.5", "-out", out)
+	if got.Code != 0 {
+		t.Fatalf("exit %d: %s", got.Code, got.Stderr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if !strings.Contains(lines[0], `"target":"routed:2"`) {
+		t.Errorf("meta line: %s", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], `"errors":0`) {
+		t.Errorf("summary line: %s", lines[len(lines)-1])
+	}
 }
 
 // TestDryRunDeterministic is the CLI half of the reproducibility

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/ccnet/ccnet/internal/clitest"
+)
+
+func TestCLI(t *testing.T) {
+	clitest.Table(t, run, []clitest.Case{
+		{Name: "version", Args: []string{"-version"}, WantCode: 0, WantStdout: "ccrouter"},
+		{Name: "no replicas", Args: nil, WantCode: 2, WantStderr: "at least one -replica"},
+		{Name: "bad replica format", Args: []string{"-replica", "nourl"},
+			WantCode: 2, WantStderr: "want id=url"},
+		{Name: "empty replica id", Args: []string{"-replica", "=http://x"},
+			WantCode: 2, WantStderr: "want id=url"},
+		{Name: "stray arg", Args: []string{"-replica", "a=http://x", "stray"},
+			WantCode: 2, WantStderr: "unexpected argument"},
+		{Name: "duplicate replica id",
+			Args:     []string{"-replica", "a=http://x", "-replica", "a=http://y"},
+			WantCode: 2, WantStderr: "duplicate replica id"},
+		{Name: "bad flag", Args: []string{"-nope"}, WantCode: 2},
+	})
+}
+
+func TestReplicaFlagString(t *testing.T) {
+	var f replicaFlags
+	if err := f.Set("a=http://x/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("b=http://y"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.String(), "a=http://x,b=http://y"; got != want {
+		t.Errorf("String() = %q, want %q (trailing slash must be trimmed)", got, want)
+	}
+}

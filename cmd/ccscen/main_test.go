@@ -111,7 +111,7 @@ func TestOptimizeVerb(t *testing.T) {
 		}
 	}
 	last := lines[len(lines)-1]
-	if !strings.Contains(last, `"type":"frontier"`) || !strings.Contains(last, `"cached":false`) {
+	if !strings.Contains(last, `"kind":"result"`) || !strings.Contains(last, `"cached":false`) {
 		t.Fatalf("terminal NDJSON line: %s", last)
 	}
 	if !strings.Contains(got.Stderr, "wrote "+out3) {
@@ -145,7 +145,7 @@ func TestBatchVerb(t *testing.T) {
 	if !strings.Contains(lines[1], `"cached":true`) {
 		t.Fatalf("repeated spec not answered from cache: %s", lines[1])
 	}
-	if !strings.Contains(lines[2], `"type":"summary"`) || !strings.Contains(lines[2], `"cacheHits":1`) {
+	if !strings.Contains(lines[2], `"kind":"result"`) || !strings.Contains(lines[2], `"cacheHits":1`) {
 		t.Fatalf("bad summary line: %s", lines[2])
 	}
 
@@ -188,13 +188,15 @@ func TestBatchVerbEmptyStream(t *testing.T) {
 			t.Fatalf("%s: %d NDJSON lines, want one summary:\n%s", name, len(lines), got.Stdout)
 		}
 		var sum struct {
-			Type  string `json:"type"`
-			Items int    `json:"items"`
+			Kind   string `json:"kind"`
+			Result struct {
+				Items int `json:"items"`
+			} `json:"result"`
 		}
 		if err := json.Unmarshal([]byte(lines[0]), &sum); err != nil {
 			t.Fatalf("%s: summary does not parse: %v", name, err)
 		}
-		if sum.Type != "summary" || sum.Items != 0 {
+		if sum.Kind != "result" || sum.Result.Items != 0 {
 			t.Fatalf("%s: summary line %s", name, lines[0])
 		}
 	}
@@ -259,7 +261,7 @@ func TestPerfVerb(t *testing.T) {
 	}
 	lines := strings.Split(strings.TrimSpace(got.Stdout), "\n")
 	last := lines[len(lines)-1]
-	if !strings.Contains(last, `"type":"result"`) || !strings.Contains(last, `"cached":false`) {
+	if !strings.Contains(last, `"kind":"result"`) || !strings.Contains(last, `"cached":false`) {
 		t.Fatalf("terminal NDJSON line: %s", last)
 	}
 
@@ -353,7 +355,7 @@ func TestFleetVerb(t *testing.T) {
 		t.Fatalf("%d NDJSON lines, want 10 epochs + result:\n%s", len(lines), got.Stdout)
 	}
 	last := lines[len(lines)-1]
-	if !strings.Contains(last, `"type":"result"`) || !strings.Contains(last, `"cached":false`) {
+	if !strings.Contains(last, `"kind":"result"`) || !strings.Contains(last, `"cached":false`) {
 		t.Fatalf("terminal NDJSON line: %s", last)
 	}
 

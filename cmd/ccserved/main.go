@@ -18,8 +18,15 @@
 //	                    progress lines plus a terminal Pareto-frontier line;
 //	                    repeated specs answer from the result cache, and a
 //	                    disconnecting client cancels the search
-//	GET  /v1/healthz    liveness + version
+//	GET  /v1/healthz    liveness + version + shard identity
+//	GET  /v1/version    build, API and cache-schema versions
 //	GET  /v1/stats      request and cache counters
+//
+// Every non-2xx response body is the typed APIError envelope (code,
+// message, requestId, details); streaming endpoints frame every NDJSON
+// line with a "kind" of progress, result or error. Behind a ccrouter
+// tier, -shard-id names the replica and -trust-router-keys lets it skip
+// re-canonicalizing bodies the router already hashed.
 //
 // Examples:
 //
@@ -63,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "result cache capacity in bytes")
 		ttl          = fs.Duration("ttl", 15*time.Minute, "result cache entry lifetime (negative disables expiry)")
 		workers      = fs.Int("workers", 0, "sweep/campaign worker goroutines (default GOMAXPROCS)")
+		shardID      = fs.String("shard-id", "", "shard identity reported in X-Shard and /v1/version (set when running behind ccrouter)")
+		trustRouter  = fs.Bool("trust-router-keys", false, "accept pre-computed cache keys from the X-Ccnet-Key header (only behind a trusted ccrouter tier)")
 		showVersion  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,10 +91,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv := service.New(service.Options{
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheBytes,
-		CacheTTL:     *ttl,
-		Workers:      *workers,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		CacheTTL:        *ttl,
+		Workers:         *workers,
+		ShardID:         *shardID,
+		TrustRouterKeys: *trustRouter,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "ccserved: "+format+"\n", args...)
+		},
 	})
 	return serve(*addr, srv.Handler(), stdout, stderr)
 }

@@ -23,6 +23,11 @@ import (
 // canonical form changes so stale persisted keys can never alias.
 const scheme = "v1"
 
+// Scheme is the exported canonicalization-scheme version; the service's
+// /v1/version endpoint reports it so operators can tell whether two
+// replicas' cache keys are compatible.
+const Scheme = scheme
+
 // Key is a canonical cache key: "v1:" + hex SHA-256 of the canonical
 // encoding. The zero value is invalid.
 type Key string

@@ -1,0 +1,190 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ReplicaHealth is one replica's health snapshot, reported by the
+// router's /v1/healthz.
+type ReplicaHealth struct {
+	ID                  string  `json:"id"`
+	URL                 string  `json:"url"`
+	Healthy             bool    `json:"healthy"`
+	ConsecutiveFailures int     `json:"consecutiveFailures"`
+	ProbeLatencySeconds float64 `json:"probeLatencySeconds"`
+	LastError           string  `json:"lastError,omitempty"`
+}
+
+// health tracks per-replica liveness with hysteresis: FailAfter
+// consecutive failures mark a replica down, RiseAfter consecutive
+// successes bring it back. Single blips in either direction change
+// nothing, so a flapping replica cannot thrash shard assignments.
+// Signals come from the active prober and, passively, from forwarding
+// outcomes — a transport error during a real request counts exactly
+// like a failed probe, so the router reacts to a death before the next
+// probe tick.
+type health struct {
+	mu        sync.Mutex
+	states    []replicaState
+	failAfter int
+	riseAfter int
+	// onTransition fires (outside mu) whenever a replica changes
+	// healthy state; the router uses it for logging and the
+	// rebalance counter.
+	onTransition func(i int, healthy bool)
+}
+
+type replicaState struct {
+	healthy     bool
+	consecFail  int
+	consecOK    int
+	ewmaSeconds float64
+	lastErr     string
+}
+
+// probeEWMAAlpha weighs the newest probe latency in the moving average.
+const probeEWMAAlpha = 0.3
+
+func newHealth(n, failAfter, riseAfter int, onTransition func(int, bool)) *health {
+	if failAfter <= 0 {
+		failAfter = 2
+	}
+	if riseAfter <= 0 {
+		riseAfter = 2
+	}
+	h := &health{
+		states:       make([]replicaState, n),
+		failAfter:    failAfter,
+		riseAfter:    riseAfter,
+		onTransition: onTransition,
+	}
+	// Replicas start healthy: an actually-dead one fails its first
+	// probes (or its first forward) and drops out after FailAfter,
+	// while the common case — everything up — serves immediately.
+	for i := range h.states {
+		h.states[i].healthy = true
+	}
+	return h
+}
+
+// observe records one health signal for replica i. Probe successes
+// carry a latency that feeds the EWMA; passive forward successes and
+// failures pass latency 0.
+func (h *health) observe(i int, ok bool, latency time.Duration, errText string) {
+	h.mu.Lock()
+	st := &h.states[i]
+	var flipped, nowHealthy bool
+	if ok {
+		st.consecFail = 0
+		st.consecOK++
+		st.lastErr = ""
+		if latency > 0 {
+			if st.ewmaSeconds == 0 {
+				st.ewmaSeconds = latency.Seconds()
+			} else {
+				st.ewmaSeconds = probeEWMAAlpha*latency.Seconds() + (1-probeEWMAAlpha)*st.ewmaSeconds
+			}
+		}
+		if !st.healthy && st.consecOK >= h.riseAfter {
+			st.healthy = true
+			flipped, nowHealthy = true, true
+		}
+	} else {
+		st.consecOK = 0
+		st.consecFail++
+		st.lastErr = errText
+		if st.healthy && st.consecFail >= h.failAfter {
+			st.healthy = false
+			flipped, nowHealthy = true, false
+		}
+	}
+	h.mu.Unlock()
+	if flipped && h.onTransition != nil {
+		h.onTransition(i, nowHealthy)
+	}
+}
+
+// isHealthy reports replica i's current state.
+func (h *health) isHealthy(i int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.states[i].healthy
+}
+
+// healthyCount returns how many replicas are currently up.
+func (h *health) healthyCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for i := range h.states {
+		if h.states[i].healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshot copies the per-replica state for /v1/healthz and metrics.
+func (h *health) snapshot(replicas []Replica) []ReplicaHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ReplicaHealth, len(h.states))
+	for i := range h.states {
+		st := h.states[i]
+		out[i] = ReplicaHealth{
+			ID:                  replicas[i].ID,
+			URL:                 replicas[i].URL,
+			Healthy:             st.healthy,
+			ConsecutiveFailures: st.consecFail,
+			ProbeLatencySeconds: st.ewmaSeconds,
+			LastError:           st.lastErr,
+		}
+	}
+	return out
+}
+
+// probeLoop actively probes one replica's /v1/healthz on a ticker until
+// ctx is cancelled. Probes are cheap GETs with a timeout of one probe
+// interval, so a hung replica is indistinguishable from a dead one.
+func (r *Router) probeLoop(ctx context.Context, i int) {
+	interval := r.opt.ProbeInterval
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.probeOnce(ctx, i)
+		}
+	}
+}
+
+// probeOnce issues a single health probe against replica i.
+func (r *Router) probeOnce(ctx context.Context, i int) {
+	pctx, cancel := context.WithTimeout(ctx, r.opt.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, r.opt.Replicas[i].URL+"/v1/healthz", nil)
+	if err != nil {
+		r.health.observe(i, false, 0, err.Error())
+		return
+	}
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.m.probes.With(r.opt.Replicas[i].ID, "error").Inc()
+		r.health.observe(i, false, 0, err.Error())
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.m.probes.With(r.opt.Replicas[i].ID, "unhealthy").Inc()
+		r.health.observe(i, false, 0, "probe status "+resp.Status)
+		return
+	}
+	r.m.probes.With(r.opt.Replicas[i].ID, "ok").Inc()
+	r.health.observe(i, true, time.Since(start), "")
+}

@@ -1,0 +1,79 @@
+package router
+
+import (
+	"time"
+
+	"github.com/ccnet/ccnet/internal/metrics"
+	"github.com/ccnet/ccnet/internal/version"
+)
+
+// routerMetrics holds the ccrouter_* series. Shard labels come from the
+// configured replica IDs, so cardinality is bounded by fleet size.
+type routerMetrics struct {
+	reg       *metrics.Registry
+	forwards  *metrics.HistogramVec // ccrouter_forward_duration_seconds{shard,status}
+	inflight  *metrics.Gauge        // ccrouter_inflight_requests
+	retries   *metrics.Counter      // ccrouter_retries_total
+	fwdErrors *metrics.CounterVec   // ccrouter_forward_errors_total{shard}
+	probes    *metrics.CounterVec   // ccrouter_probes_total{shard,result}
+	flips     *metrics.Counter      // ccrouter_health_transitions_total
+	midstream *metrics.Counter      // ccrouter_midstream_errors_total
+	unavail   *metrics.Counter      // ccrouter_unavailable_total
+}
+
+// initMetrics builds the registry; per-shard health and latency gauges
+// read the health set at scrape time so /metrics and /v1/healthz can
+// never disagree.
+func (r *Router) initMetrics() {
+	reg := metrics.NewRegistry()
+	m := &routerMetrics{reg: reg}
+	m.forwards = reg.HistogramVec("ccrouter_forward_duration_seconds",
+		"Forwarded request latency by shard and upstream HTTP status.",
+		metrics.DefLatencyBuckets, "shard", "status")
+	m.inflight = reg.Gauge("ccrouter_inflight_requests",
+		"Requests currently being forwarded.")
+	m.retries = reg.Counter("ccrouter_retries_total",
+		"Forward attempts retried against another replica after a transport failure.")
+	m.fwdErrors = reg.CounterVec("ccrouter_forward_errors_total",
+		"Transport failures when forwarding to a replica, by shard.", "shard")
+	m.probes = reg.CounterVec("ccrouter_probes_total",
+		"Active health probes by shard and result (ok, unhealthy, error).", "shard", "result")
+	m.flips = reg.Counter("ccrouter_health_transitions_total",
+		"Replica health transitions in either direction (each one rebalances the ring walk).")
+	m.midstream = reg.Counter("ccrouter_midstream_errors_total",
+		"Streams that died after bytes were sent; the client got an in-band error frame.")
+	m.unavail = reg.Counter("ccrouter_unavailable_total",
+		"Requests answered 503 because no healthy replica could take them.")
+
+	start := time.Now()
+	reg.GaugeFunc("ccrouter_uptime_seconds", "Seconds since the router started.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("ccrouter_build_info",
+		"Always 1; the version label carries the build version.",
+		func() float64 { return 1 }, "version", version.Version)
+	reg.GaugeFunc("ccrouter_replicas", "Configured replica count.",
+		func() float64 { return float64(len(r.opt.Replicas)) })
+	reg.GaugeFunc("ccrouter_replicas_healthy", "Replicas currently healthy.",
+		func() float64 { return float64(r.health.healthyCount()) })
+	for i := range r.opt.Replicas {
+		i := i
+		reg.GaugeFunc("ccrouter_replica_healthy",
+			"1 when the shard's replica is healthy, else 0.",
+			func() float64 {
+				if r.health.isHealthy(i) {
+					return 1
+				}
+				return 0
+			}, "shard", r.opt.Replicas[i].ID)
+		reg.GaugeFunc("ccrouter_replica_probe_latency_seconds",
+			"EWMA health-probe latency per shard.",
+			func() float64 {
+				return r.health.snapshot(r.opt.Replicas)[i].ProbeLatencySeconds
+			}, "shard", r.opt.Replicas[i].ID)
+	}
+	metrics.RegisterGoRuntime(reg)
+	r.m = m
+}
+
+// Metrics exposes the registry (for tests and embedding servers).
+func (r *Router) Metrics() *metrics.Registry { return r.m.reg }

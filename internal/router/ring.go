@@ -1,0 +1,106 @@
+// Package router is the stateless sharding tier in front of a fleet of
+// ccserved replicas: it canonicalizes each request body once, hashes it
+// to a shard with a consistent-hash ring, and forwards the request —
+// pre-computed cache key attached — to the replica that owns the shard.
+// Identical specs therefore always land on the same replica, so the
+// fleet's result caches partition instead of duplicating, while the
+// ring keeps assignments stable as replicas die and rejoin. The router
+// holds no state a restart could lose: membership is configuration,
+// health is re-probed, and every answer comes from a replica.
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Replica is one ccserved instance the router can forward to.
+type Replica struct {
+	// ID names the shard (the replica's -shard-id); it labels metrics
+	// and the X-Shard response header.
+	ID string `json:"id"`
+	// URL is the replica's base URL, e.g. http://10.0.0.7:8080.
+	URL string `json:"url"`
+}
+
+// ring is a consistent-hash ring over the configured replica set. The
+// ring itself is immutable — it always contains every replica's virtual
+// nodes, healthy or not. Lookups return the full candidate order and
+// the caller walks to the first healthy replica, which is what makes
+// assignments stable under churn: a key owned by a healthy replica
+// never moves when some other replica dies, and a key displaced by a
+// death returns to exactly its old owner on recovery.
+type ring struct {
+	points   []ringPoint // sorted by hash
+	replicas []Replica
+}
+
+type ringPoint struct {
+	hash  uint64
+	index int // into replicas
+}
+
+// newRing spreads vnodes virtual points per replica around the ring.
+func newRing(replicas []Replica, vnodes int) (*ring, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("router: no replicas configured")
+	}
+	seen := make(map[string]bool, len(replicas))
+	for _, rep := range replicas {
+		if rep.ID == "" || rep.URL == "" {
+			return nil, fmt.Errorf("router: replica needs both id and url (got id=%q url=%q)", rep.ID, rep.URL)
+		}
+		if seen[rep.ID] {
+			return nil, fmt.Errorf("router: duplicate replica id %q", rep.ID)
+		}
+		seen[rep.ID] = true
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	rg := &ring{
+		points:   make([]ringPoint, 0, len(replicas)*vnodes),
+		replicas: replicas,
+	}
+	for i, rep := range replicas {
+		for v := 0; v < vnodes; v++ {
+			rg.points = append(rg.points, ringPoint{
+				hash:  hash64(rep.ID + "#" + strconv.Itoa(v)),
+				index: i,
+			})
+		}
+	}
+	sort.Slice(rg.points, func(a, b int) bool { return rg.points[a].hash < rg.points[b].hash })
+	return rg, nil
+}
+
+// hash64 is the ring's placement hash: the first 8 bytes of SHA-256,
+// chosen for distribution quality and stability across Go versions (a
+// ring rebuilt by a different binary must place keys identically).
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// candidates returns every replica index in ring order starting at
+// key's point: candidates[0] is the key's home shard and later entries
+// are the successive fallbacks. The order depends only on the
+// configured replica set — never on health — so the first-healthy walk
+// the caller performs yields stable assignments under churn.
+func (rg *ring) candidates(key string) []int {
+	h := hash64(key)
+	start := sort.Search(len(rg.points), func(i int) bool { return rg.points[i].hash >= h })
+	out := make([]int, 0, len(rg.replicas))
+	seen := make(map[int]bool, len(rg.replicas))
+	for i := 0; i < len(rg.points) && len(out) < len(rg.replicas); i++ {
+		p := rg.points[(start+i)%len(rg.points)]
+		if !seen[p.index] {
+			seen[p.index] = true
+			out = append(out, p.index)
+		}
+	}
+	return out
+}

@@ -30,6 +30,11 @@ import (
 	"github.com/ccnet/ccnet/internal/perfab"
 )
 
+// SchemaVersion identifies the scenario/spec JSON schema generation;
+// the service's /v1/version endpoint reports it. Bump on an
+// incompatible change to the spec format.
+const SchemaVersion = "1"
+
 // Spec is one fully described scenario. The zero value is invalid;
 // construct Specs with Parse or Load so defaults and validation apply.
 type Spec struct {

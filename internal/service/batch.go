@@ -20,31 +20,11 @@ const maxBatchBytes = 16 << 20
 
 // BatchRequest is the body of POST /v1/batch (and the document `ccscen
 // batch` reads): an ordered list of heterogeneous work items. Results
-// stream back as NDJSON in item order — one BatchResultLine per item,
-// then one BatchSummaryLine.
+// stream back as NDJSON in item order — one BatchItemLine ("progress"
+// frame) per item, then one terminal ResultLine carrying the
+// batch.Summary.
 type BatchRequest struct {
 	Items []batch.Item `json:"items"`
-}
-
-// BatchResultLine is one NDJSON result line: the item's position and
-// identity, how it was answered (cache hit or computed), and either the
-// endpoint-specific result document or the item's error.
-type BatchResultLine struct {
-	Type    string          `json:"type"` // always "result"
-	Index   int             `json:"index"`
-	ID      string          `json:"id,omitempty"`
-	Kind    string          `json:"kind,omitempty"`
-	Cached  bool            `json:"cached"`
-	Key     string          `json:"key,omitempty"`
-	Seconds float64         `json:"seconds"`
-	Result  json.RawMessage `json:"result,omitempty"`
-	Error   string          `json:"error,omitempty"`
-}
-
-// BatchSummaryLine is the terminal NDJSON line.
-type BatchSummaryLine struct {
-	Type string `json:"type"` // always "summary"
-	batch.Summary
 }
 
 // ParseBatch decodes one batch request document, rejecting unknown
@@ -75,63 +55,50 @@ func ParseBatch(r io.Reader) (*BatchRequest, error) {
 }
 
 // RunBatch shards the items across the server's worker pool and streams
-// one NDJSON result line per item (in item order, each line written as
-// soon as its item — and all earlier ones — complete) followed by a
-// summary line to w, flushing after every line when w is an
-// http.Flusher. Each item consults the canonical-spec result cache
-// exactly like its single-request endpoint. Cancelling ctx (a streaming
-// client hanging up) stops the batch: items not yet started never run,
-// items already computing finish (the model evaluation itself is not
-// interruptible) and are discarded. The error reports why the stream
-// ended early, while per-item failures are reported inline and do not
-// abort the batch.
+// one NDJSON "progress" frame per item (in item order, each line
+// written as soon as its item — and all earlier ones — complete)
+// followed by a terminal "result" frame carrying the summary, flushing
+// after every line when w is an http.Flusher. Each item consults the
+// canonical-spec result cache exactly like its single-request endpoint.
+// Cancelling ctx (a streaming client hanging up) stops the batch: items
+// not yet started never run, items already computing finish (the model
+// evaluation itself is not interruptible) and are discarded. The error
+// reports why the stream ended early, while per-item failures are
+// reported inline — as APIError payloads on their progress frames — and
+// do not abort the batch.
 func (s *Server) RunBatch(ctx context.Context, items []batch.Item, w io.Writer) (batch.Summary, error) {
 	s.batches.Add(1)
 	s.batchItems.Add(uint64(len(items)))
-	s.m.activeStreams.With("batch").Add(1)
-	defer s.m.activeStreams.With("batch").Add(-1)
-	lines := s.m.streamLines.With("batch")
-	enc := json.NewEncoder(w)
-	flusher, _ := w.(http.Flusher)
+	st, done := s.newStream(ctx, "batch", w)
+	defer done()
 	eng := &batch.Engine{Workers: s.workers(), Exec: s.exec}
 	sum, err := eng.Run(ctx, items, func(o batch.Outcome) error {
-		line := BatchResultLine{
-			Type:    "result",
-			Index:   o.Index,
-			ID:      o.ID,
-			Kind:    o.Kind,
-			Cached:  o.Cached,
-			Key:     o.Key,
-			Seconds: o.Elapsed.Seconds(),
-			Result:  o.Payload,
+		line := BatchItemLine{
+			Kind:     FrameProgress,
+			Index:    o.Index,
+			ID:       o.ID,
+			ItemKind: o.Kind,
+			Cached:   o.Cached,
+			Key:      o.Key,
+			Seconds:  o.Elapsed.Seconds(),
+			Result:   o.Payload,
 		}
 		if o.Err != nil {
-			line.Error = o.Err.Error()
+			ae := apiErrorFor(statusFor(o.Err), st.reqID, o.Err)
+			line.Error = &ae
 		}
-		if err := enc.Encode(line); err != nil {
-			// The client hung up mid-stream: count it and abort the
-			// batch cleanly (the engine stops scheduling new items).
-			s.writeErrors.Add(1)
-			return err
-		}
-		lines.Inc()
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return nil
+		// An emit failure is the client hanging up mid-stream: abort the
+		// batch cleanly (the engine stops scheduling new items).
+		return st.emit(line)
 	})
 	if err != nil {
 		return sum, err
 	}
-	if err := enc.Encode(BatchSummaryLine{Type: "summary", Summary: sum}); err != nil {
-		s.writeErrors.Add(1)
+	payload, err := json.Marshal(sum)
+	if err != nil {
 		return sum, err
 	}
-	lines.Inc()
-	if flusher != nil {
-		flusher.Flush()
-	}
-	return sum, nil
+	return sum, st.emitResult(false, "", payload)
 }
 
 // execBatchItem dispatches one item to the kind's shared compute path.
@@ -145,7 +112,7 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 		return o
 	}
 	if len(it.Spec) == 0 {
-		return fail(fmt.Errorf("item %d: spec: required", index))
+		return fail(badRequest(fmt.Errorf("item %d: spec: required", index)))
 	}
 	var payload []byte
 	var key canon.Key
@@ -155,41 +122,41 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 	case "evaluate":
 		var req EvaluateRequest
 		if derr := decodeSpec(it.Spec, &req); derr != nil {
-			return fail(fmt.Errorf("item %d: %w", index, derr))
+			return fail(badRequest(fmt.Errorf("item %d: %w", index, derr)))
 		}
-		payload, key, class, err = s.evaluate(&req)
+		payload, key, class, err = s.evaluate(&req, "")
 	case "sweep":
 		var req SweepRequest
 		if derr := decodeSpec(it.Spec, &req); derr != nil {
-			return fail(fmt.Errorf("item %d: %w", index, derr))
+			return fail(badRequest(fmt.Errorf("item %d: %w", index, derr)))
 		}
-		payload, key, class, err = s.sweep(&req)
+		payload, key, class, err = s.sweep(&req, "")
 	case "campaign":
 		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
 		if perr != nil {
-			return fail(perr)
+			return fail(badRequest(perr))
 		}
-		payload, key, class, err = s.campaign(spec)
+		payload, key, class, err = s.campaign(spec, "")
 	case "performability":
 		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
 		if perr != nil {
-			return fail(perr)
+			return fail(badRequest(perr))
 		}
 		if spec.Performability == nil {
-			return fail(fmt.Errorf("item %d: performability: section required", index))
+			return fail(badRequest(fmt.Errorf("item %d: performability: section required", index)))
 		}
-		payload, key, class, err = s.performability(spec)
+		payload, key, class, err = s.performability(spec, "")
 	case "fleetsim":
 		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
 		if perr != nil {
-			return fail(perr)
+			return fail(badRequest(perr))
 		}
 		if spec.FleetSim == nil {
-			return fail(fmt.Errorf("item %d: fleetsim: section required", index))
+			return fail(badRequest(fmt.Errorf("item %d: fleetsim: section required", index)))
 		}
-		payload, key, class, err = s.fleetsimItem(spec)
+		payload, key, class, err = s.fleetsimItem(spec, "")
 	default:
-		return fail(fmt.Errorf("item %d: kind: unknown kind %q (valid: evaluate, sweep, campaign, performability, fleetsim)", index, it.Kind))
+		return fail(badRequest(fmt.Errorf("item %d: kind: unknown kind %q (valid: evaluate, sweep, campaign, performability, fleetsim)", index, it.Kind)))
 	}
 	if err != nil {
 		return fail(fmt.Errorf("item %d: %w", index, err))
@@ -221,7 +188,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
 	req, err := ParseBatch(r.Body)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")

@@ -28,8 +28,9 @@ const smallBatch = `{"items": [
 		"engines": {"simulation": false}, "model": {}}}
 ]}`
 
-// readLines splits an NDJSON body into decoded lines.
-func readLines(t *testing.T, body string) (results []BatchResultLine, summary *BatchSummaryLine) {
+// readLines splits an NDJSON body into decoded frames: per-item
+// "progress" lines and the terminal "result" line's batch summary.
+func readLines(t *testing.T, body string) (results []BatchItemLine, summary *batch.Summary) {
 	t.Helper()
 	sc := bufio.NewScanner(strings.NewReader(body))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -39,26 +40,30 @@ func readLines(t *testing.T, body string) (results []BatchResultLine, summary *B
 			continue
 		}
 		var probe struct {
-			Type string `json:"type"`
+			Kind string `json:"kind"`
 		}
 		if err := json.Unmarshal([]byte(line), &probe); err != nil {
 			t.Fatalf("bad NDJSON line %q: %v", line, err)
 		}
-		switch probe.Type {
-		case "result":
-			var r BatchResultLine
+		switch probe.Kind {
+		case FrameProgress:
+			var r BatchItemLine
 			if err := json.Unmarshal([]byte(line), &r); err != nil {
 				t.Fatal(err)
 			}
 			results = append(results, r)
-		case "summary":
-			var s BatchSummaryLine
-			if err := json.Unmarshal([]byte(line), &s); err != nil {
+		case FrameResult:
+			var r ResultLine
+			if err := json.Unmarshal([]byte(line), &r); err != nil {
+				t.Fatal(err)
+			}
+			var s batch.Summary
+			if err := json.Unmarshal(r.Result, &s); err != nil {
 				t.Fatal(err)
 			}
 			summary = &s
 		default:
-			t.Fatalf("unknown line type %q", probe.Type)
+			t.Fatalf("unknown frame kind %q", probe.Kind)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -87,10 +92,10 @@ func TestBatchMixedKindsInOrder(t *testing.T) {
 	wantIDs := []string{"ev", "sw", "ca"}
 	wantKinds := []string{"evaluate", "sweep", "campaign"}
 	for i, r := range results {
-		if r.Index != i || r.ID != wantIDs[i] || r.Kind != wantKinds[i] {
+		if r.Index != i || r.ID != wantIDs[i] || r.ItemKind != wantKinds[i] {
 			t.Fatalf("line %d out of order or mislabeled: %+v", i, r)
 		}
-		if r.Error != "" || len(r.Result) == 0 || r.Key == "" {
+		if r.Error != nil || len(r.Result) == 0 || r.Key == "" {
 			t.Fatalf("line %d incomplete: %+v", i, r)
 		}
 		if r.Cached {
@@ -98,7 +103,7 @@ func TestBatchMixedKindsInOrder(t *testing.T) {
 		}
 	}
 	if summary.Items != 3 || summary.Succeeded != 3 || summary.Failed != 0 || summary.CacheHits != 0 {
-		t.Fatalf("summary %+v", summary.Summary)
+		t.Fatalf("summary %+v", *summary)
 	}
 	if summary.WallSecs <= 0 {
 		t.Fatalf("summary wall time %v", summary.WallSecs)
@@ -137,10 +142,10 @@ func TestBatchRepeatHitsCache(t *testing.T) {
 			}
 		}
 		if round == 0 && (summary.CacheMisses != 3 || summary.CacheHits != 0) {
-			t.Fatalf("cold summary %+v", summary.Summary)
+			t.Fatalf("cold summary %+v", *summary)
 		}
 		if round == 1 && (summary.CacheHits != 3 || summary.CacheMisses != 0 || summary.HitRate != 1.0) {
-			t.Fatalf("repeat summary %+v", summary.Summary)
+			t.Fatalf("repeat summary %+v", *summary)
 		}
 	}
 	if got := srv.Computes(); got != 3 {
@@ -171,20 +176,30 @@ func TestBatchItemErrorsDoNotAbort(t *testing.T) {
 	if len(results) != 4 || summary == nil {
 		t.Fatalf("got %d lines, summary %v", len(results), summary)
 	}
-	if results[0].Error != "" {
-		t.Fatalf("good item failed: %s", results[0].Error)
+	if results[0].Error != nil {
+		t.Fatalf("good item failed: %s", results[0].Error.Message)
 	}
 	for i, want := range map[int]string{
 		1: "message.flits: must be positive",
 		2: `unknown kind "frobnicate"`,
 		3: "traffic.flits: must be positive",
 	} {
-		if !strings.Contains(results[i].Error, want) {
-			t.Errorf("item %d error %q does not contain %q", i, results[i].Error, want)
+		if results[i].Error == nil || !strings.Contains(results[i].Error.Message, want) {
+			t.Errorf("item %d error %+v does not contain %q", i, results[i].Error, want)
+		}
+	}
+	// Item errors carry the full APIError envelope: a stable code and
+	// the request ID the response headers echo.
+	for _, i := range []int{1, 2, 3} {
+		if results[i].Error.Code != CodeInvalidSpec {
+			t.Errorf("item %d error code %q, want %q", i, results[i].Error.Code, CodeInvalidSpec)
+		}
+		if results[i].Error.RequestID == "" {
+			t.Errorf("item %d error has no request ID", i)
 		}
 	}
 	if summary.Succeeded != 1 || summary.Failed != 3 {
-		t.Fatalf("summary %+v", summary.Summary)
+		t.Fatalf("summary %+v", *summary)
 	}
 }
 
@@ -227,12 +242,16 @@ func TestBatchEmptyStreamsSummary(t *testing.T) {
 		if len(lines) != 1 {
 			t.Fatalf("%s: %d lines, want exactly one summary (%q)", name, len(lines), rec.Body.String())
 		}
-		var sum BatchSummaryLine
-		if err := json.Unmarshal([]byte(lines[0]), &sum); err != nil {
+		var rl ResultLine
+		if err := json.Unmarshal([]byte(lines[0]), &rl); err != nil {
 			t.Fatalf("%s: summary line does not parse: %v", name, err)
 		}
-		if sum.Type != "summary" || sum.Items != 0 || sum.Emitted != 0 || sum.Failed != 0 || sum.Canceled {
-			t.Errorf("%s: summary %+v, want a clean zero-item summary", name, sum)
+		var sum batch.Summary
+		if err := json.Unmarshal(rl.Result, &sum); err != nil {
+			t.Fatalf("%s: summary payload does not parse: %v", name, err)
+		}
+		if rl.Kind != FrameResult || sum.Items != 0 || sum.Emitted != 0 || sum.Failed != 0 || sum.Canceled {
+			t.Errorf("%s: frame %+v summary %+v, want a clean zero-item summary", name, rl, sum)
 		}
 	}
 }
@@ -270,7 +289,7 @@ func TestBatchHTTPStreamsIncrementally(t *testing.T) {
 	if !sc.Scan() {
 		t.Fatalf("no first line: %v", sc.Err())
 	}
-	var first BatchResultLine
+	var first BatchItemLine
 	if err := json.Unmarshal(sc.Bytes(), &first); err != nil || first.Index != 0 {
 		t.Fatalf("first line %q: %v", sc.Text(), err)
 	}

@@ -12,22 +12,6 @@ import (
 	"github.com/ccnet/ccnet/internal/scenario"
 )
 
-// FleetEpochLine is one trajectory epoch of a running fleet simulation,
-// streamed as soon as every state occupying the epoch has evaluated.
-type FleetEpochLine struct {
-	Type string `json:"type"` // always "epoch"
-	fleetsim.EpochMetrics
-}
-
-// FleetResultLine is the terminal NDJSON line: the canonical cache key,
-// whether the report came from the cache, and the full report.
-type FleetResultLine struct {
-	Type   string          `json:"type"` // always "result"
-	Cached bool            `json:"cached"`
-	Key    string          `json:"key"`
-	Result json.RawMessage `json:"result"`
-}
-
 // fleetsimKey hashes the scenario spec with its defaults resolved, so
 // "seed omitted" and "seed": 1 share a cache entry.
 func fleetsimKey(spec *scenario.Spec) (canon.Key, error) {
@@ -40,14 +24,16 @@ func fleetsimKey(spec *scenario.Spec) (canon.Key, error) {
 
 // fleetsimItem computes one fleet simulation through the cache without
 // streaming epochs; the batch executor uses it.
-func (s *Server) fleetsimItem(spec *scenario.Spec) (payload []byte, key canon.Key, class string, err error) {
+func (s *Server) fleetsimItem(spec *scenario.Spec, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
 	study, err := spec.FleetStudy()
 	if err != nil {
 		return nil, "", "", badRequest(err)
 	}
-	key, err = fleetsimKey(spec)
-	if err != nil {
-		return nil, "", "", err
+	key = forced
+	if key == "" {
+		if key, err = fleetsimKey(spec); err != nil {
+			return nil, "", "", err
+		}
 	}
 	payload, class, err = s.do(key, func() ([]byte, error) {
 		eng := &fleetsim.Engine{Workers: s.workers()}
@@ -61,14 +47,14 @@ func (s *Server) fleetsimItem(spec *scenario.Spec) (payload []byte, key canon.Ke
 }
 
 // RunFleetSim executes one fleet simulation, streaming NDJSON to w:
-// epoch lines as the trajectory evaluates (flushed immediately when w is
-// an http.Flusher), then one terminal result line. A spec already
-// answered is served from the canonical-spec result cache as a single
-// result line with cached=true, and concurrent identical specs coalesce
-// onto one computation (late arrivals stream no epochs, just the shared
-// result marked cached). The returned report is nil when this call did
-// not run the simulation itself. `ccscen fleet -ndjson` and POST
-// /v1/fleetsim share this path.
+// epoch "progress" frames as the trajectory evaluates (flushed
+// immediately when w is an http.Flusher), then one terminal "result"
+// frame. A spec already answered is served from the canonical-spec
+// result cache as a single result frame with cached=true, and
+// concurrent identical specs coalesce onto one computation (late
+// arrivals stream no epochs, just the shared result marked cached). The
+// returned report is nil when this call did not run the simulation
+// itself. `ccscen fleet -ndjson` and POST /v1/fleetsim share this path.
 func (s *Server) RunFleetSim(ctx context.Context, spec *scenario.Spec, w io.Writer) (*fleetsim.Report, error) {
 	study, err := spec.FleetStudy()
 	if err != nil {
@@ -76,39 +62,29 @@ func (s *Server) RunFleetSim(ctx context.Context, spec *scenario.Spec, w io.Writ
 		s.failures.Add(1)
 		return nil, badRequest(err)
 	}
-	return s.runFleetSim(ctx, spec, study, w)
+	return s.runFleetSim(ctx, spec, study, w, "")
 }
 
 // runFleetSim is RunFleetSim with the study already built — the HTTP
 // handler assembles it once for its pre-stream validation and hands it
-// straight in.
-func (s *Server) runFleetSim(ctx context.Context, spec *scenario.Spec, study *fleetsim.Study, w io.Writer) (*fleetsim.Report, error) {
+// straight in, along with the router-forwarded cache key when the
+// replica trusts its router tier.
+func (s *Server) runFleetSim(ctx context.Context, spec *scenario.Spec, study *fleetsim.Study, w io.Writer, forced canon.Key) (*fleetsim.Report, error) {
 	s.fleetsims.Add(1)
-	s.m.activeStreams.With("fleetsim").Add(1)
-	defer s.m.activeStreams.With("fleetsim").Add(-1)
-	lines := s.m.streamLines.With("fleetsim")
-	enc := json.NewEncoder(w)
-	flusher, _ := w.(http.Flusher)
-	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	st, done := s.newStream(ctx, "fleetsim", w)
+	defer done()
 
-	key, err := fleetsimKey(spec)
-	if err != nil {
-		s.failures.Add(1)
-		return nil, err
+	key := forced
+	if key == "" {
+		var err error
+		if key, err = fleetsimKey(spec); err != nil {
+			s.failures.Add(1)
+			return nil, err
+		}
 	}
 	if payload, ok := s.cache.Get(key); ok {
 		setHitClass(w, classHit)
-		if err := enc.Encode(FleetResultLine{Type: "result", Cached: true, Key: string(key), Result: payload}); err != nil {
-			s.writeErrors.Add(1)
-			return nil, err
-		}
-		lines.Inc()
-		flush()
-		return nil, nil
+		return nil, st.emitResult(true, key, payload)
 	}
 
 	var rep *fleetsim.Report
@@ -121,13 +97,8 @@ func (s *Server) runFleetSim(ctx context.Context, spec *scenario.Spec, study *fl
 				if streamErr != nil {
 					return
 				}
-				if err := enc.Encode(FleetEpochLine{Type: "epoch", EpochMetrics: em}); err != nil {
-					streamErr = err // client gone; keep computing for the sharers
-					s.writeErrors.Add(1)
-					return
-				}
-				lines.Inc()
-				flush()
+				// Client gone; keep computing for the sharers.
+				streamErr = st.emit(FleetEpochLine{Kind: FrameProgress, EpochMetrics: em})
 			},
 		}
 		r, err := eng.Run(ctx, study)
@@ -151,48 +122,37 @@ func (s *Server) runFleetSim(ctx context.Context, spec *scenario.Spec, study *fl
 	if err != nil {
 		s.failures.Add(1)
 		// Streaming has begun; report the failure in-band.
-		if encErr := enc.Encode(PerfErrorLine{Type: "error", Error: err.Error()}); encErr != nil {
-			s.writeErrors.Add(1)
-		} else {
-			lines.Inc()
-		}
-		flush()
+		st.emitError(err)
 		return nil, err
 	}
-	if err := enc.Encode(FleetResultLine{Type: "result", Cached: shared, Key: string(key), Result: payload}); err != nil {
-		s.writeErrors.Add(1)
-		return rep, err
-	}
-	lines.Inc()
-	flush()
-	return rep, nil
+	return rep, st.emitResult(shared, key, payload)
 }
 
 // handleFleetSim serves POST /v1/fleetsim: the body is a kind "fleetsim"
 // scenario spec (performability + fleetsim sections), decoded and
-// validated up front (problems are a plain 400), then the trajectory
-// streams back as chunked NDJSON — epoch lines and a terminal result
-// line. A client that disconnects cancels the evaluation via the
-// request context.
+// validated up front (problems are a 400 APIError), then the trajectory
+// streams back as chunked NDJSON — epoch progress frames and a terminal
+// result frame. A client that disconnects cancels the evaluation via
+// the request context.
 func (s *Server) handleFleetSim(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	spec, err := scenario.Parse(r.Body, "request")
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, badRequest(err))
 		return
 	}
 	if spec.FleetSim == nil {
-		s.fail(w, http.StatusBadRequest, errors.New("fleetsim: section required"))
+		s.fail(w, r, http.StatusBadRequest, badRequest(errors.New("fleetsim: section required")))
 		return
 	}
 	// Structural problems only the builder can see (C = 2(m/2)^n) must
 	// fail before the status line commits to streaming.
 	study, err := spec.FleetStudy()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, badRequest(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	_, _ = s.runFleetSim(r.Context(), spec, study, w)
+	_, _ = s.runFleetSim(r.Context(), spec, study, w, routedKeyFrom(r.Context()))
 }

@@ -56,15 +56,15 @@ func TestFleetSimEndpoint(t *testing.T) {
 		if err := json.Unmarshal([]byte(line), &ep); err != nil {
 			t.Fatalf("epoch line %d %q: %v", i, line, err)
 		}
-		if ep.Type != "epoch" || ep.Index != i {
+		if ep.Kind != FrameProgress || ep.Index != i {
 			t.Fatalf("epoch line %d: %+v", i, ep)
 		}
 	}
-	var result FleetResultLine
+	var result ResultLine
 	if err := json.Unmarshal([]byte(lines[10]), &result); err != nil {
 		t.Fatal(err)
 	}
-	if result.Type != "result" || result.Cached || result.Key == "" {
+	if result.Kind != FrameResult || result.Cached || result.Key == "" {
 		t.Fatalf("terminal line %+v", result)
 	}
 	var rep struct {
@@ -88,7 +88,7 @@ func TestFleetSimEndpoint(t *testing.T) {
 	if len(lines2) != 1 {
 		t.Fatalf("cached answer streamed %d lines, want 1", len(lines2))
 	}
-	var cached FleetResultLine
+	var cached ResultLine
 	if err := json.Unmarshal([]byte(lines2[0]), &cached); err != nil {
 		t.Fatal(err)
 	}
@@ -146,15 +146,15 @@ func TestBatchFleetSimItem(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("%d lines, want 2 results + summary", len(lines))
 	}
-	var first, second BatchResultLine
+	var first, second BatchItemLine
 	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
 		t.Fatal(err)
 	}
 	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
 		t.Fatal(err)
 	}
-	if first.Error != "" || second.Error != "" {
-		t.Fatalf("item errors: %q / %q", first.Error, second.Error)
+	if first.Error != nil || second.Error != nil {
+		t.Fatalf("item errors: %+v / %+v", first.Error, second.Error)
 	}
 	if first.Key == "" || first.Key != second.Key {
 		t.Fatalf("keys %q / %q, want equal and non-empty", first.Key, second.Key)

@@ -1,11 +1,13 @@
 package service
 
 import (
+	"encoding/json"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/ccnet/ccnet/internal/canon"
 	"github.com/ccnet/ccnet/internal/metrics"
 	"github.com/ccnet/ccnet/internal/version"
 )
@@ -125,7 +127,7 @@ func endpointLabel(path string) string {
 	name = strings.TrimPrefix(name, "/")
 	switch name {
 	case "evaluate", "sweep", "campaign", "batch", "optimize", "performability",
-		"fleetsim", "healthz", "stats", "metrics":
+		"fleetsim", "healthz", "stats", "metrics", "version":
 		return name
 	}
 	return "other"
@@ -133,16 +135,36 @@ func endpointLabel(path string) string {
 
 // statusWriter captures the response status and hit class for the
 // middleware, passing Flush through so the NDJSON endpoints keep
-// streaming incrementally.
+// streaming incrementally. It also rewrites the mux's own plain-text
+// 404/405 bodies into the APIError envelope, so *every* non-2xx body
+// the service emits has the one documented shape.
 type statusWriter struct {
 	http.ResponseWriter
 	status   int
 	hitClass string
+	reqID    string
+	suppress bool // swallowing a replaced plain-text error body
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
+	}
+	// Our handlers never emit a bare 404/405 — those come from the
+	// ServeMux (http.Error: text/plain). Replace the body with the
+	// typed envelope and drop the plain-text writes that follow.
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!w.suppress && strings.HasPrefix(w.Header().Get("Content-Type"), "text/plain") {
+		w.suppress = true
+		msg := "unknown endpoint"
+		if code == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.ResponseWriter.WriteHeader(code)
+		b, _ := json.Marshal(APIError{Code: CodeBadRequest, Message: msg, RequestID: w.reqID})
+		w.ResponseWriter.Write(append(b, '\n'))
+		return
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
@@ -150,6 +172,9 @@ func (w *statusWriter) WriteHeader(code int) {
 func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
+	}
+	if w.suppress {
+		return len(b), nil
 	}
 	return w.ResponseWriter.Write(b)
 }
@@ -183,16 +208,35 @@ func setHitClass(w any, class string) {
 	}
 }
 
-// instrument wraps the route table: an in-flight gauge around the
-// handler and one histogram observation per request, labeled by
-// endpoint, status and hit class. The hit class comes from the
+// instrument wraps the route table: request-ID generation/propagation
+// (X-Request-Id accepted or minted, echoed on the response, attached to
+// the context for error envelopes), trusted router-key extraction, the
+// X-Shard header when the replica knows its shard, an in-flight gauge
+// around the handler and one histogram observation per request, labeled
+// by endpoint, status and hit class. The hit class comes from the
 // streaming endpoints' setHitClass or the JSON endpoints' X-Cache
 // header; endpoints without a cache record "none".
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		if s.opt.ShardID != "" {
+			w.Header().Set(ShardHeader, s.opt.ShardID)
+		}
+		ctx := WithRequestID(r.Context(), id)
+		if s.opt.TrustRouterKeys {
+			if k := canon.Key(r.Header.Get(RoutedKeyHeader)); k.Valid() {
+				ctx = withRoutedKey(ctx, k)
+			}
+		}
+		r = r.WithContext(ctx)
+
 		s.m.inflight.Add(1)
-		sw := &statusWriter{ResponseWriter: w}
+		sw := &statusWriter{ResponseWriter: w, reqID: id}
 		next.ServeHTTP(sw, r)
 		s.m.inflight.Add(-1)
 		class := sw.hitClass

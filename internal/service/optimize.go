@@ -10,29 +10,6 @@ import (
 	"github.com/ccnet/ccnet/internal/optimize"
 )
 
-// OptimizeProgressLine is one incremental NDJSON update of a running
-// design-space search.
-type OptimizeProgressLine struct {
-	Type string `json:"type"` // always "progress"
-	optimize.Progress
-}
-
-// OptimizeFrontierLine is the terminal NDJSON line: the canonical cache
-// key, whether the frontier came from the cache, and the full report.
-type OptimizeFrontierLine struct {
-	Type   string          `json:"type"` // always "frontier"
-	Cached bool            `json:"cached"`
-	Key    string          `json:"key"`
-	Result json.RawMessage `json:"result"`
-}
-
-// OptimizeErrorLine reports a search that died after streaming began
-// (the HTTP status is already committed by then).
-type OptimizeErrorLine struct {
-	Type  string `json:"type"` // always "error"
-	Error string `json:"error"`
-}
-
 // optimizeKey hashes the search spec with its defaults resolved, so
 // "seed omitted" and "seed": 1 share a cache entry.
 func optimizeKey(spec *optimize.SearchSpec) (canon.Key, error) {
@@ -44,50 +21,46 @@ func optimizeKey(spec *optimize.SearchSpec) (canon.Key, error) {
 }
 
 // RunOptimize executes one design-space search, streaming NDJSON to w:
-// progress lines while the search runs (flushed immediately when w is
-// an http.Flusher), then one terminal frontier line. A spec already
+// "progress" frames while the search runs (flushed immediately when w
+// is an http.Flusher), then one terminal "result" frame. A spec already
 // answered is served from the canonical-spec result cache as a single
-// frontier line with cached=true, and concurrent identical specs
+// result frame with cached=true, and concurrent identical specs
 // coalesce onto one computation (the late arrivals stream no progress,
-// just the shared frontier marked cached). The returned report is nil
+// just the shared result marked cached). The returned report is nil
 // when this call did not run the search itself. `ccscen optimize
 // -ndjson` and POST /v1/optimize share this path.
 func (s *Server) RunOptimize(ctx context.Context, spec *optimize.SearchSpec, w io.Writer) (*optimize.Report, error) {
-	s.optimizes.Add(1)
-	s.m.activeStreams.With("optimize").Add(1)
-	defer s.m.activeStreams.With("optimize").Add(-1)
-	lines := s.m.streamLines.With("optimize")
-	enc := json.NewEncoder(w)
-	flusher, _ := w.(http.Flusher)
-	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	return s.runOptimize(ctx, spec, w, "")
+}
 
-	key, err := optimizeKey(spec)
-	if err != nil {
-		s.failures.Add(1)
-		return nil, err
+// runOptimize is RunOptimize with an optional pre-computed cache key —
+// the HTTP handler passes the router-forwarded key when the replica
+// trusts its router tier, skipping the canonicalization pass here.
+func (s *Server) runOptimize(ctx context.Context, spec *optimize.SearchSpec, w io.Writer, forced canon.Key) (*optimize.Report, error) {
+	s.optimizes.Add(1)
+	st, done := s.newStream(ctx, "optimize", w)
+	defer done()
+
+	key := forced
+	if key == "" {
+		var err error
+		if key, err = optimizeKey(spec); err != nil {
+			s.failures.Add(1)
+			return nil, err
+		}
 	}
 	if payload, ok := s.cache.Get(key); ok {
 		setHitClass(w, classHit)
-		if err := enc.Encode(OptimizeFrontierLine{Type: "frontier", Cached: true, Key: string(key), Result: payload}); err != nil {
-			s.writeErrors.Add(1)
-			return nil, err
-		}
-		lines.Inc()
-		flush()
-		return nil, nil
+		return nil, st.emitResult(true, key, payload)
 	}
 
 	// Concurrent identical specs coalesce onto one search through the
 	// same singleflight group the other endpoints use: the winning
 	// caller runs the engine (and owns the progress stream); later
-	// arrivals block without progress lines and share the frontier. If
+	// arrivals block without progress lines and share the result. If
 	// the winner disconnects mid-search its context aborts the shared
-	// computation — the sharers get the error line and may retry against
-	// a now-warm cache.
+	// computation — the sharers get the error frame and may retry
+	// against a now-warm cache.
 	var rep *optimize.Report
 	payload, err, shared := s.flight.Do(string(key), func() ([]byte, error) {
 		s.computes.Add(1)
@@ -98,13 +71,8 @@ func (s *Server) RunOptimize(ctx context.Context, spec *optimize.SearchSpec, w i
 				if progressErr != nil {
 					return
 				}
-				if err := enc.Encode(OptimizeProgressLine{Type: "progress", Progress: p}); err != nil {
-					progressErr = err // client gone; keep computing for the sharers
-					s.writeErrors.Add(1)
-					return
-				}
-				lines.Inc()
-				flush()
+				// Client gone; keep computing for the sharers.
+				progressErr = st.emit(OptimizeProgressLine{Kind: FrameProgress, Progress: p})
 			},
 		}
 		r, err := eng.Run(ctx, spec)
@@ -127,38 +95,26 @@ func (s *Server) RunOptimize(ctx context.Context, spec *optimize.SearchSpec, w i
 	}
 	if err != nil {
 		s.failures.Add(1)
-		// Streaming has begun; report the failure in-band. Encode errors
-		// here mean the client is gone — nothing left to tell it.
-		if encErr := enc.Encode(OptimizeErrorLine{Type: "error", Error: err.Error()}); encErr != nil {
-			s.writeErrors.Add(1)
-		} else {
-			lines.Inc()
-		}
-		flush()
+		// Streaming has begun; report the failure in-band.
+		st.emitError(err)
 		return nil, err
 	}
-	if err := enc.Encode(OptimizeFrontierLine{Type: "frontier", Cached: shared, Key: string(key), Result: payload}); err != nil {
-		s.writeErrors.Add(1)
-		return rep, err
-	}
-	lines.Inc()
-	flush()
-	return rep, nil
+	return rep, st.emitResult(shared, key, payload)
 }
 
 // handleOptimize serves POST /v1/optimize: the spec is decoded and
-// validated up front (problems are a plain 400), then the search
-// streams back as chunked NDJSON — progress lines and a terminal
-// frontier line, exactly the RunOptimize format. A client that
+// validated up front (problems are a 400 APIError), then the search
+// streams back as chunked NDJSON — progress frames and a terminal
+// result frame, exactly the RunOptimize format. A client that
 // disconnects cancels the search via the request context.
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	spec, err := optimize.Parse(r.Body, "request")
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, badRequest(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	_, _ = s.RunOptimize(r.Context(), spec, w)
+	_, _ = s.runOptimize(r.Context(), spec, w, routedKeyFrom(r.Context()))
 }

@@ -41,11 +41,11 @@ func TestOptimizeEndpoint(t *testing.T) {
 		t.Fatalf("status %d: %s", code, strings.Join(lines, "\n"))
 	}
 	last := lines[len(lines)-1]
-	var frontier OptimizeFrontierLine
+	var frontier ResultLine
 	if err := json.Unmarshal([]byte(last), &frontier); err != nil {
 		t.Fatalf("terminal line %q: %v", last, err)
 	}
-	if frontier.Type != "frontier" || frontier.Cached || frontier.Key == "" {
+	if frontier.Kind != FrameResult || frontier.Cached || frontier.Key == "" {
 		t.Fatalf("terminal line %+v", frontier)
 	}
 	var rep struct {
@@ -61,7 +61,7 @@ func TestOptimizeEndpoint(t *testing.T) {
 	// All preceding lines are progress updates.
 	for _, l := range lines[:len(lines)-1] {
 		var p OptimizeProgressLine
-		if err := json.Unmarshal([]byte(l), &p); err != nil || p.Type != "progress" {
+		if err := json.Unmarshal([]byte(l), &p); err != nil || p.Kind != FrameProgress {
 			t.Fatalf("non-progress line %q (err %v)", l, err)
 		}
 	}
@@ -74,7 +74,7 @@ func TestOptimizeEndpoint(t *testing.T) {
 	if len(lines2) != 1 {
 		t.Fatalf("cached repeat streamed %d lines, want 1", len(lines2))
 	}
-	var cached OptimizeFrontierLine
+	var cached ResultLine
 	if err := json.Unmarshal([]byte(lines2[0]), &cached); err != nil {
 		t.Fatal(err)
 	}
@@ -134,8 +134,8 @@ func TestOptimizeCoalescesConcurrentSpecs(t *testing.T) {
 		}
 		lines := strings.Split(strings.TrimSpace(bodies[i]), "\n")
 		last := lines[len(lines)-1]
-		var f OptimizeFrontierLine
-		if err := json.Unmarshal([]byte(last), &f); err != nil || f.Type != "frontier" {
+		var f ResultLine
+		if err := json.Unmarshal([]byte(last), &f); err != nil || f.Kind != FrameResult {
 			t.Fatalf("request %d terminal line %q (err %v)", i, last, err)
 		}
 		frontiers = append(frontiers, string(f.Result))

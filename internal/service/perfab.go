@@ -12,28 +12,6 @@ import (
 	"github.com/ccnet/ccnet/internal/scenario"
 )
 
-// PerfProgressLine is one incremental NDJSON update of a running
-// performability analysis.
-type PerfProgressLine struct {
-	Type string `json:"type"` // always "progress"
-	perfab.Progress
-}
-
-// PerfResultLine is the terminal NDJSON line: the canonical cache key,
-// whether the report came from the cache, and the full report.
-type PerfResultLine struct {
-	Type   string          `json:"type"` // always "result"
-	Cached bool            `json:"cached"`
-	Key    string          `json:"key"`
-	Result json.RawMessage `json:"result"`
-}
-
-// PerfErrorLine reports an analysis that died after streaming began.
-type PerfErrorLine struct {
-	Type  string `json:"type"` // always "error"
-	Error string `json:"error"`
-}
-
 // perfabKey hashes the scenario spec with its defaults resolved, so
 // "seed omitted" and "seed": 1 share a cache entry.
 func perfabKey(spec *scenario.Spec) (canon.Key, error) {
@@ -46,14 +24,16 @@ func perfabKey(spec *scenario.Spec) (canon.Key, error) {
 
 // performability computes one performability analysis through the cache
 // without streaming progress; the batch executor uses it.
-func (s *Server) performability(spec *scenario.Spec) (payload []byte, key canon.Key, class string, err error) {
+func (s *Server) performability(spec *scenario.Spec, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
 	study, err := spec.PerformabilityStudy()
 	if err != nil {
 		return nil, "", "", badRequest(err)
 	}
-	key, err = perfabKey(spec)
-	if err != nil {
-		return nil, "", "", err
+	key = forced
+	if key == "" {
+		if key, err = perfabKey(spec); err != nil {
+			return nil, "", "", err
+		}
 	}
 	payload, class, err = s.do(key, func() ([]byte, error) {
 		eng := &perfab.Engine{Workers: s.workers()}
@@ -67,14 +47,14 @@ func (s *Server) performability(spec *scenario.Spec) (payload []byte, key canon.
 }
 
 // RunPerformability executes one analysis, streaming NDJSON to w:
-// progress lines while states evaluate (flushed immediately when w is an
-// http.Flusher), then one terminal result line. A spec already answered
-// is served from the canonical-spec result cache as a single result line
-// with cached=true, and concurrent identical specs coalesce onto one
-// computation (late arrivals stream no progress, just the shared result
-// marked cached). The returned report is nil when this call did not run
-// the analysis itself. `ccscen perf -ndjson` and POST /v1/performability
-// share this path.
+// "progress" frames while states evaluate (flushed immediately when w
+// is an http.Flusher), then one terminal "result" frame. A spec already
+// answered is served from the canonical-spec result cache as a single
+// result frame with cached=true, and concurrent identical specs
+// coalesce onto one computation (late arrivals stream no progress, just
+// the shared result marked cached). The returned report is nil when
+// this call did not run the analysis itself. `ccscen perf -ndjson` and
+// POST /v1/performability share this path.
 func (s *Server) RunPerformability(ctx context.Context, spec *scenario.Spec, w io.Writer) (*perfab.Report, error) {
 	study, err := spec.PerformabilityStudy()
 	if err != nil {
@@ -82,39 +62,29 @@ func (s *Server) RunPerformability(ctx context.Context, spec *scenario.Spec, w i
 		s.failures.Add(1)
 		return nil, badRequest(err)
 	}
-	return s.runPerformability(ctx, spec, study, w)
+	return s.runPerformability(ctx, spec, study, w, "")
 }
 
 // runPerformability is RunPerformability with the study already built —
 // the HTTP handler assembles it once for its pre-stream validation and
-// hands it straight in.
-func (s *Server) runPerformability(ctx context.Context, spec *scenario.Spec, study *perfab.Study, w io.Writer) (*perfab.Report, error) {
+// hands it straight in, along with the router-forwarded cache key when
+// the replica trusts its router tier.
+func (s *Server) runPerformability(ctx context.Context, spec *scenario.Spec, study *perfab.Study, w io.Writer, forced canon.Key) (*perfab.Report, error) {
 	s.perfabs.Add(1)
-	s.m.activeStreams.With("performability").Add(1)
-	defer s.m.activeStreams.With("performability").Add(-1)
-	lines := s.m.streamLines.With("performability")
-	enc := json.NewEncoder(w)
-	flusher, _ := w.(http.Flusher)
-	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	st, done := s.newStream(ctx, "performability", w)
+	defer done()
 
-	key, err := perfabKey(spec)
-	if err != nil {
-		s.failures.Add(1)
-		return nil, err
+	key := forced
+	if key == "" {
+		var err error
+		if key, err = perfabKey(spec); err != nil {
+			s.failures.Add(1)
+			return nil, err
+		}
 	}
 	if payload, ok := s.cache.Get(key); ok {
 		setHitClass(w, classHit)
-		if err := enc.Encode(PerfResultLine{Type: "result", Cached: true, Key: string(key), Result: payload}); err != nil {
-			s.writeErrors.Add(1)
-			return nil, err
-		}
-		lines.Inc()
-		flush()
-		return nil, nil
+		return nil, st.emitResult(true, key, payload)
 	}
 
 	var rep *perfab.Report
@@ -127,13 +97,8 @@ func (s *Server) runPerformability(ctx context.Context, spec *scenario.Spec, stu
 				if progressErr != nil {
 					return
 				}
-				if err := enc.Encode(PerfProgressLine{Type: "progress", Progress: p}); err != nil {
-					progressErr = err // client gone; keep computing for the sharers
-					s.writeErrors.Add(1)
-					return
-				}
-				lines.Inc()
-				flush()
+				// Client gone; keep computing for the sharers.
+				progressErr = st.emit(PerfProgressLine{Kind: FrameProgress, Progress: p})
 			},
 		}
 		r, err := eng.Run(ctx, study)
@@ -157,47 +122,36 @@ func (s *Server) runPerformability(ctx context.Context, spec *scenario.Spec, stu
 	if err != nil {
 		s.failures.Add(1)
 		// Streaming has begun; report the failure in-band.
-		if encErr := enc.Encode(PerfErrorLine{Type: "error", Error: err.Error()}); encErr != nil {
-			s.writeErrors.Add(1)
-		} else {
-			lines.Inc()
-		}
-		flush()
+		st.emitError(err)
 		return nil, err
 	}
-	if err := enc.Encode(PerfResultLine{Type: "result", Cached: shared, Key: string(key), Result: payload}); err != nil {
-		s.writeErrors.Add(1)
-		return rep, err
-	}
-	lines.Inc()
-	flush()
-	return rep, nil
+	return rep, st.emitResult(shared, key, payload)
 }
 
 // handlePerformability serves POST /v1/performability: the body is a
 // scenario spec with a performability block, decoded and validated up
-// front (problems are a plain 400), then the analysis streams back as
-// chunked NDJSON — progress lines and a terminal result line. A client
-// that disconnects cancels the analysis via the request context.
+// front (problems are a 400 APIError), then the analysis streams back
+// as chunked NDJSON — progress frames and a terminal result frame. A
+// client that disconnects cancels the analysis via the request context.
 func (s *Server) handlePerformability(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	spec, err := scenario.Parse(r.Body, "request")
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, badRequest(err))
 		return
 	}
 	if spec.Performability == nil {
-		s.fail(w, http.StatusBadRequest, errors.New("performability: section required"))
+		s.fail(w, r, http.StatusBadRequest, badRequest(errors.New("performability: section required")))
 		return
 	}
 	// Structural problems only the builder can see (C = 2(m/2)^n) must
 	// fail before the status line commits to streaming.
 	study, err := spec.PerformabilityStudy()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, badRequest(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	_, _ = s.runPerformability(r.Context(), spec, study, w)
+	_, _ = s.runPerformability(r.Context(), spec, study, w, routedKeyFrom(r.Context()))
 }

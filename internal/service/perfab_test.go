@@ -43,11 +43,11 @@ func TestPerformabilityEndpoint(t *testing.T) {
 		t.Fatalf("status %d: %s", code, strings.Join(lines, "\n"))
 	}
 	last := lines[len(lines)-1]
-	var result PerfResultLine
+	var result ResultLine
 	if err := json.Unmarshal([]byte(last), &result); err != nil {
 		t.Fatalf("terminal line %q: %v", last, err)
 	}
-	if result.Type != "result" || result.Cached || result.Key == "" {
+	if result.Kind != FrameResult || result.Cached || result.Key == "" {
 		t.Fatalf("terminal line %+v", result)
 	}
 	var rep struct {
@@ -71,7 +71,7 @@ func TestPerformabilityEndpoint(t *testing.T) {
 	if len(lines2) != 1 {
 		t.Fatalf("cached answer streamed %d lines, want 1", len(lines2))
 	}
-	var cached PerfResultLine
+	var cached ResultLine
 	if err := json.Unmarshal([]byte(lines2[0]), &cached); err != nil {
 		t.Fatal(err)
 	}
@@ -129,15 +129,15 @@ func TestBatchPerformabilityItem(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("%d lines, want 2 results + summary", len(lines))
 	}
-	var first, second BatchResultLine
+	var first, second BatchItemLine
 	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
 		t.Fatal(err)
 	}
 	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
 		t.Fatal(err)
 	}
-	if first.Error != "" || second.Error != "" {
-		t.Fatalf("item errors: %q / %q", first.Error, second.Error)
+	if first.Error != nil || second.Error != nil {
+		t.Fatalf("item errors: %+v / %+v", first.Error, second.Error)
 	}
 	if first.Key == "" || first.Key != second.Key {
 		t.Fatalf("keys %q / %q, want equal and non-empty", first.Key, second.Key)

@@ -35,6 +35,17 @@ type Options struct {
 	// Workers bounds analytical sweep and campaign parallelism
 	// (default GOMAXPROCS).
 	Workers int
+	// ShardID names this replica when it serves behind ccrouter: it is
+	// echoed in /v1/healthz, /v1/version and the X-Shard response
+	// header so a routed answer is attributable to its shard.
+	ShardID string
+	// TrustRouterKeys makes the server honor the X-Ccnet-Key header as
+	// the canonical cache key, skipping its own canonicalization pass.
+	// Enable only behind a trusted router tier (see RoutedKeyHeader).
+	TrustRouterKeys bool
+	// Logf, when set, receives one line per failed request (status,
+	// code, request ID). ccserved points it at log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Server serves the analytical model and scenario engine over HTTP.
@@ -115,14 +126,18 @@ func (s *Server) Computes() uint64 { return s.computes.Load() }
 //	POST /v1/fleetsim   a kind "fleetsim" scenario spec (NDJSON epoch
 //	                    stream + report)
 //	GET  /v1/healthz    liveness + version
+//	GET  /v1/version    build version, API/schema versions, shard ID
 //	GET  /v1/stats      request and cache counters
 //	GET  /metrics       Prometheus text exposition
 //
-// Every route runs through the instrumentation middleware: an in-flight
-// gauge and a per-endpoint × status × hit-class latency histogram.
+// Every route runs through the instrumentation middleware: request-ID
+// generation/propagation, an in-flight gauge and a per-endpoint ×
+// status × hit-class latency histogram. Every non-2xx response body is
+// an APIError.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.m.reg.Handler())
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
@@ -250,6 +265,29 @@ type Envelope struct {
 	Result json.RawMessage `json:"result"`
 }
 
+// APIVersion is the HTTP surface version; every endpoint lives under
+// /v1/ and the version endpoint reports it.
+const APIVersion = "v1"
+
+// HealthzResult is the body of GET /v1/healthz.
+type HealthzResult struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	ShardID       string  `json:"shardId,omitempty"`
+}
+
+// VersionResult is the body of GET /v1/version: enough to tell what a
+// running replica is built from and which schema generations it speaks.
+type VersionResult struct {
+	Version     string `json:"version"`     // build version (ldflags-overridable)
+	GoVersion   string `json:"goVersion"`   // toolchain that built it
+	APIVersion  string `json:"apiVersion"`  // HTTP surface version ("v1")
+	CacheScheme string `json:"cacheScheme"` // canonical-key scheme (canon.Scheme)
+	ModelSchema string `json:"modelSchema"` // scenario/spec schema version
+	ShardID     string `json:"shardId,omitempty"`
+}
+
 // StatsResult is the body of GET /v1/stats.
 type StatsResult struct {
 	Version       string     `json:"version"`
@@ -274,10 +312,22 @@ type StatsResult struct {
 // --- handlers --------------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"version":       version.Version,
-		"uptimeSeconds": time.Since(s.start).Seconds(),
+	s.writeJSON(w, http.StatusOK, HealthzResult{
+		Status:        "ok",
+		Version:       version.Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		ShardID:       s.opt.ShardID,
+	})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, VersionResult{
+		Version:     version.Version,
+		GoVersion:   runtime.Version(),
+		APIVersion:  APIVersion,
+		CacheScheme: canon.Scheme,
+		ModelSchema: scenario.SchemaVersion,
+		ShardID:     s.opt.ShardID,
 	})
 }
 
@@ -307,17 +357,18 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.evaluates.Add(1)
 	var req EvaluateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	payload, key, class, err := s.evaluate(&req)
-	s.finish(w, key, payload, class, err)
+	payload, key, class, err := s.evaluate(&req, routedKeyFrom(r.Context()))
+	s.finish(w, r, key, payload, class, err)
 }
 
 // evaluate validates and computes one evaluate request through the
 // cache; the HTTP handler and the batch executor share it. Errors caused
-// by the request are badRequest-tagged.
-func (s *Server) evaluate(req *EvaluateRequest) (payload []byte, key canon.Key, class string, err error) {
+// by the request are badRequest-tagged. A non-empty forced key (the
+// router's precomputed canonical key) replaces the local hash pass.
+func (s *Server) evaluate(req *EvaluateRequest, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
 	var errs []error
 	if err := req.System.Validate(); err != nil {
 		errs = append(errs, err)
@@ -339,9 +390,10 @@ func (s *Server) evaluate(req *EvaluateRequest) (payload []byte, key canon.Key, 
 
 	msg := netchar.MessageSpec{Flits: req.Message.Flits, FlitBytes: req.Message.FlitBytes}
 	opt := req.Model.Options(req.StoreAndForward)
-	key, err = canon.Hash("evaluate", hashableSystem(sys), msg, opt, req.Lambda)
-	if err != nil {
-		return nil, "", "", err
+	if key = forced; key == "" {
+		if key, err = canon.Hash("evaluate", hashableSystem(sys), msg, opt, req.Lambda); err != nil {
+			return nil, "", "", err
+		}
 	}
 
 	payload, class, err = s.do(key, func() ([]byte, error) {
@@ -359,16 +411,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.sweeps.Add(1)
 	var req SweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	payload, key, class, err := s.sweep(&req)
-	s.finish(w, key, payload, class, err)
+	payload, key, class, err := s.sweep(&req, routedKeyFrom(r.Context()))
+	s.finish(w, r, key, payload, class, err)
 }
 
 // sweep validates and computes one sweep request through the cache; the
-// HTTP handler and the batch executor share it.
-func (s *Server) sweep(req *SweepRequest) (payload []byte, key canon.Key, class string, err error) {
+// HTTP handler and the batch executor share it. A non-empty forced key
+// (the router's precomputed canonical key) replaces the local hash pass.
+func (s *Server) sweep(req *SweepRequest, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
 	var errs []error
 	if err := req.System.Validate(); err != nil {
 		errs = append(errs, err)
@@ -410,20 +463,24 @@ func (s *Server) sweep(req *SweepRequest) (payload []byte, key canon.Key, class 
 	// defer materialization to the compute path, keeping cache hits cheap
 	// on both shapes.
 	var grid []float64
-	if req.Lambda.Auto {
-		la := req.Lambda
-		if la.AutoFraction == 0 {
-			la.AutoFraction = 0.95 // the documented default; hash it resolved
-		}
-		key, err = canon.Hash("sweep-auto", hashableSystem(sys), msg, opt, la)
-	} else {
+	if !req.Lambda.Auto {
 		if grid, err = spec.Grid(nil); err != nil {
 			return nil, "", "", badRequest(err)
 		}
-		key, err = canon.Hash("sweep", hashableSystem(sys), msg, opt, grid)
 	}
-	if err != nil {
-		return nil, "", "", err
+	if key = forced; key == "" {
+		if req.Lambda.Auto {
+			la := req.Lambda
+			if la.AutoFraction == 0 {
+				la.AutoFraction = 0.95 // the documented default; hash it resolved
+			}
+			key, err = canon.Hash("sweep-auto", hashableSystem(sys), msg, opt, la)
+		} else {
+			key, err = canon.Hash("sweep", hashableSystem(sys), msg, opt, grid)
+		}
+		if err != nil {
+			return nil, "", "", err
+		}
 	}
 
 	payload, class, err = s.do(key, func() ([]byte, error) {
@@ -465,25 +522,27 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	spec, err := scenario.Parse(r.Body, "request")
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, badRequest(err))
 		return
 	}
-	payload, key, class, err := s.campaign(spec)
-	s.finish(w, key, payload, class, err)
+	payload, key, class, err := s.campaign(spec, routedKeyFrom(r.Context()))
+	s.finish(w, r, key, payload, class, err)
 }
 
 // campaign computes one parsed scenario through the cache; the HTTP
-// handler and the batch executor share it.
-func (s *Server) campaign(spec *scenario.Spec) (payload []byte, key canon.Key, class string, err error) {
-	// Normalize the one default the runner applies itself, so "seed
-	// omitted" and "seed: 1" share a cache entry.
-	norm := *spec
-	if norm.Seed == 0 {
-		norm.Seed = 1
-	}
-	key, err = canon.Hash("campaign", norm)
-	if err != nil {
-		return nil, "", "", err
+// handler and the batch executor share it. A non-empty forced key (the
+// router's precomputed canonical key) replaces the local hash pass.
+func (s *Server) campaign(spec *scenario.Spec, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
+	if key = forced; key == "" {
+		// Normalize the one default the runner applies itself, so "seed
+		// omitted" and "seed: 1" share a cache entry.
+		norm := *spec
+		if norm.Seed == 0 {
+			norm.Seed = 1
+		}
+		if key, err = canon.Hash("campaign", norm); err != nil {
+			return nil, "", "", err
+		}
 	}
 
 	payload, class, err = s.do(key, func() ([]byte, error) {
@@ -563,23 +622,26 @@ func cachedClass(class string) bool { return class == classHit || class == class
 // status code. The X-Cache header carries the hit class verbatim
 // ("hit", "coalesced" or "miss"); the instrumentation middleware reads
 // it back for the histogram label.
-func (s *Server) finish(w http.ResponseWriter, key canon.Key, payload []byte, class string, err error) {
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, key canon.Key, payload []byte, class string, err error) {
 	if err != nil {
-		code := http.StatusInternalServerError
-		var br *badRequestError
-		if errors.As(err, &br) {
-			code = http.StatusBadRequest
-		}
-		s.fail(w, code, err)
+		s.fail(w, r, statusFor(err), err)
 		return
 	}
 	w.Header().Set("X-Cache", class)
 	s.writeJSON(w, http.StatusOK, Envelope{Cached: cachedClass(class), Key: string(key), Result: payload})
 }
 
-func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+// fail answers a request with the typed APIError envelope — the only
+// non-2xx body shape the v1 API emits — and logs it when a logger is
+// configured.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, err error) {
 	s.failures.Add(1)
-	s.writeJSON(w, code, map[string]string{"error": err.Error()})
+	ae := apiErrorFor(status, RequestIDFrom(r.Context()), err)
+	if s.opt.Logf != nil {
+		s.opt.Logf("ccserved: %s %s -> %d %s request=%s: %s",
+			r.Method, r.URL.Path, status, ae.Code, ae.RequestID, ae.Message)
+	}
+	s.writeJSON(w, status, ae)
 }
 
 // badRequestError marks compute-time failures caused by the request

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"github.com/ccnet/ccnet/internal/canon"
+	"github.com/ccnet/ccnet/internal/fleetsim"
+	"github.com/ccnet/ccnet/internal/metrics"
+	"github.com/ccnet/ccnet/internal/optimize"
+	"github.com/ccnet/ccnet/internal/perfab"
+)
+
+// Every streaming endpoint (batch, optimize, performability, fleetsim)
+// emits the same NDJSON line schema: zero or more "progress" frames
+// carrying endpoint-specific fields, then exactly one terminal frame —
+// a "result" (ResultLine) on success or an "error" (ErrorLine) when the
+// computation died after the status line committed. Clients dispatch on
+// the "kind" field alone and never need per-endpoint framing logic.
+const (
+	FrameProgress = "progress"
+	FrameResult   = "result"
+	FrameError    = "error"
+)
+
+// ResultLine is the terminal success frame of every streaming endpoint:
+// the canonical cache key (empty for batch, whose summary is not a
+// cacheable result), whether the result came from the cache, and the
+// endpoint's result document (optimize report, performability report,
+// fleetsim report, or batch summary).
+type ResultLine struct {
+	Kind   string          `json:"kind"` // always "result"
+	Cached bool            `json:"cached"`
+	Key    string          `json:"key,omitempty"`
+	Result json.RawMessage `json:"result"`
+}
+
+// ErrorLine is the terminal in-band error frame: the same APIError
+// envelope the JSON endpoints return as a non-2xx body, delivered on a
+// stream whose HTTP status already committed to 200.
+type ErrorLine struct {
+	Kind  string   `json:"kind"` // always "error"
+	Error APIError `json:"error"`
+}
+
+// OptimizeProgressLine is one incremental update of a running
+// design-space search.
+type OptimizeProgressLine struct {
+	Kind string `json:"kind"` // always "progress"
+	optimize.Progress
+}
+
+// PerfProgressLine is one incremental update of a running
+// performability analysis.
+type PerfProgressLine struct {
+	Kind string `json:"kind"` // always "progress"
+	perfab.Progress
+}
+
+// FleetEpochLine is one trajectory epoch of a running fleet simulation,
+// streamed as soon as every state occupying the epoch has evaluated.
+type FleetEpochLine struct {
+	Kind string `json:"kind"` // always "progress"
+	fleetsim.EpochMetrics
+}
+
+// BatchItemLine is one batch item's outcome: the item's position and
+// identity, how it was answered (cache hit or computed), and either the
+// endpoint-specific result document or the item's APIError.
+type BatchItemLine struct {
+	Kind     string          `json:"kind"` // always "progress"
+	Index    int             `json:"index"`
+	ID       string          `json:"id,omitempty"`
+	ItemKind string          `json:"itemKind,omitempty"`
+	Cached   bool            `json:"cached"`
+	Key      string          `json:"key,omitempty"`
+	Seconds  float64         `json:"seconds"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    *APIError       `json:"error,omitempty"`
+}
+
+// stream bundles the per-endpoint NDJSON plumbing every streaming
+// handler shares: one encoder, flush-per-line when the writer is an
+// http.Flusher, the per-endpoint line counter, write-error accounting,
+// and the request ID for error frames.
+type stream struct {
+	srv     *Server
+	enc     *json.Encoder
+	flusher http.Flusher
+	lines   *metrics.Counter
+	reqID   string
+}
+
+// newStream opens the per-endpoint stream accounting; the returned
+// closer decrements the active-streams gauge.
+func (s *Server) newStream(ctx context.Context, endpoint string, w io.Writer) (*stream, func()) {
+	g := s.m.activeStreams.With(endpoint)
+	g.Add(1)
+	flusher, _ := w.(http.Flusher)
+	return &stream{
+		srv:     s,
+		enc:     json.NewEncoder(w),
+		flusher: flusher,
+		lines:   s.m.streamLines.With(endpoint),
+		reqID:   RequestIDFrom(ctx),
+	}, func() { g.Add(-1) }
+}
+
+// emit writes one frame line, counting and flushing it. An encode
+// failure means the client hung up: it is counted in writeErrors and
+// returned so the caller can stop streaming.
+func (st *stream) emit(line any) error {
+	if err := st.enc.Encode(line); err != nil {
+		st.srv.writeErrors.Add(1)
+		return err
+	}
+	st.lines.Inc()
+	if st.flusher != nil {
+		st.flusher.Flush()
+	}
+	return nil
+}
+
+// emitResult writes the terminal success frame.
+func (st *stream) emitResult(cached bool, key canon.Key, payload []byte) error {
+	return st.emit(ResultLine{Kind: FrameResult, Cached: cached, Key: string(key), Result: payload})
+}
+
+// emitError writes the terminal in-band error frame. Encode errors here
+// mean the client is gone — nothing left to tell it.
+func (st *stream) emitError(err error) {
+	_ = st.emit(ErrorLine{Kind: FrameError, Error: apiErrorFor(statusFor(err), st.reqID, err)})
+}
