@@ -30,6 +30,7 @@ import (
 	"github.com/ccnet/ccnet/internal/netchar"
 	"github.com/ccnet/ccnet/internal/optimize"
 	"github.com/ccnet/ccnet/internal/perfab"
+	"github.com/ccnet/ccnet/internal/reqtrace"
 	"github.com/ccnet/ccnet/internal/routing"
 	"github.com/ccnet/ccnet/internal/service"
 	"github.com/ccnet/ccnet/internal/sim"
@@ -528,6 +529,52 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	b.StopTimer()
 	if h.Count() != uint64(b.N) {
 		b.Fatalf("count = %d, want %d", h.Count(), b.N)
+	}
+}
+
+// BenchmarkSpanRecord measures the tracing layer's always-on overhead:
+// one StartSpan/End pair on an UNSAMPLED trace — the cost every
+// request pays when the sampler declines it (or tracing is rate-
+// limited away). This is the path that must stay Histogram.Observe-
+// class: a branch on the trace's sampled flag and nothing else, single-
+// digit ns, zero allocations. Gated by the CI perf-regression diff
+// against the committed baseline (any allocs/op regression fails).
+func BenchmarkSpanRecord(b *testing.B) {
+	tr := reqtrace.New(reqtrace.Options{Rate: reqtrace.Disabled, HeadN: -1})
+	_, t0 := tr.StartRequest(context.Background(), "bench", "", "req-bench")
+	if t0.Sampled() {
+		b.Fatal("disabled tracer sampled the request")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := t0.StartSpan("compute")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanRecordSampled measures the recording path the sampled
+// fraction pays: mutex-guarded append into the trace's preallocated
+// span slab, plus one attribute. A fresh trace is started (and the old
+// one exported) every 32 spans to stay under the per-trace cap, so the
+// per-op cost amortizes trace start/End the way a traced request does.
+func BenchmarkSpanRecordSampled(b *testing.B) {
+	tr := reqtrace.New(reqtrace.Options{Rate: 1, SlowThreshold: -1, MaxSpans: 40})
+	var t0 *reqtrace.Trace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%32 == 0 {
+			t0.End(http.StatusOK, nil)
+			_, t0 = tr.StartRequest(context.Background(), "bench", "", "req-bench")
+		}
+		sp := t0.StartSpan("compute").Attr(reqtrace.String("class", "miss"))
+		sp.End()
+	}
+	b.StopTimer()
+	t0.End(http.StatusOK, nil)
+	if !t0.Sampled() {
+		b.Fatal("rate-1 tracer declined the request")
 	}
 }
 

@@ -32,11 +32,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/ccnet/ccnet/internal/load"
+	"github.com/ccnet/ccnet/internal/reqtrace"
 	"github.com/ccnet/ccnet/internal/routertest"
 	"github.com/ccnet/ccnet/internal/service"
 	"github.com/ccnet/ccnet/internal/version"
@@ -214,6 +216,19 @@ func runCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "ccload: %d requests, %.1f rps achieved, p50 %.3fms p99 %.3fms, %d errors\n",
 		sum.Requests, sum.AchievedRPS, sum.P50Seconds*1e3, sum.P99Seconds*1e3, sum.Errors)
+	if len(sum.Stages) > 0 {
+		names := make([]string, 0, len(sum.Stages))
+		for name := range sum.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			st := sum.Stages[name]
+			parts[i] = fmt.Sprintf("%s mean %.3fms p99 %.3fms (n=%d)", name, st.MeanMs, st.P99Ms, st.Count)
+		}
+		fmt.Fprintf(stderr, "ccload: stages: %s\n", strings.Join(parts, "; "))
+	}
 	return 0
 }
 
@@ -352,7 +367,10 @@ func sweepCmd(args []string, stdout, stderr io.Writer) int {
 
 // makeTarget returns the load target: a remote client for url, a live
 // routed cluster for routed > 0 (cleanup tears it down), else the full
-// ccserved handler in-process.
+// ccserved handler in-process. In-process targets run with tracing on
+// (sample everything) so every response carries the Server-Timing
+// stage breakdown the artifact and summary report; a remote server
+// decides its own tracing via its -trace-* flags.
 func makeTarget(url string, serverWorkers, routed int) (load.Target, string, func(), error) {
 	if url != "" {
 		return load.NewHTTPTarget(url), url, nil, nil
@@ -362,13 +380,17 @@ func makeTarget(url string, serverWorkers, routed int) (load.Target, string, fun
 			Replicas:      routed,
 			ProbeInterval: 250 * time.Millisecond,
 			Workers:       serverWorkers,
+			Trace:         true,
 		})
 		if err != nil {
 			return nil, "", nil, err
 		}
 		return load.NewHTTPTarget(c.BaseURL()), fmt.Sprintf("routed:%d", routed), c.Close, nil
 	}
-	srv := service.New(service.Options{Workers: serverWorkers})
+	srv := service.New(service.Options{
+		Workers: serverWorkers,
+		Tracer:  reqtrace.New(reqtrace.Options{Component: "service"}),
+	})
 	return load.HandlerTarget{Handler: srv.Handler()}, "in-process", nil, nil
 }
 

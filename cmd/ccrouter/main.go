@@ -20,8 +20,14 @@
 // The router serves the same /v1 surface as ccserved — POST compute
 // endpoints are sharded by body key, GET /v1/version and /v1/stats
 // round-robin, GET /v1/healthz reports the router's own view of the
-// fleet, and GET /metrics exposes ccrouter_* series. Every non-2xx body
-// is the same typed APIError envelope the replicas use.
+// fleet, GET /v1/traces streams the router's recent request traces as
+// NDJSON, and GET /metrics exposes ccrouter_* series. Every non-2xx
+// body is the same typed APIError envelope the replicas use.
+//
+// The shared observability flags (-log-level, -trace-*, -pprof-addr)
+// control structured JSON logging, end-to-end request tracing — the
+// router mints or adopts the W3C traceparent and the replicas join the
+// same trace — and the gated profiling listener.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ccnet/ccnet/internal/obs"
 	"github.com/ccnet/ccnet/internal/router"
 	"github.com/ccnet/ccnet/internal/version"
 )
@@ -81,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxRetries    = fs.Int("max-retries", 2, "additional replicas to try after a transport failure")
 		showVersion   = fs.Bool("version", false, "print version and exit")
 	)
+	obsFlags := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -102,6 +110,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	stack, err := obsFlags.Build("router", stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccrouter:", err)
+		return 2
+	}
+	defer stack.Close()
+	if err := stack.ServePprof(*obsFlags.PprofAddr); err != nil {
+		fmt.Fprintln(stderr, "ccrouter:", err)
+		return 2
+	}
+
 	rt, err := router.New(router.Options{
 		Replicas:      replicas,
 		VNodes:        *vnodes,
@@ -109,9 +128,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		FailAfter:     *failAfter,
 		RiseAfter:     *riseAfter,
 		MaxRetries:    *maxRetries,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(stderr, "ccrouter: "+format+"\n", args...)
-		},
+		Log:           stack.Log,
+		Tracer:        stack.Tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ccrouter:", err)

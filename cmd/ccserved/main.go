@@ -51,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ccnet/ccnet/internal/obs"
 	"github.com/ccnet/ccnet/internal/service"
 	"github.com/ccnet/ccnet/internal/version"
 )
@@ -74,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trustRouter  = fs.Bool("trust-router-keys", false, "accept pre-computed cache keys from the X-Ccnet-Key header (only behind a trusted ccrouter tier)")
 		showVersion  = fs.Bool("version", false, "print version and exit")
 	)
+	obsFlags := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -90,6 +92,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	stack, err := obsFlags.Build("service", stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccserved:", err)
+		return 2
+	}
+	defer stack.Close()
+	if err := stack.ServePprof(*obsFlags.PprofAddr); err != nil {
+		fmt.Fprintln(stderr, "ccserved:", err)
+		return 2
+	}
+
 	srv := service.New(service.Options{
 		CacheEntries:    *cacheEntries,
 		CacheBytes:      *cacheBytes,
@@ -97,9 +110,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:         *workers,
 		ShardID:         *shardID,
 		TrustRouterKeys: *trustRouter,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(stderr, "ccserved: "+format+"\n", args...)
-		},
+		Log:             stack.Log,
+		Tracer:          stack.Tracer,
 	})
 	return serve(*addr, srv.Handler(), stdout, stderr)
 }

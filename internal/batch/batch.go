@@ -52,6 +52,9 @@ type Outcome struct {
 	Cached  bool            // answered from cache or coalesced
 	Err     error
 	Elapsed time.Duration
+	// QueueWait is how long the item sat in the batch before a worker
+	// picked it up (time from Run start to Exec start).
+	QueueWait time.Duration
 }
 
 // Exec computes one item. It must be safe for concurrent calls and
@@ -148,6 +151,7 @@ func (e *Engine) Run(ctx context.Context, items []Item, emit func(Outcome) error
 				t0 := time.Now()
 				o := e.Exec(ctx, i, items[i])
 				o.Index = i
+				o.QueueWait = t0.Sub(start)
 				if o.ID == "" {
 					o.ID = items[i].ID
 				}

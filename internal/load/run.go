@@ -3,6 +3,7 @@ package load
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,6 +38,16 @@ type RequestResult struct {
 	LatencySeconds float64 `json:"latencySeconds"`
 	Fresh          bool    `json:"fresh"`
 	Error          string  `json:"error,omitempty"`
+	// StagesMs is the server's Server-Timing breakdown (stage →
+	// milliseconds); present only when the target runs with tracing.
+	StagesMs map[string]float64 `json:"stagesMs,omitempty"`
+}
+
+// StageStats aggregates one Server-Timing stage across a run.
+type StageStats struct {
+	Count  int     `json:"count"` // requests that reported the stage
+	MeanMs float64 `json:"meanMs"`
+	P99Ms  float64 `json:"p99Ms"`
 }
 
 // Summary aggregates a run.
@@ -54,7 +65,10 @@ type Summary struct {
 	P999Seconds    float64        `json:"p999Seconds"`
 	HitRate        float64        `json:"hitRate"` // hit+coalesced fraction of classed responses
 	Classes        map[string]int `json:"classes,omitempty"`
-	SpecSHA        string         `json:"specSequenceSHA256"`
+	// Stages breaks server time down by Server-Timing stage; present
+	// only when the target reported the header (a traced server).
+	Stages  map[string]StageStats `json:"stages,omitempty"`
+	SpecSHA string                `json:"specSequenceSHA256"`
 }
 
 // Run executes the plan against the target and aggregates the results.
@@ -94,6 +108,7 @@ func issue(opts Options, i int, results []RequestResult) {
 	if resp.Err != nil {
 		r.Error = resp.Err.Error()
 	}
+	r.StagesMs = resp.Stages
 	results[i] = r
 }
 
@@ -229,5 +244,35 @@ func summarize(opts Options, results []RequestResult, elapsed time.Duration) Sum
 	sum.P90Seconds = percentile(lats, 0.90)
 	sum.P99Seconds = percentile(lats, 0.99)
 	sum.P999Seconds = percentile(lats, 0.999)
+	sum.Stages = stageStats(results)
 	return sum
+}
+
+// stageStats aggregates the Server-Timing breakdowns: per stage, the
+// mean and p99 over the requests that reported it. Nil when no request
+// carried the header (an untraced target).
+func stageStats(results []RequestResult) map[string]StageStats {
+	byStage := make(map[string][]float64)
+	for _, r := range results {
+		for name, ms := range r.StagesMs {
+			byStage[name] = append(byStage[name], ms)
+		}
+	}
+	if len(byStage) == 0 {
+		return nil
+	}
+	out := make(map[string]StageStats, len(byStage))
+	for name, vals := range byStage {
+		sort.Float64s(vals)
+		total := 0.0
+		for _, v := range vals {
+			total += v
+		}
+		out[name] = StageStats{
+			Count:  len(vals),
+			MeanMs: total / float64(len(vals)),
+			P99Ms:  percentile(vals, 0.99),
+		}
+	}
+	return out
 }

@@ -6,16 +6,64 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"time"
 )
 
 // Response is what the harness records about one request: the HTTP
-// status, the server's hit-class header, and any transport error.
+// status, the server's hit-class header, the Server-Timing stage
+// breakdown, and any transport error.
 type Response struct {
 	Status int
 	Class  string // X-Cache: hit, coalesced, miss, or "" for uncached endpoints
+	// Stages is the per-stage duration breakdown in milliseconds,
+	// parsed from the Server-Timing headers the traced server (and, on
+	// a routed run, the router's rt_* entries) attached; nil when the
+	// response carried none.
+	Stages map[string]float64
 	Err    error
+}
+
+// ParseServerTiming merges one or more Server-Timing header values into
+// a stage → milliseconds map. Entries without a dur parameter are
+// skipped; repeated names (a retried stage) sum. Returns nil when no
+// entry parses.
+func ParseServerTiming(values []string) map[string]float64 {
+	var stages map[string]float64
+	for _, v := range values {
+		for _, entry := range strings.Split(v, ",") {
+			name, ms, ok := parseTimingEntry(entry)
+			if !ok {
+				continue
+			}
+			if stages == nil {
+				stages = make(map[string]float64)
+			}
+			stages[name] += ms
+		}
+	}
+	return stages
+}
+
+// parseTimingEntry reads one `name;dur=1.234` Server-Timing entry.
+func parseTimingEntry(entry string) (string, float64, bool) {
+	parts := strings.Split(entry, ";")
+	name := strings.TrimSpace(parts[0])
+	if name == "" {
+		return "", 0, false
+	}
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		if rest, ok := strings.CutPrefix(p, "dur="); ok {
+			ms, err := strconv.ParseFloat(rest, 64)
+			if err != nil || ms < 0 {
+				return "", 0, false
+			}
+			return name, ms, true
+		}
+	}
+	return "", 0, false
 }
 
 // Target abstracts where the load goes: an in-process handler or a
@@ -42,7 +90,11 @@ func (t HandlerTarget) Do(method, path string, body []byte) Response {
 	w := httptest.NewRecorder()
 	w.Body = nil // discard payloads; the harness measures, it doesn't read
 	t.Handler.ServeHTTP(w, req)
-	return Response{Status: w.Code, Class: w.Header().Get("X-Cache")}
+	return Response{
+		Status: w.Code,
+		Class:  w.Header().Get("X-Cache"),
+		Stages: ParseServerTiming(w.Header().Values("Server-Timing")),
+	}
 }
 
 // HTTPTarget drives a live server at Base (e.g. http://localhost:8080).
@@ -82,5 +134,9 @@ func (t *HTTPTarget) Do(method, path string, body []byte) Response {
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 		return Response{Status: resp.StatusCode, Err: fmt.Errorf("reading body: %w", err)}
 	}
-	return Response{Status: resp.StatusCode, Class: resp.Header.Get("X-Cache")}
+	return Response{
+		Status: resp.StatusCode,
+		Class:  resp.Header.Get("X-Cache"),
+		Stages: ParseServerTiming(resp.Header.Values("Server-Timing")),
+	}
 }

@@ -1,0 +1,115 @@
+package load
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+func TestParseServerTiming(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []string
+		want   map[string]float64
+	}{
+		{name: "nil on no headers", values: nil, want: nil},
+		{name: "nil on unparseable", values: []string{"cache", ";dur=1", "x;dur=abc", "x;dur=-1"}, want: nil},
+		{
+			name:   "single value",
+			values: []string{"cache;dur=0.120, compute;dur=3.5"},
+			want:   map[string]float64{"cache": 0.120, "compute": 3.5},
+		},
+		{
+			// The router Adds its rt_* entries as a second header line.
+			name:   "multiple headers merge",
+			values: []string{"compute;dur=2", "rt_route;dur=0.3, rt_upstream;dur=2.4"},
+			want:   map[string]float64{"compute": 2, "rt_route": 0.3, "rt_upstream": 2.4},
+		},
+		{
+			name:   "repeated names sum",
+			values: []string{"attempt;dur=1.5", "attempt;dur=2.5"},
+			want:   map[string]float64{"attempt": 4},
+		},
+		{
+			name:   "extra params and spacing",
+			values: []string{` cache ; desc="lookup" ; dur=0.25 , skip ; other=1 `},
+			want:   map[string]float64{"cache": 0.25},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ParseServerTiming(tc.values); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("ParseServerTiming(%q) = %v, want %v", tc.values, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStageStats(t *testing.T) {
+	if got := stageStats([]RequestResult{{}, {}}); got != nil {
+		t.Fatalf("stageStats with no stages = %v, want nil", got)
+	}
+	results := []RequestResult{
+		{StagesMs: map[string]float64{"cache": 1, "compute": 10}},
+		{StagesMs: map[string]float64{"cache": 3}},
+		{},
+	}
+	got := stageStats(results)
+	cache := got["cache"]
+	if cache.Count != 2 || math.Abs(cache.MeanMs-2) > 1e-9 || math.Abs(cache.P99Ms-3) > 1e-9 {
+		t.Errorf("cache stats = %+v, want count 2 mean 2 p99 3", cache)
+	}
+	compute := got["compute"]
+	if compute.Count != 1 || compute.MeanMs != 10 {
+		t.Errorf("compute stats = %+v, want count 1 mean 10", compute)
+	}
+}
+
+// timingHandler answers every request with a fixed Server-Timing
+// breakdown so both Target implementations can be checked end to end.
+func timingHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Add("Server-Timing", "cache;dur=0.5, compute;dur=2")
+		w.Header().Add("Server-Timing", "rt_route;dur=0.1")
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func wantTimingStages() map[string]float64 {
+	return map[string]float64{"cache": 0.5, "compute": 2, "rt_route": 0.1}
+}
+
+func TestHandlerTargetStages(t *testing.T) {
+	resp := HandlerTarget{Handler: timingHandler()}.Do(http.MethodGet, "/v1/healthz", nil)
+	if resp.Status != http.StatusOK || resp.Class != "hit" {
+		t.Fatalf("Do = %+v", resp)
+	}
+	if !reflect.DeepEqual(resp.Stages, wantTimingStages()) {
+		t.Errorf("Stages = %v, want %v", resp.Stages, wantTimingStages())
+	}
+}
+
+func TestHTTPTargetStages(t *testing.T) {
+	srv := httptest.NewServer(timingHandler())
+	defer srv.Close()
+	tgt := NewHTTPTarget(srv.URL + "/")
+	resp := tgt.Do(http.MethodPost, "/v1/evaluate", []byte(`{}`))
+	if resp.Err != nil || resp.Status != http.StatusOK {
+		t.Fatalf("Do = %+v", resp)
+	}
+	if !reflect.DeepEqual(resp.Stages, wantTimingStages()) {
+		t.Errorf("Stages = %v, want %v", resp.Stages, wantTimingStages())
+	}
+
+	// Transport errors surface in Err, not a panic or empty Response.
+	srv.Close()
+	if resp := tgt.Do(http.MethodGet, "/v1/healthz", nil); resp.Err == nil {
+		t.Fatal("Do against a closed server must report a transport error")
+	}
+	if resp := tgt.Do("bad method", "/x", nil); resp.Err == nil {
+		t.Fatal("Do with an invalid method must report the request-build error")
+	}
+}

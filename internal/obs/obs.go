@@ -1,0 +1,151 @@
+// Package obs wires the observability surface the server binaries
+// share: the -log-level/-trace-*/-pprof-addr flag group, the
+// structured JSON logger, the request tracer with its optional NDJSON
+// file sink, and the gated net/http/pprof listener. ccserved and
+// ccrouter register the same flags and build the same stack, so the
+// two tiers are operated identically.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"github.com/ccnet/ccnet/internal/reqtrace"
+)
+
+// Flags holds the registered observability flag values; read them
+// after FlagSet.Parse.
+type Flags struct {
+	LogLevel  *string
+	TraceRate *float64
+	TraceHead *int
+	TraceSlow *time.Duration
+	TraceBuf  *int
+	TraceSeed *uint64
+	TraceOut  *string
+	PprofAddr *string
+}
+
+// Register adds the shared observability flags to fs.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.LogLevel = fs.String("log-level", "info",
+		`log level: debug|info|warn|error, with optional per-component overrides like "warn,service=debug"`)
+	f.TraceRate = fs.Float64("trace-rate", 1,
+		"fraction of requests traced by id hash (0..1; negative disables tracing entirely)")
+	f.TraceHead = fs.Int("trace-head", reqtrace.DefHeadN,
+		"always trace the first N requests regardless of -trace-rate (negative disables the head window)")
+	f.TraceSlow = fs.Duration("trace-slow", reqtrace.DefSlowThreshold,
+		"slow-request threshold: slower traces are retained in the slow ring and logged (negative disables)")
+	f.TraceBuf = fs.Int("trace-buf", reqtrace.DefBufferTraces,
+		"completed traces buffered for GET /v1/traces")
+	f.TraceSeed = fs.Uint64("trace-seed", 0,
+		"seed for deterministic trace ids and sampling decisions (0 = random ids)")
+	f.TraceOut = fs.String("trace-out", "",
+		"append every exported trace as one NDJSON line to this file")
+	f.PprofAddr = fs.String("pprof-addr", "",
+		"serve net/http/pprof profiling endpoints on this address (off when empty)")
+	return f
+}
+
+// Stack is the built observability stack of one binary.
+type Stack struct {
+	// Log is the component's structured JSON logger.
+	Log *slog.Logger
+	// Tracer is the request tracer; nil when -trace-rate is negative.
+	Tracer *reqtrace.Tracer
+
+	sink    *os.File
+	pprofLn net.Listener
+}
+
+// Build assembles the stack for one component ("service", "router"):
+// the logger writes JSON lines to logW at the component's -log-level,
+// and the tracer (unless disabled) samples at -trace-rate with the
+// -trace-out sink attached.
+func (f *Flags) Build(component string, logW io.Writer) (*Stack, error) {
+	levels, err := reqtrace.ParseLevels(*f.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stack{Log: reqtrace.NewLogger(logW, component, levels)}
+	if *f.TraceRate < 0 {
+		return st, nil // tracing off: a nil Tracer makes every hook a no-op
+	}
+	opt := reqtrace.Options{
+		Component:     component,
+		Rate:          *f.TraceRate,
+		HeadN:         *f.TraceHead,
+		SlowThreshold: *f.TraceSlow,
+		BufferTraces:  *f.TraceBuf,
+		Seed:          *f.TraceSeed,
+		Log:           st.Log,
+	}
+	if opt.Rate == 0 {
+		// The flag's 0 means "no hash sampling, head window only" —
+		// distinct from the Options zero value (= sample everything).
+		opt.Rate = math.SmallestNonzeroFloat64
+	}
+	if *f.TraceOut != "" {
+		file, err := os.OpenFile(*f.TraceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("obs: open -trace-out: %w", err)
+		}
+		st.sink = file
+		opt.Sink = file
+	}
+	st.Tracer = reqtrace.New(opt)
+	return st, nil
+}
+
+// ServePprof starts the gated profiling listener when addr is
+// non-empty: an explicit mux carrying only the net/http/pprof
+// handlers, never mounted on the serving port.
+func (st *Stack) ServePprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: pprof listen: %w", err)
+	}
+	st.pprofLn = ln
+	go func() {
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		_ = srv.Serve(ln)
+	}()
+	return nil
+}
+
+// PprofAddr reports the bound profiling address ("" when off); tests
+// use it to reach a :0 listener.
+func (st *Stack) PprofAddr() string {
+	if st.pprofLn == nil {
+		return ""
+	}
+	return st.pprofLn.Addr().String()
+}
+
+// Close releases the trace sink and the pprof listener.
+func (st *Stack) Close() {
+	if st.sink != nil {
+		st.sink.Close()
+	}
+	if st.pprofLn != nil {
+		st.pprofLn.Close()
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// build parses args through a fresh flag set and builds the stack.
+func build(t *testing.T, component string, logW io.Writer, args ...string) (*Stack, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return f.Build(component, logW)
+}
+
+func TestBuildDefaults(t *testing.T) {
+	var logs strings.Builder
+	st, err := build(t, "service", &logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Log == nil {
+		t.Fatal("Build returned a nil logger")
+	}
+	if st.Tracer == nil {
+		t.Fatal("default flags should enable the tracer")
+	}
+	st.Log.Info("hello", "k", "v")
+	line := logs.String()
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("log line %q is not JSON: %v", line, err)
+	}
+	if rec["component"] != "service" {
+		t.Errorf("log component = %v, want service", rec["component"])
+	}
+}
+
+func TestBuildTraceRateNegativeDisablesTracer(t *testing.T) {
+	st, err := build(t, "router", io.Discard, "-trace-rate=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Tracer != nil {
+		t.Fatal("-trace-rate=-1 should leave the tracer nil")
+	}
+}
+
+// TestBuildTraceRateZeroMeansHeadOnly pins the flag semantics: 0 is
+// "head window only", not the library's zero value ("sample all").
+func TestBuildTraceRateZeroMeansHeadOnly(t *testing.T) {
+	st, err := build(t, "router", io.Discard, "-trace-rate=0", "-trace-head=2", "-trace-seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 10; i++ {
+		_, tr := st.Tracer.StartRequest(t.Context(), "GET /x", "", fmt.Sprintf("req-%d", i))
+		tr.End(200, nil)
+	}
+	if got := st.Tracer.Stats().Sampled; got != 2 {
+		t.Fatalf("rate 0 head 2 sampled %d of 10 requests, want exactly the head window", got)
+	}
+}
+
+func TestBuildBadLogLevel(t *testing.T) {
+	if _, err := build(t, "service", io.Discard, "-log-level=loud"); err == nil {
+		t.Fatal("a bogus -log-level must fail Build")
+	}
+}
+
+func TestBuildTraceOutSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.ndjson")
+	st, err := build(t, "service", io.Discard, "-trace-out="+path, "-trace-seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr := st.Tracer.StartRequest(t.Context(), "GET /x", "", "req-1")
+	tr.End(200, nil)
+	st.Close()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		t.Fatal("-trace-out file has no trace lines")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		t.Fatalf("sink line %q is not JSON: %v", sc.Text(), err)
+	}
+	if rec["requestId"] != "req-1" {
+		t.Errorf("sink requestId = %v, want req-1", rec["requestId"])
+	}
+}
+
+func TestBuildTraceOutUnwritable(t *testing.T) {
+	if _, err := build(t, "service", io.Discard,
+		"-trace-out="+filepath.Join(t.TempDir(), "no", "such", "dir", "t.ndjson")); err == nil {
+		t.Fatal("an unopenable -trace-out must fail Build")
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	st, err := build(t, "service", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.PprofAddr() != "" {
+		t.Fatal("PprofAddr should be empty before ServePprof")
+	}
+	if err := st.ServePprof(""); err != nil {
+		t.Fatalf("empty addr should be a no-op, got %v", err)
+	}
+	if err := st.ServePprof("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := st.PprofAddr()
+	if addr == "" {
+		t.Fatal("PprofAddr empty after ServePprof")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "profile") {
+		t.Fatalf("pprof index = %d %q", resp.StatusCode, body)
+	}
+
+	// A second listener on a bad address reports the bind error.
+	if err := st.ServePprof("256.0.0.1:0"); err == nil {
+		t.Fatal("an unbindable pprof addr must error")
+	}
+}

@@ -1,0 +1,369 @@
+package reqtrace
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// exporter holds the completed-trace rings. Two rings, same line
+// format: "recent" sees every exported trace and answers GET
+// /v1/traces; "tail" retains only slow and errored traces so a burst
+// of healthy traffic cannot evict the ones worth reading.
+type exporter struct {
+	recent ring
+	tail   ring
+
+	exported atomic.Uint64
+	slowN    atomic.Uint64
+	errored  atomic.Uint64
+
+	sinkMu sync.Mutex
+}
+
+func newExporter(bufTraces int) *exporter {
+	tailCap := bufTraces / 4
+	if tailCap < 16 {
+		tailCap = 16
+	}
+	return &exporter{
+		recent: ring{lines: make([]exportLine, 0, bufTraces), max: bufTraces},
+		tail:   ring{lines: make([]exportLine, 0, tailCap), max: tailCap},
+	}
+}
+
+func (e *exporter) stats() (exported, slow, errored uint64) {
+	return e.exported.Load(), e.slowN.Load(), e.errored.Load()
+}
+
+// exportLine is one serialized trace plus the metadata the handler
+// filters and orders by.
+type exportLine struct {
+	seq  uint64
+	slow bool
+	err  bool
+	json []byte
+}
+
+// ring is a bounded FIFO of export lines, oldest evicted first.
+type ring struct {
+	mu    sync.Mutex
+	lines []exportLine
+	next  int // overwrite cursor once full
+	max   int
+}
+
+func (r *ring) push(l exportLine) {
+	r.mu.Lock()
+	if len(r.lines) < r.max {
+		r.lines = append(r.lines, l)
+	} else {
+		r.lines[r.next] = l
+		r.next = (r.next + 1) % r.max
+	}
+	r.mu.Unlock()
+}
+
+func (r *ring) snapshot() []exportLine {
+	r.mu.Lock()
+	out := make([]exportLine, len(r.lines))
+	copy(out, r.lines)
+	r.mu.Unlock()
+	return out
+}
+
+// export serializes a finished sampled trace, pushes it to the rings,
+// and mirrors it to the configured sink.
+func (e *exporter) export(tr *Trace, dur time.Duration, slow bool, opt Options) {
+	line := tr.marshal(dur, slow, opt.Component)
+	el := exportLine{seq: tr.seq, slow: slow, err: tr.errMsg != "" || spansErrored(tr), json: line}
+	e.exported.Add(1)
+	if slow {
+		e.slowN.Add(1)
+	}
+	if el.err {
+		e.errored.Add(1)
+	}
+	e.recent.push(el)
+	if el.slow || el.err {
+		e.tail.push(el)
+	}
+	if opt.Sink != nil {
+		e.sinkMu.Lock()
+		opt.Sink.Write(append(line, '\n'))
+		e.sinkMu.Unlock()
+	}
+}
+
+func spansErrored(tr *Trace) bool {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for i := range tr.spans {
+		if tr.spans[i].err != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// marshal renders the trace as one NDJSON object. Hand-rolled like the
+// metrics exposition so the field order is stable and the export is
+// byte-identical for identical runs.
+func (tr *Trace) marshal(dur time.Duration, slow bool, component string) []byte {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	b := make([]byte, 0, 512)
+	b = append(b, `{"traceId":"`...)
+	b = append(b, tr.tc.TraceID.String()...)
+	b = append(b, `","spanId":"`...)
+	b = append(b, tr.tc.SpanID.String()...)
+	b = append(b, `","name":`...)
+	b = strconv.AppendQuote(b, tr.name)
+	b = append(b, `,"component":`...)
+	b = strconv.AppendQuote(b, component)
+	b = append(b, `,"requestId":`...)
+	b = strconv.AppendQuote(b, tr.requestID)
+	if tr.shard != "" {
+		b = append(b, `,"shard":`...)
+		b = strconv.AppendQuote(b, tr.shard)
+	}
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, tr.seq, 10)
+	b = append(b, `,"remoteParent":`...)
+	b = strconv.AppendBool(b, tr.remote)
+	b = append(b, `,"startUnixNano":`...)
+	b = strconv.AppendInt(b, tr.wall, 10)
+	b = append(b, `,"durationMs":`...)
+	b = appendMillis(b, int64(dur))
+	b = append(b, `,"status":`...)
+	b = strconv.AppendInt(b, int64(tr.status), 10)
+	if tr.errMsg != "" {
+		b = append(b, `,"error":`...)
+		b = strconv.AppendQuote(b, tr.errMsg)
+	}
+	b = append(b, `,"slow":`...)
+	b = strconv.AppendBool(b, slow)
+	b = append(b, `,"spans":[`...)
+	for i := range tr.spans {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = tr.spans[i].marshal(b)
+	}
+	b = append(b, ']')
+	if d := tr.droppedSpansLocked(); d > 0 {
+		b = append(b, `,"droppedSpans":`...)
+		b = strconv.AppendInt(b, d, 10)
+	}
+	b = append(b, '}')
+	return b
+}
+
+// droppedSpansLocked reports spans this trace failed to record; the
+// tracer-wide counter is the authoritative aggregate, this is the
+// per-trace view (cap reached means at least the overflow happened
+// here).
+func (tr *Trace) droppedSpansLocked() int64 {
+	if len(tr.spans) == cap(tr.spans) {
+		return 1 // marker: cap was reached; exact overflow is in Stats
+	}
+	return 0
+}
+
+func (s *spanRec) marshal(b []byte) []byte {
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, s.name)
+	b = append(b, `,"startMs":`...)
+	b = appendMillis(b, s.startNS)
+	b = append(b, `,"durMs":`...)
+	d := s.durNS
+	if d < 0 {
+		d = 0 // never ended: report zero rather than a negative
+	}
+	b = appendMillis(b, d)
+	if s.err != "" {
+		b = append(b, `,"error":`...)
+		b = strconv.AppendQuote(b, s.err)
+	}
+	if s.nattrs > 0 {
+		b = append(b, `,"attrs":{`...)
+		for i := 0; i < s.nattrs; i++ {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			a := &s.attrs[i]
+			b = strconv.AppendQuote(b, a.Key)
+			b = append(b, ':')
+			switch a.kind {
+			case attrString:
+				b = strconv.AppendQuote(b, a.s)
+			case attrInt:
+				b = strconv.AppendInt(b, a.i, 10)
+			case attrFloat:
+				b = strconv.AppendFloat(b, a.f, 'g', -1, 64)
+			case attrBool:
+				b = strconv.AppendBool(b, a.i != 0)
+			default:
+				b = append(b, `null`...)
+			}
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	return b
+}
+
+// appendMillis renders nanoseconds as milliseconds with microsecond
+// (3-decimal) resolution, avoiding float formatting jitter.
+func appendMillis(b []byte, ns int64) []byte {
+	if ns < 0 {
+		ns = 0
+	}
+	us := ns / 1_000 // truncate to whole microseconds
+	b = strconv.AppendInt(b, us/1_000, 10)
+	b = append(b, '.')
+	frac := us % 1_000
+	b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	return b
+}
+
+// Handler serves the completed-trace ring as NDJSON:
+//
+//	GET /v1/traces            — all buffered traces, oldest first
+//	GET /v1/traces?n=20       — only the most recent 20
+//	GET /v1/traces?slow=1     — the slow/errored tail ring instead
+//
+// Lines are ordered by trace sequence number. Safe on a nil Tracer
+// (always responds with an empty body).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if t == nil {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		var lines []exportLine
+		if v := r.URL.Query().Get("slow"); v == "1" || v == "true" {
+			lines = t.exporter.tail.snapshot()
+		} else {
+			lines = t.exporter.recent.snapshot()
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i].seq < lines[j].seq })
+		if nv := r.URL.Query().Get("n"); nv != "" {
+			if n, err := strconv.Atoi(nv); err == nil && n >= 0 && n < len(lines) {
+				lines = lines[len(lines)-n:]
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+		for _, l := range lines {
+			w.Write(l.json)
+			w.Write([]byte{'\n'})
+		}
+	})
+}
+
+// ServerTiming renders the trace's stage breakdown as a Server-Timing
+// header value: completed spans aggregated by name in first-seen
+// order, durations in milliseconds, followed by the elapsed total.
+// Empty for unsampled traces.
+func (tr *Trace) ServerTiming() string {
+	if tr == nil || !tr.rec {
+		return ""
+	}
+	names, durs := tr.aggregate()
+	var sb strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(sanitizeTimingName(name))
+		sb.WriteString(";dur=")
+		sb.Write(appendMillis(nil, int64(durs[i])))
+	}
+	if sb.Len() > 0 {
+		sb.WriteString(", ")
+	}
+	sb.WriteString("total;dur=")
+	sb.Write(appendMillis(nil, int64(time.Since(tr.start))))
+	return sb.String()
+}
+
+// stageBreakdown is the compact spans summary inlined into slow-request
+// log lines: "cache=0.012ms compute=41.3ms".
+func (tr *Trace) stageBreakdown() string {
+	names, durs := tr.aggregate()
+	var sb strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(name)
+		sb.WriteByte('=')
+		sb.Write(appendMillis(nil, int64(durs[i])))
+		sb.WriteString("ms")
+	}
+	return sb.String()
+}
+
+// aggregate sums completed span durations by name, preserving
+// first-seen order.
+func (tr *Trace) aggregate() ([]string, []time.Duration) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	names := make([]string, 0, 8)
+	durs := make([]time.Duration, 0, 8)
+	idx := make(map[string]int, 8)
+	for i := range tr.spans {
+		s := &tr.spans[i]
+		if s.durNS < 0 {
+			continue
+		}
+		j, ok := idx[s.name]
+		if !ok {
+			j = len(names)
+			idx[s.name] = j
+			names = append(names, s.name)
+			durs = append(durs, 0)
+		}
+		durs[j] += time.Duration(s.durNS)
+	}
+	return names, durs
+}
+
+// sanitizeTimingName maps a span name onto the Server-Timing token
+// grammar (RFC 7230 token: no spaces, slashes, etc.), replacing
+// invalid bytes with '_'.
+func sanitizeTimingName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		if !isTokenByte(name[i]) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return name
+	}
+	b := []byte(name)
+	for i, c := range b {
+		if !isTokenByte(c) {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func isTokenByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '!', c == '#', c == '$', c == '%', c == '&', c == '\'', c == '*',
+		c == '+', c == '-', c == '.', c == '^', c == '_', c == '`', c == '|', c == '~':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package reqtrace
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Levels is a parsed -log-level spec: a default level plus optional
+// per-component overrides.
+type Levels struct {
+	def slog.Level
+	per map[string]slog.Level
+}
+
+// ParseLevels parses a log-level spec. Accepted forms:
+//
+//	"info"                        — one level for everything
+//	"service=debug,router=warn"   — per-component overrides (default info)
+//	"warn,service=debug"          — bare entry sets the default
+//
+// Recognized levels: debug, info, warn, error (case-insensitive).
+func ParseLevels(spec string) (Levels, error) {
+	l := Levels{def: slog.LevelInfo}
+	if strings.TrimSpace(spec) == "" {
+		return l, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, lv, ok := strings.Cut(part, "="); ok {
+			level, err := parseLevel(strings.TrimSpace(lv))
+			if err != nil {
+				return Levels{}, err
+			}
+			if l.per == nil {
+				l.per = make(map[string]slog.Level)
+			}
+			l.per[strings.TrimSpace(name)] = level
+			continue
+		}
+		level, err := parseLevel(part)
+		if err != nil {
+			return Levels{}, err
+		}
+		l.def = level
+	}
+	return l, nil
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("reqtrace: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// For returns the effective level for a component.
+func (l Levels) For(component string) slog.Level {
+	if lv, ok := l.per[component]; ok {
+		return lv
+	}
+	return l.def
+}
+
+// NewLogger builds the stack's standard JSON logger for one component:
+// slog JSON to w, the component's level from the spec, and a fixed
+// component attribute so interleaved ccrouter/ccserved streams stay
+// attributable.
+func NewLogger(w io.Writer, component string, levels Levels) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: levels.For(component)})
+	return slog.New(h).With(slog.String("component", component))
+}

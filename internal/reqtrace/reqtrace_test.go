@@ -1,0 +1,480 @@
+package reqtrace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{Flags: FlagSampled}
+	copy(tc.TraceID[:], []byte{0x4b, 0xf9, 0x2f, 0x35, 0x77, 0xb3, 0x4d, 0xa6, 0xa3, 0xce, 0x92, 0x9d, 0x0e, 0x0e, 0x47, 0x36})
+	copy(tc.SpanID[:], []byte{0x00, 0xf0, 0x67, 0xaa, 0x0b, 0xa9, 0x02, 0xb7})
+	s := tc.String()
+	want := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if s != want {
+		t.Fatalf("String() = %q, want %q", s, want)
+	}
+	got, err := ParseTraceparent(s)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", s, err)
+	}
+	if got != tc {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, tc)
+	}
+	if !got.Sampled() {
+		t.Fatal("sampled flag lost in round trip")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	base := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	bad := []string{
+		"",
+		"garbage",
+		base[:54],             // too short
+		base + "x",            // version 00 must be exactly 55 bytes
+		strings.ToUpper(base), // uppercase hex
+		"ff" + base[2:],       // reserved version
+		"0g" + base[2:],       // non-hex version
+		"00-" + strings.Repeat("0", 32) + "-00f067aa0ba902b7-01",                 // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-" + strings.Repeat("0", 16) + "-01", // zero parent id
+		strings.ReplaceAll(base, "-", "_"),                                       // wrong separators
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q): want error, got nil", s)
+		}
+	}
+	// Higher versions tolerate trailing dash-separated fields.
+	if _, err := ParseTraceparent("01" + base[2:] + "-extrafield"); err != nil {
+		t.Errorf("version 01 with trailing field rejected: %v", err)
+	}
+	if _, err := ParseTraceparent("01" + base[2:] + "xtra"); err == nil {
+		t.Error("version 01 with non-dash trailing bytes accepted")
+	}
+}
+
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-xtra")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add(strings.Repeat("0", 55))
+	f.Fuzz(func(t *testing.T, s string) {
+		tc, err := ParseTraceparent(s)
+		if err != nil {
+			if tc != (TraceContext{}) && (tc.TraceID != TraceID{} || tc.SpanID != SpanID{}) {
+				t.Fatalf("error return carries non-zero ids: %+v", tc)
+			}
+			return
+		}
+		// A successfully parsed context must re-serialize to a value that
+		// parses back to the same identity (version normalizes to 00).
+		out := tc.String()
+		back, err2 := ParseTraceparent(out)
+		if err2 != nil {
+			t.Fatalf("re-serialized %q failed to parse: %v", out, err2)
+		}
+		if back != tc {
+			t.Fatalf("round trip changed identity: %+v -> %+v", tc, back)
+		}
+		if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+			t.Fatalf("accepted zero id from %q", s)
+		}
+	})
+}
+
+func TestStartRequestMintsAndSamples(t *testing.T) {
+	tr := New(Options{Component: "test", Seed: 7})
+	ctx, trace := tr.StartRequest(context.Background(), "POST /v1/evaluate", "", "req-1")
+	if !trace.Sampled() {
+		t.Fatal("rate 1.0 trace not sampled")
+	}
+	if FromContext(ctx) != trace {
+		t.Fatal("FromContext did not return the started trace")
+	}
+	hdr := trace.Traceparent()
+	tc, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("minted traceparent %q invalid: %v", hdr, err)
+	}
+	if !tc.Sampled() {
+		t.Fatal("sampled trace minted unsampled flag")
+	}
+}
+
+func TestStartRequestAdoptsParent(t *testing.T) {
+	tr := New(Options{Component: "replica"})
+	parent := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	_, trace := tr.StartRequest(context.Background(), "fwd", parent, "req-2")
+	if got := trace.Context().TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("adopted trace id = %s", got)
+	}
+	if !trace.Sampled() {
+		t.Fatal("sampled parent not honored")
+	}
+	// Unsampled parent forces the local decision off even at rate 1.0.
+	unsampled := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+	_, t2 := tr.StartRequest(context.Background(), "fwd", unsampled, "req-3")
+	if t2.Sampled() {
+		t.Fatal("unsampled parent overridden locally")
+	}
+	if t2.StartSpan("x") != (Span{}) {
+		t.Fatal("unsampled trace returned a live span")
+	}
+}
+
+func TestNilTracerAndTraceAreInert(t *testing.T) {
+	var tr *Tracer
+	ctx, trace := tr.StartRequest(context.Background(), "x", "", "")
+	if trace != nil {
+		t.Fatal("nil tracer returned non-nil trace")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("nil tracer stored a trace in ctx")
+	}
+	// All of these must be no-ops, not panics.
+	trace.SetShard("r0")
+	trace.SetStatus(200)
+	sp := trace.StartSpan("s")
+	sp.Attr(String("k", "v"))
+	sp.End()
+	sp.EndErr(errors.New("x"))
+	trace.RecordSpan("q", time.Now(), time.Millisecond)
+	trace.End(200, nil)
+	if trace.ServerTiming() != "" {
+		t.Fatal("nil trace produced Server-Timing")
+	}
+	if trace.Traceparent() != "" {
+		t.Fatal("nil trace produced traceparent")
+	}
+	if got := tr.Stats(); got != (Stats{}) {
+		t.Fatalf("nil tracer stats = %+v", got)
+	}
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("nil tracer handler: code %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSamplingDeterministicUnderSeed(t *testing.T) {
+	decisions := func() []bool {
+		tr := New(Options{Seed: 42, Rate: 0.3, HeadN: -1})
+		out := make([]bool, 64)
+		for i := range out {
+			_, trace := tr.StartRequest(context.Background(), "x", "", fmt.Sprintf("r%d", i))
+			out[i] = trace.Sampled()
+			trace.End(200, nil)
+		}
+		return out
+	}
+	a, b := decisions(), decisions()
+	anySampled, anyNot := false, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical runs", i)
+		}
+		anySampled = anySampled || a[i]
+		anyNot = anyNot || !a[i]
+	}
+	if !anySampled || !anyNot {
+		t.Fatalf("rate 0.3 produced degenerate decisions (sampled=%v notSampled=%v)", anySampled, anyNot)
+	}
+}
+
+func TestExportByteIdenticalForIdenticalRuns(t *testing.T) {
+	run := func() []byte {
+		var sink bytes.Buffer
+		tr := New(Options{Component: "test", Seed: 99, Sink: &sink})
+		for i := 0; i < 5; i++ {
+			_, trace := tr.StartRequest(context.Background(), "POST /v1/evaluate", "", fmt.Sprintf("req-%d", i))
+			sp := trace.StartSpan("cache").Attr(String("class", "miss"))
+			sp.End()
+			trace.SetStatus(200)
+			trace.End(200, nil)
+		}
+		// Strip the two wall-clock fields; everything else must be
+		// byte-identical across runs.
+		lines := bytes.Split(bytes.TrimSpace(sink.Bytes()), []byte{'\n'})
+		var out bytes.Buffer
+		for _, l := range lines {
+			var m map[string]any
+			if err := json.Unmarshal(l, &m); err != nil {
+				t.Fatalf("bad sink line %q: %v", l, err)
+			}
+			delete(m, "startUnixNano")
+			delete(m, "durationMs")
+			spans := m["spans"].([]any)
+			for _, s := range spans {
+				sm := s.(map[string]any)
+				delete(sm, "startMs")
+				delete(sm, "durMs")
+			}
+			enc, _ := json.Marshal(m)
+			out.Write(enc)
+			out.WriteByte('\n')
+		}
+		return out.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("exports differ for identical spec+seed:\n%s\n---\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte(`"traceId"`)) {
+		t.Fatal("export missing traceId")
+	}
+}
+
+func TestSpanRecordingAndHandler(t *testing.T) {
+	tr := New(Options{Component: "test", Seed: 3, SlowThreshold: -1})
+	_, trace := tr.StartRequest(context.Background(), "POST /v1/evaluate", "", "req-a")
+	trace.SetShard("r1")
+	sp := trace.StartSpan("canon")
+	sp.End()
+	c := trace.StartSpan("cache").Attr(String("class", "hit"), Bool("fresh", true), Int("bytes", 123), Float("age", 1.5))
+	c.End()
+	trace.RecordSpan("queue", time.Now().Add(-2*time.Millisecond), 2*time.Millisecond)
+	bad := trace.StartSpan("compute")
+	bad.EndErr(errors.New("boom"))
+	trace.End(500, errors.New("compute failed"))
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(rec.Body.Bytes()), &m); err != nil {
+		t.Fatalf("handler output not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if m["shard"] != "r1" || m["requestId"] != "req-a" || m["error"] != "compute failed" {
+		t.Fatalf("trace metadata wrong: %v", m)
+	}
+	if m["status"].(float64) != 500 {
+		t.Fatalf("status = %v", m["status"])
+	}
+	spans := m["spans"].([]any)
+	if len(spans) != 4 {
+		t.Fatalf("want 4 spans, got %d", len(spans))
+	}
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.(map[string]any)["name"].(string)
+	}
+	if strings.Join(names, ",") != "canon,cache,queue,compute" {
+		t.Fatalf("span order %v", names)
+	}
+	attrs := spans[1].(map[string]any)["attrs"].(map[string]any)
+	if attrs["class"] != "hit" || attrs["fresh"] != true || attrs["bytes"].(float64) != 123 || attrs["age"].(float64) != 1.5 {
+		t.Fatalf("cache attrs %v", attrs)
+	}
+	if spans[3].(map[string]any)["error"] != "boom" {
+		t.Fatalf("compute span error missing: %v", spans[3])
+	}
+
+	// The errored trace must also be retained in the tail ring.
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces?slow=1", nil))
+	if !bytes.Contains(rec.Body.Bytes(), []byte(`"compute failed"`)) {
+		t.Fatalf("errored trace missing from tail ring: %s", rec.Body.String())
+	}
+
+	st := tr.Stats()
+	if st.Started != 1 || st.Sampled != 1 || st.Exported != 1 || st.Errored != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHandlerLimitAndOrder(t *testing.T) {
+	tr := New(Options{Seed: 5, BufferTraces: 8, SlowThreshold: -1})
+	for i := 0; i < 12; i++ {
+		_, trace := tr.StartRequest(context.Background(), fmt.Sprintf("req-%d", i), "", "")
+		trace.End(200, nil)
+	}
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces?n=3", nil))
+	lines := bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte{'\n'})
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+	var seqs []float64
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal(l, &m); err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, m["seq"].(float64))
+	}
+	if seqs[0] != 10 || seqs[1] != 11 || seqs[2] != 12 {
+		t.Fatalf("want newest three in order, got %v", seqs)
+	}
+}
+
+func TestMaxSpansCapped(t *testing.T) {
+	tr := New(Options{Seed: 5, MaxSpans: 4, SlowThreshold: -1})
+	_, trace := tr.StartRequest(context.Background(), "x", "", "")
+	for i := 0; i < 10; i++ {
+		trace.StartSpan("s").End()
+	}
+	trace.End(200, nil)
+	if st := tr.Stats(); st.DroppedSpans != 6 {
+		t.Fatalf("dropped = %d, want 6", st.DroppedSpans)
+	}
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces", nil))
+	if !bytes.Contains(rec.Body.Bytes(), []byte(`"droppedSpans":1`)) {
+		t.Fatalf("export missing droppedSpans marker: %s", rec.Body.String())
+	}
+}
+
+func TestServerTimingAggregates(t *testing.T) {
+	tr := New(Options{Seed: 5})
+	_, trace := tr.StartRequest(context.Background(), "x", "", "")
+	trace.RecordSpan("cache", time.Now(), 1500*time.Microsecond)
+	trace.RecordSpan("compute", time.Now(), 3*time.Millisecond)
+	trace.RecordSpan("compute", time.Now(), 2*time.Millisecond) // aggregated
+	st := trace.ServerTiming()
+	if !strings.Contains(st, "cache;dur=1.500") {
+		t.Fatalf("Server-Timing %q missing cache", st)
+	}
+	if !strings.Contains(st, "compute;dur=5.000") {
+		t.Fatalf("Server-Timing %q did not aggregate compute", st)
+	}
+	if !strings.Contains(st, "total;dur=") {
+		t.Fatalf("Server-Timing %q missing total", st)
+	}
+	if strings.Index(st, "cache") > strings.Index(st, "compute") {
+		t.Fatalf("Server-Timing %q lost first-seen order", st)
+	}
+	// Names with non-token bytes must be sanitized, not emitted raw.
+	trace.RecordSpan("bad name/1", time.Now(), time.Millisecond)
+	if st := trace.ServerTiming(); !strings.Contains(st, "bad_name_1;dur=") {
+		t.Fatalf("unsanitized name in %q", st)
+	}
+}
+
+func TestSlowRequestLogged(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(slog.NewJSONHandler(&buf, nil))
+	tr := New(Options{Seed: 5, SlowThreshold: time.Nanosecond, Log: lg})
+	_, trace := tr.StartRequest(context.Background(), "POST /v1/evaluate", "", "req-slow")
+	trace.StartSpan("compute").End()
+	time.Sleep(time.Millisecond)
+	trace.End(200, nil)
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &m); err != nil {
+		t.Fatalf("log line not JSON: %v (%s)", err, buf.String())
+	}
+	if m["msg"] != "slow request" || m["requestId"] != "req-slow" {
+		t.Fatalf("log line %v", m)
+	}
+	if _, ok := m["stages"]; !ok {
+		t.Fatalf("slow log missing stage breakdown: %v", m)
+	}
+	if st := tr.Stats(); st.Slow != 1 {
+		t.Fatalf("slow count %d", st.Slow)
+	}
+}
+
+func TestEndIdempotentAndConcurrentSpans(t *testing.T) {
+	tr := New(Options{Seed: 5, SlowThreshold: -1})
+	_, trace := tr.StartRequest(context.Background(), "x", "", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := trace.StartSpan(fmt.Sprintf("w%d", i)).Attr(Int("i", int64(i)))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	trace.End(200, nil)
+	trace.End(500, errors.New("again")) // must not double-export
+	if st := tr.Stats(); st.Exported != 1 {
+		t.Fatalf("exported %d after double End", st.Exported)
+	}
+}
+
+func TestHeadNForcesSampling(t *testing.T) {
+	tr := New(Options{Seed: 11, Rate: 0.0000001, HeadN: 3})
+	sampledHead := 0
+	for i := 0; i < 3; i++ {
+		_, trace := tr.StartRequest(context.Background(), "x", "", "")
+		if trace.Sampled() {
+			sampledHead++
+		}
+		trace.End(200, nil)
+	}
+	if sampledHead != 3 {
+		t.Fatalf("head window sampled %d of 3", sampledHead)
+	}
+}
+
+func TestDisabledRate(t *testing.T) {
+	tr := New(Options{Rate: Disabled, Seed: 5})
+	_, trace := tr.StartRequest(context.Background(), "x", "", "")
+	if trace.Sampled() {
+		t.Fatal("Disabled rate sampled a trace")
+	}
+	// Even a sampled upstream flag must not re-enable recording.
+	_, t2 := tr.StartRequest(context.Background(), "x",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "")
+	if t2.Sampled() {
+		t.Fatal("Disabled rate honored upstream sampled flag")
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	l, err := ParseLevels("")
+	if err != nil || l.For("service") != slog.LevelInfo {
+		t.Fatalf("empty spec: %v %v", l.For("service"), err)
+	}
+	l, err = ParseLevels("debug")
+	if err != nil || l.For("anything") != slog.LevelDebug {
+		t.Fatalf("bare level: %v %v", l.For("anything"), err)
+	}
+	l, err = ParseLevels("warn, service=debug ,router=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.For("service") != slog.LevelDebug || l.For("router") != slog.LevelError || l.For("other") != slog.LevelWarn {
+		t.Fatalf("per-component spec wrong: %v %v %v", l.For("service"), l.For("router"), l.For("other"))
+	}
+	if _, err := ParseLevels("loud"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "router", l)
+	lg.Info("dropped") // router=error: info must be filtered
+	lg.Error("kept")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "kept") {
+		t.Fatalf("level filtering wrong: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"component":"router"`) {
+		t.Fatalf("component attr missing: %s", buf.String())
+	}
+}
+
+func TestSampledOutPathAllocFree(t *testing.T) {
+	tr := New(Options{Rate: Disabled})
+	_, trace := tr.StartRequest(context.Background(), "x", "", "")
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := trace.StartSpan("cache")
+		sp.Attr(String("class", "hit"))
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("sampled-out span path allocates %v per op", allocs)
+	}
+}

@@ -71,6 +71,24 @@ func (r *Router) initMetrics() {
 				return r.health.snapshot(r.opt.Replicas)[i].ProbeLatencySeconds
 			}, "shard", r.opt.Replicas[i].ID)
 	}
+	// Tracer counters read the tracer's stats at scrape time, the same
+	// callback scheme the replicas use, so the tracing layer itself
+	// stays metrics-free.
+	if tr := r.opt.Tracer; tr != nil {
+		reg.CounterFunc("ccrouter_traces_started_total", "Request traces started (sampled or not).",
+			func() float64 { return float64(tr.Stats().Started) })
+		reg.CounterFunc("ccrouter_traces_sampled_total", "Request traces that recorded spans.",
+			func() float64 { return float64(tr.Stats().Sampled) })
+		reg.CounterFunc("ccrouter_traces_exported_total", "Completed traces exported to the ring/sink.",
+			func() float64 { return float64(tr.Stats().Exported) })
+		reg.CounterFunc("ccrouter_traces_slow_total", "Exported traces at or above the slow threshold.",
+			func() float64 { return float64(tr.Stats().Slow) })
+		reg.CounterFunc("ccrouter_traces_errored_total", "Exported traces that ended in error.",
+			func() float64 { return float64(tr.Stats().Errored) })
+		reg.CounterFunc("ccrouter_trace_spans_dropped_total", "Spans discarded by the per-trace cap.",
+			func() float64 { return float64(tr.Stats().DroppedSpans) })
+	}
+
 	metrics.RegisterGoRuntime(reg)
 	r.m = m
 }

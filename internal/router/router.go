@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"github.com/ccnet/ccnet/internal/canon"
+	"github.com/ccnet/ccnet/internal/reqtrace"
 	"github.com/ccnet/ccnet/internal/service"
 )
 
@@ -49,9 +51,16 @@ type Options struct {
 	// pools connections per replica and never times out — streaming
 	// responses are long-lived by design.
 	Client *http.Client
-	// Logf, when set, receives one line per health transition, retry
-	// and unavailable request.
-	Logf func(format string, args ...any)
+	// Log, when set, receives one structured line per health
+	// transition, retry, mid-stream failure and unavailable request.
+	Log *slog.Logger
+	// Tracer, when set, traces keyed forwards: the router adopts (or
+	// mints) the W3C traceparent, propagates it — with the request id
+	// and shard key — to the replica, records ring-walk/attempt/stream
+	// spans, and serves the export ring on GET /v1/traces. The
+	// replica's tracer honors the sampled flag, so one decision at the
+	// router governs the whole request path.
+	Tracer *reqtrace.Tracer
 }
 
 // Router is the sharding reverse proxy. Create with New, optionally
@@ -62,6 +71,7 @@ type Router struct {
 	health *health
 	client *http.Client
 	m      *routerMetrics
+	log    *slog.Logger
 
 	rr atomic.Uint64 // round-robin cursor for keyless endpoints
 
@@ -97,23 +107,26 @@ func New(opt Options) (*Router, error) {
 		opt:    opt,
 		ring:   rg,
 		client: opt.Client,
+		log:    opt.Log,
 		jit:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if r.log == nil {
+		r.log = slog.New(slog.DiscardHandler)
 	}
 	if r.client == nil {
 		r.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
 	}
 	r.health = newHealth(len(opt.Replicas), opt.FailAfter, opt.RiseAfter, func(i int, healthy bool) {
 		r.m.flips.Inc()
-		r.logf("replica %s (%s) is now healthy=%v", opt.Replicas[i].ID, opt.Replicas[i].URL, healthy)
+		lvl := slog.LevelWarn
+		if healthy {
+			lvl = slog.LevelInfo
+		}
+		r.log.Log(context.Background(), lvl, "replica health changed",
+			"replica", opt.Replicas[i].ID, "url", opt.Replicas[i].URL, "healthy", healthy)
 	})
 	r.initMetrics()
 	return r, nil
-}
-
-func (r *Router) logf(format string, args ...any) {
-	if r.opt.Logf != nil {
-		r.opt.Logf(format, args...)
-	}
 }
 
 // Start launches one active prober per replica. Safe to skip: the
@@ -184,8 +197,9 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/version", r.handleKeyless)
 	mux.HandleFunc("GET /v1/stats", r.handleKeyless)
 	mux.HandleFunc("GET /v1/healthz", r.handleHealthz)
+	mux.Handle("GET /v1/traces", r.opt.Tracer.Handler())
 	mux.Handle("GET /metrics", r.m.reg.Handler())
-	for _, p := range []string{"/v1/version", "/v1/stats", "/v1/healthz", "/metrics"} {
+	for _, p := range []string{"/v1/version", "/v1/stats", "/v1/healthz", "/v1/traces", "/metrics"} {
 		methods[p] = http.MethodGet
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
@@ -260,8 +274,19 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 // next candidates while nothing has been sent to the client.
 func (r *Router) handleKeyed(w http.ResponseWriter, req *http.Request, endpoint string) {
 	reqID := r.ensureRequestID(w, req)
+	// The router owns the trace decision for the whole request path: it
+	// adopts the client's traceparent or mints one, and tryOnce forwards
+	// the context so the replica joins the same trace with the same
+	// sampling verdict. The deferred End finalizes whichever way the
+	// request leaves (forwarded, failed, or client gone); earlier
+	// explicit Ends win because End is idempotent.
+	ctx, tr := r.opt.Tracer.StartRequest(req.Context(), req.Method+" "+req.URL.Path,
+		req.Header.Get(reqtrace.Header), reqID)
+	req = req.WithContext(ctx)
+	defer tr.End(0, nil)
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.opt.MaxBodyBytes))
 	if err != nil {
+		tr.End(http.StatusBadRequest, err)
 		r.fail(w, http.StatusBadRequest, service.APIError{
 			Code: service.CodeBadRequest, Message: "reading request body: " + err.Error(), RequestID: reqID,
 		})
@@ -273,8 +298,11 @@ func (r *Router) handleKeyed(w http.ResponseWriter, req *http.Request, endpoint 
 	// router needs no per-endpoint schema knowledge; two spellings of
 	// the same spec (key order, number forms) still collide onto one
 	// shard and one cache entry.
+	sp := tr.StartSpan("canon")
 	key, err := canon.Hash(endpoint, json.RawMessage(body))
+	sp.EndErr(err)
 	if err != nil {
+		tr.End(http.StatusBadRequest, err)
 		r.fail(w, http.StatusBadRequest, service.APIError{
 			Code: service.CodeBadRequest, Message: "request body is not valid JSON", RequestID: reqID,
 		})
@@ -306,6 +334,8 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, endpoint, key
 	r.m.inflight.Add(1)
 	defer r.m.inflight.Add(-1)
 
+	tr := reqtrace.FromContext(req.Context())
+	fwdStart := time.Now()
 	order := make([]int, 0, len(candidates))
 	for _, i := range candidates {
 		if r.health.isHealthy(i) {
@@ -319,6 +349,14 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, endpoint, key
 		// is actually back, passive success revives it immediately.
 		order = candidates
 	}
+	// The ring span carries the probe-state verdict the walk was based
+	// on: how many candidates the key hashed to, how many the health set
+	// let through, and whether the walk fell back to the raw order.
+	tr.RecordSpan("ring", fwdStart, time.Since(fwdStart)).Attr(
+		reqtrace.Int("candidates", int64(len(candidates))),
+		reqtrace.Int("healthy", int64(r.health.healthyCount())),
+		reqtrace.Bool("allDown", allDown),
+	)
 	maxAttempts := 1 + r.opt.MaxRetries
 	if len(order) < maxAttempts {
 		maxAttempts = len(order)
@@ -329,14 +367,17 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, endpoint, key
 		i := order[attempt]
 		if attempt > 0 {
 			r.m.retries.Inc()
-			r.logf("retrying %s %s on %s after: %v", endpoint, reqID, r.opt.Replicas[i].ID, lastErr)
+			r.log.Warn("retrying forward",
+				"endpoint", endpoint, "requestId", reqID, "replica", r.opt.Replicas[i].ID,
+				"attempt", attempt, "error", lastErr)
 			select {
 			case <-req.Context().Done():
+				tr.End(0, req.Context().Err())
 				return
 			case <-time.After(r.backoff(attempt)):
 			}
 		}
-		done, err := r.tryOnce(w, req, i, endpoint, key, body, reqID)
+		done, err := r.tryOnce(w, req, i, attempt, endpoint, key, body, reqID, fwdStart)
 		if done {
 			return
 		}
@@ -349,7 +390,9 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, endpoint, key
 	if lastErr != nil {
 		msg += ": " + lastErr.Error()
 	}
-	r.logf("unavailable: %s %s: %s", endpoint, reqID, msg)
+	r.log.Error("no replica available", "endpoint", endpoint, "requestId", reqID, "error", msg)
+	tr.SetError(msg)
+	tr.End(http.StatusServiceUnavailable, nil)
 	r.fail(w, http.StatusServiceUnavailable, service.APIError{
 		Code: service.CodeShardUnavailable, Message: msg, RequestID: reqID,
 	})
@@ -369,8 +412,9 @@ func (r *Router) backoff(n int) time.Duration {
 // answered (successfully or in-band) and the caller must stop; when
 // done is false the attempt failed cleanly before any client byte and
 // the caller may retry elsewhere.
-func (r *Router) tryOnce(w http.ResponseWriter, req *http.Request, i int, endpoint, key string, body []byte, reqID string) (done bool, err error) {
+func (r *Router) tryOnce(w http.ResponseWriter, req *http.Request, i, attempt int, endpoint, key string, body []byte, reqID string, fwdStart time.Time) (done bool, err error) {
 	rep := r.opt.Replicas[i]
+	tr := reqtrace.FromContext(req.Context())
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -386,12 +430,25 @@ func (r *Router) tryOnce(w http.ResponseWriter, req *http.Request, i int, endpoi
 	if key != "" {
 		out.Header.Set(service.RoutedKeyHeader, key)
 	}
+	// The replica joins this trace: same trace id, same sampling
+	// verdict. An untraced request forwards no header at all (nil
+	// Trace renders the empty string), so the replica falls back to
+	// its own decision exactly like an unfronted deployment.
+	if tp := tr.Traceparent(); tp != "" {
+		out.Header.Set(reqtrace.Header, tp)
+	}
 
+	sp := tr.StartSpan("attempt").Attr(
+		reqtrace.String("replica", rep.ID),
+		reqtrace.Int("attempt", int64(attempt)),
+	)
 	start := time.Now()
 	resp, err := r.client.Do(out)
 	if err != nil {
+		sp.EndErr(err)
 		if req.Context().Err() != nil {
 			// The client hung up; nothing to retry for.
+			tr.End(0, err)
 			return true, err
 		}
 		r.m.fwdErrors.With(rep.ID).Inc()
@@ -399,9 +456,12 @@ func (r *Router) tryOnce(w http.ResponseWriter, req *http.Request, i int, endpoi
 		return false, err
 	}
 	defer resp.Body.Close()
+	sp.Attr(reqtrace.Int("status", int64(resp.StatusCode))).End()
 	// The replica answered; that is a liveness signal regardless of
 	// status (a 400 means it is alive and judging).
 	r.health.observe(i, true, 0, "")
+	tr.SetShard(rep.ID)
+	tr.SetStatus(resp.StatusCode)
 
 	h := w.Header()
 	for _, name := range []string{"Content-Type", "X-Cache", service.ShardHeader} {
@@ -412,9 +472,26 @@ func (r *Router) tryOnce(w http.ResponseWriter, req *http.Request, i int, endpoi
 	if h.Get(service.ShardHeader) == "" {
 		h.Set(service.ShardHeader, rep.ID)
 	}
+	// The replica's Server-Timing entries pass through untouched and the
+	// router Adds its own rt_* entries as a second header value: rt_route
+	// is everything the router spent before the upstream call (ring walk,
+	// failed attempts, backoff), rt_upstream the winning call itself up
+	// to response headers. Multiple Server-Timing headers are legal and
+	// clients see one combined timeline.
+	for _, v := range resp.Header.Values("Server-Timing") {
+		h.Add("Server-Timing", v)
+	}
+	if r.opt.Tracer != nil {
+		upstream := time.Since(start)
+		h.Add("Server-Timing", "rt_route;dur="+formatMillis(time.Since(fwdStart)-upstream)+
+			", rt_upstream;dur="+formatMillis(upstream))
+	}
 	w.WriteHeader(resp.StatusCode)
 	streaming := strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-ndjson")
+	copyStart := time.Now()
 	copyErr := copyFlush(w, resp.Body, streaming)
+	tr.RecordSpan("stream", copyStart, time.Since(copyStart)).Attr(
+		reqtrace.Bool("ndjson", streaming))
 	r.m.forwards.With(rep.ID, strconv.Itoa(resp.StatusCode)).Observe(time.Since(start).Seconds())
 	if copyErr != nil && req.Context().Err() == nil {
 		// The replica died mid-response. Status and bytes are already
@@ -422,7 +499,9 @@ func (r *Router) tryOnce(w http.ResponseWriter, req *http.Request, i int, endpoi
 		// error frame on the stream.
 		r.m.midstream.Inc()
 		r.health.observe(i, false, 0, copyErr.Error())
-		r.logf("mid-stream failure from %s for %s %s: %v", rep.ID, endpoint, reqID, copyErr)
+		r.log.Warn("mid-stream failure",
+			"replica", rep.ID, "endpoint", endpoint, "requestId", reqID, "error", copyErr)
+		tr.SetError("replica failed mid-stream: " + copyErr.Error())
 		if streaming {
 			line, _ := json.Marshal(service.ErrorLine{Kind: service.FrameError, Error: service.APIError{
 				Code:      service.CodeShardUnavailable,
@@ -438,6 +517,16 @@ func (r *Router) tryOnce(w http.ResponseWriter, req *http.Request, i int, endpoi
 		}
 	}
 	return true, nil
+}
+
+// formatMillis renders d as Server-Timing milliseconds (3 decimals,
+// clamped at zero — the rt_route subtraction can go fractionally
+// negative on clock granularity).
+func formatMillis(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	return strconv.FormatFloat(float64(d)/1e6, 'f', 3, 64)
 }
 
 // copyFlush streams src to dst, flushing after every chunk when the

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ccnet/ccnet/internal/reqtrace"
 	"github.com/ccnet/ccnet/internal/router"
 	"github.com/ccnet/ccnet/internal/service"
 )
@@ -47,6 +48,28 @@ type Config struct {
 	// replica — failure-mode tests use it to build replicas with
 	// scripted behavior. The function is called again on Restart.
 	NewHandler func(id string) http.Handler
+	// Trace wires one end-to-end reqtrace stack through the tier: the
+	// router mints (or adopts) the traceparent and every replica joins
+	// the trace it forwards, exactly like production ccrouter+ccserved
+	// with the -trace-* flags. Each tier serves its own GET /v1/traces.
+	Trace bool
+	// TraceRate is the sampling rate when Trace is set (0 means sample
+	// everything); TraceSeed makes trace ids and sampling decisions
+	// deterministic (0 = random ids).
+	TraceRate float64
+	TraceSeed uint64
+}
+
+// tracerFor builds one tier's tracer from the cluster trace config.
+func (cfg Config) tracerFor(component string) *reqtrace.Tracer {
+	if !cfg.Trace {
+		return nil
+	}
+	return reqtrace.New(reqtrace.Options{
+		Component: component,
+		Rate:      cfg.TraceRate,
+		Seed:      cfg.TraceSeed,
+	})
 }
 
 // Cluster is a running router plus K replica servers on loopback.
@@ -97,6 +120,7 @@ func Start(cfg Config) (*Cluster, error) {
 		RiseAfter:     cfg.RiseAfter,
 		MaxRetries:    cfg.MaxRetries,
 		RetryBackoff:  cfg.RetryBackoff,
+		Tracer:        cfg.tracerFor("router"),
 	})
 	if err != nil {
 		c.Close()
@@ -131,6 +155,7 @@ func (c *Cluster) startMember(m *member, ln net.Listener) {
 			Workers:         c.cfg.Workers,
 			ShardID:         m.id,
 			TrustRouterKeys: !c.cfg.DistrustRouterKeys,
+			Tracer:          c.cfg.tracerFor(m.id),
 		})
 		m.srv = &http.Server{Handler: m.svc.Handler()}
 	}

@@ -1,0 +1,317 @@
+package routertest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ccnet/ccnet/internal/reqtrace"
+	"github.com/ccnet/ccnet/internal/service"
+)
+
+// traceLine is one decoded /v1/traces NDJSON line (the fields these
+// tests assert on).
+type traceLine struct {
+	TraceID      string `json:"traceId"`
+	Name         string `json:"name"`
+	Component    string `json:"component"`
+	RequestID    string `json:"requestId"`
+	Shard        string `json:"shard"`
+	RemoteParent bool   `json:"remoteParent"`
+	Status       int    `json:"status"`
+	Error        string `json:"error"`
+	Spans        []struct {
+		Name  string `json:"name"`
+		Error string `json:"error"`
+	} `json:"spans"`
+}
+
+// tracesOf reads base's /v1/traces export ring.
+func tracesOf(t *testing.T, base string) []traceLine {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/traces")
+	if err != nil {
+		t.Fatalf("GET /v1/traces: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/traces = %d", resp.StatusCode)
+	}
+	var lines []traceLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var l traceLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// findTrace returns base's exported trace with the given id, if any.
+func findTrace(t *testing.T, base, traceID string) (traceLine, bool) {
+	t.Helper()
+	for _, l := range tracesOf(t, base) {
+		if l.TraceID == traceID {
+			return l, true
+		}
+	}
+	return traceLine{}, false
+}
+
+// postTraced drives one evaluate spec through the router carrying the
+// client's traceparent, and returns the response's request id and shard.
+func postTraced(t *testing.T, base, spec, traceparent string) (reqID, shard string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/evaluate", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(reqtrace.Header, traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/evaluate: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/evaluate = %d: %s", resp.StatusCode, body)
+	}
+	return resp.Header.Get(service.RequestIDHeader), resp.Header.Get(service.ShardHeader)
+}
+
+// evalSpec returns a distinct evaluate body per index.
+func evalSpec(i int) string {
+	return fmt.Sprintf(
+		`{"system": {"preset": "small"}, "message": {"flits": 32, "flitBytes": 256}, "lambda": %ge-4}`,
+		1+float64(i))
+}
+
+// clientTraceparent builds a sampled traceparent with a recognizable id.
+func clientTraceparent(i int) (header, traceID string) {
+	traceID = fmt.Sprintf("%032x", 0xabc0+i)
+	return fmt.Sprintf("00-%s-%016x-01", traceID, 1), traceID
+}
+
+// assertPropagated checks both tiers exported the trace: the router's
+// line carries the client's id with remoteParent set, and the replica
+// that answered (named by the shard header) exported the same id.
+func assertPropagated(t *testing.T, c *Cluster, phase, traceID, reqID, shard string) {
+	t.Helper()
+	rt, ok := findTrace(t, c.BaseURL(), traceID)
+	if !ok {
+		t.Fatalf("%s: router did not export trace %s", phase, traceID)
+	}
+	if !rt.RemoteParent {
+		t.Errorf("%s: router trace %s not marked remoteParent", phase, traceID)
+	}
+	if rt.RequestID != reqID {
+		t.Errorf("%s: router trace requestId = %q, want %q", phase, rt.RequestID, reqID)
+	}
+	idx, err := strconv.Atoi(strings.TrimPrefix(shard, "r"))
+	if err != nil {
+		t.Fatalf("%s: unexpected shard %q", phase, shard)
+	}
+	st, ok := findTrace(t, c.ReplicaURL(idx), traceID)
+	if !ok {
+		t.Fatalf("%s: replica %s did not join trace %s", phase, shard, traceID)
+	}
+	if st.Component != shard {
+		t.Errorf("%s: replica trace component = %q, want %q", phase, st.Component, shard)
+	}
+	if st.RequestID != reqID {
+		t.Errorf("%s: replica trace requestId = %q, want %q", phase, st.RequestID, reqID)
+	}
+}
+
+// TestTracePropagationKillRestart proves one trace id spans both tiers
+// — the router adopts the client's traceparent and the answering
+// replica joins the same trace — for K=1 and K=3, and that propagation
+// survives killing and restarting a replica. It also pins the
+// router-mints-X-Request-Id contract: the client sends none, yet every
+// response (and both tiers' trace exports) carries the same minted id.
+func TestTracePropagationKillRestart(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			c, err := Start(Config{
+				Replicas:      k,
+				ProbeInterval: 25 * time.Millisecond,
+				FailAfter:     1,
+				RiseAfter:     1,
+				Trace:         true,
+				TraceSeed:     42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			waitAllHealthy(t, c, k)
+
+			tp, traceID := clientTraceparent(0)
+			reqID, shard := postTraced(t, c.BaseURL(), evalSpec(0), tp)
+			if reqID == "" {
+				t.Fatal("router did not mint an X-Request-Id for an id-less client")
+			}
+			assertPropagated(t, c, "all-up", traceID, reqID, shard)
+
+			if k == 1 {
+				return
+			}
+			// Kill the replica that just answered: the next identical spec
+			// fails over, and the trace must span router + the new replica.
+			victim, err := strconv.Atoi(strings.TrimPrefix(shard, "r"))
+			if err != nil {
+				t.Fatalf("unexpected shard %q", shard)
+			}
+			c.Kill(victim)
+			tp2, traceID2 := clientTraceparent(1)
+			reqID2, shard2 := postTraced(t, c.BaseURL(), evalSpec(0), tp2)
+			if shard2 == shard {
+				t.Fatalf("request still answered by killed replica %s", shard)
+			}
+			assertPropagated(t, c, "one-down", traceID2, reqID2, shard2)
+
+			if err := c.Restart(victim); err != nil {
+				t.Fatal(err)
+			}
+			waitAllHealthy(t, c, k)
+			tp3, traceID3 := clientTraceparent(2)
+			reqID3, shard3 := postTraced(t, c.BaseURL(), evalSpec(2), tp3)
+			assertPropagated(t, c, "recovered", traceID3, reqID3, shard3)
+		})
+	}
+}
+
+// TestTraceSamplingDeterministic replays the same request sequence
+// against two clusters built with the same trace seed and a partial
+// sampling rate, and requires the exported trace-id sequences to be
+// identical: the head window plus the id-hash decision depend only on
+// (seed, sequence), never on timing.
+func TestTraceSamplingDeterministic(t *testing.T) {
+	run := func() []string {
+		c, err := Start(Config{
+			Replicas:  1,
+			Trace:     true,
+			TraceRate: 0.4,
+			TraceSeed: 1234,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := 0; i < 24; i++ {
+			postTraced(t, c.BaseURL(), evalSpec(i), "")
+		}
+		var ids []string
+		for _, l := range tracesOf(t, c.BaseURL()) {
+			ids = append(ids, l.TraceID)
+		}
+		return ids
+	}
+
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no traces sampled; the head window alone should export some")
+	}
+	if len(a) == 24 {
+		t.Fatal("every request sampled at rate 0.4; the hash decision never declined")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("sampled trace ids differ between identical runs:\n  a: %v\n  b: %v", a, b)
+	}
+}
+
+// TestMidStreamDeathTraceEndsWithError kills a replica mid-stream and
+// asserts the router's trace for that request is exported (not left
+// dangling) with the mid-stream failure recorded on it.
+func TestMidStreamDeathTraceEndsWithError(t *testing.T) {
+	streaming := make(chan struct{})
+	c, err := Start(Config{
+		Replicas:  1,
+		Trace:     true,
+		TraceSeed: 7,
+		NewHandler: func(id string) http.Handler {
+			mux := http.NewServeMux()
+			mux.HandleFunc("POST /v1/optimize", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				fmt.Fprintln(w, `{"kind":"progress","evaluated":1}`)
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
+				close(streaming)
+				<-r.Context().Done() // hold the stream open until killed
+			})
+			return mux
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tp, traceID := clientTraceparent(9)
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL()+"/v1/optimize", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(reqtrace.Header, tp)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	go func() {
+		<-streaming
+		c.Kill(0)
+	}()
+	io.Copy(io.Discard, resp.Body) // drain to the severed end
+
+	// The export races the client's EOF by a scheduler tick; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if tr, ok := findTrace(t, c.BaseURL(), traceID); ok {
+			if !strings.Contains(tr.Error, "mid-stream") {
+				t.Fatalf("trace error = %q, want a mid-stream failure", tr.Error)
+			}
+			if tr.Status != http.StatusOK {
+				t.Fatalf("trace status = %d, want the committed 200", tr.Status)
+			}
+			var names []string
+			for _, sp := range tr.Spans {
+				names = append(names, sp.Name)
+			}
+			for _, want := range []string{"attempt", "stream"} {
+				found := false
+				for _, n := range names {
+					if n == want {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trace spans %v missing %q", names, want)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mid-stream trace never exported: left dangling")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"github.com/ccnet/ccnet/internal/batch"
 	"github.com/ccnet/ccnet/internal/canon"
+	"github.com/ccnet/ccnet/internal/reqtrace"
 	"github.com/ccnet/ccnet/internal/scenario"
 )
 
@@ -71,7 +73,25 @@ func (s *Server) RunBatch(ctx context.Context, items []batch.Item, w io.Writer) 
 	s.batchItems.Add(uint64(len(items)))
 	st, done := s.newStream(ctx, "batch", w)
 	defer done()
-	eng := &batch.Engine{Workers: s.workers(), Exec: s.exec}
+	// A sampled trace sees each item twice: a "queue" span for the wait
+	// between batch start and worker pickup, and an "item" span for the
+	// execution itself (whose cache/compute spans land inline via the
+	// shared per-kind paths). Large batches overflow the per-trace span
+	// cap; the exported droppedSpans marker says so.
+	exec := s.exec
+	if tr := reqtrace.FromContext(ctx); tr.Sampled() {
+		batchStart := time.Now()
+		exec = func(ctx context.Context, index int, it batch.Item) batch.Outcome {
+			pickup := time.Now()
+			tr.RecordSpan("queue", batchStart, pickup.Sub(batchStart)).
+				Attr(reqtrace.Int("index", int64(index)))
+			o := s.exec(ctx, index, it)
+			tr.RecordSpan("item", pickup, time.Since(pickup)).
+				Attr(reqtrace.Int("index", int64(index)), reqtrace.String("kind", it.Kind))
+			return o
+		}
+	}
+	eng := &batch.Engine{Workers: s.workers(), Exec: exec}
 	sum, err := eng.Run(ctx, items, func(o batch.Outcome) error {
 		line := BatchItemLine{
 			Kind:     FrameProgress,
@@ -104,7 +124,7 @@ func (s *Server) RunBatch(ctx context.Context, items []batch.Item, w io.Writer) 
 // execBatchItem dispatches one item to the kind's shared compute path.
 // Item errors come back in the Outcome; the batch itself never fails on
 // one item.
-func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batch.Outcome {
+func (s *Server) execBatchItem(ctx context.Context, index int, it batch.Item) batch.Outcome {
 	o := batch.Outcome{}
 	fail := func(err error) batch.Outcome {
 		s.failures.Add(1)
@@ -124,19 +144,19 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 		if derr := decodeSpec(it.Spec, &req); derr != nil {
 			return fail(badRequest(fmt.Errorf("item %d: %w", index, derr)))
 		}
-		payload, key, class, err = s.evaluate(&req, "")
+		payload, key, class, err = s.evaluate(ctx, &req, "")
 	case "sweep":
 		var req SweepRequest
 		if derr := decodeSpec(it.Spec, &req); derr != nil {
 			return fail(badRequest(fmt.Errorf("item %d: %w", index, derr)))
 		}
-		payload, key, class, err = s.sweep(&req, "")
+		payload, key, class, err = s.sweep(ctx, &req, "")
 	case "campaign":
 		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
 		if perr != nil {
 			return fail(badRequest(perr))
 		}
-		payload, key, class, err = s.campaign(spec, "")
+		payload, key, class, err = s.campaign(ctx, spec, "")
 	case "performability":
 		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
 		if perr != nil {
@@ -145,7 +165,7 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 		if spec.Performability == nil {
 			return fail(badRequest(fmt.Errorf("item %d: performability: section required", index)))
 		}
-		payload, key, class, err = s.performability(spec, "")
+		payload, key, class, err = s.performability(ctx, spec, "")
 	case "fleetsim":
 		spec, perr := scenario.Parse(bytes.NewReader(it.Spec), fmt.Sprintf("item %d", index))
 		if perr != nil {
@@ -154,7 +174,7 @@ func (s *Server) execBatchItem(_ context.Context, index int, it batch.Item) batc
 		if spec.FleetSim == nil {
 			return fail(badRequest(fmt.Errorf("item %d: fleetsim: section required", index)))
 		}
-		payload, key, class, err = s.fleetsimItem(spec, "")
+		payload, key, class, err = s.fleetsimItem(ctx, spec, "")
 	default:
 		return fail(badRequest(fmt.Errorf("item %d: kind: unknown kind %q (valid: evaluate, sweep, campaign, performability, fleetsim)", index, it.Kind)))
 	}

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"time"
 
 	"github.com/ccnet/ccnet/internal/canon"
 	"github.com/ccnet/ccnet/internal/fleetsim"
+	"github.com/ccnet/ccnet/internal/reqtrace"
 	"github.com/ccnet/ccnet/internal/scenario"
 )
 
@@ -24,7 +26,7 @@ func fleetsimKey(spec *scenario.Spec) (canon.Key, error) {
 
 // fleetsimItem computes one fleet simulation through the cache without
 // streaming epochs; the batch executor uses it.
-func (s *Server) fleetsimItem(spec *scenario.Spec, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
+func (s *Server) fleetsimItem(ctx context.Context, spec *scenario.Spec, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
 	study, err := spec.FleetStudy()
 	if err != nil {
 		return nil, "", "", badRequest(err)
@@ -35,7 +37,7 @@ func (s *Server) fleetsimItem(spec *scenario.Spec, forced canon.Key) (payload []
 			return nil, "", "", err
 		}
 	}
-	payload, class, err = s.do(key, func() ([]byte, error) {
+	payload, class, err = s.do(ctx, key, func() ([]byte, error) {
 		eng := &fleetsim.Engine{Workers: s.workers()}
 		rep, err := eng.Run(context.Background(), study)
 		if err != nil {
@@ -74,22 +76,32 @@ func (s *Server) runFleetSim(ctx context.Context, spec *scenario.Spec, study *fl
 	st, done := s.newStream(ctx, "fleetsim", w)
 	defer done()
 
+	tr := reqtrace.FromContext(ctx)
 	key := forced
 	if key == "" {
+		sp := tr.StartSpan("canon")
 		var err error
-		if key, err = fleetsimKey(spec); err != nil {
+		key, err = fleetsimKey(spec)
+		sp.EndErr(err)
+		if err != nil {
 			s.failures.Add(1)
 			return nil, err
 		}
 	}
+	cs := tr.StartSpan("cache")
 	if payload, ok := s.cache.Get(key); ok {
+		cs.Attr(reqtrace.String("class", classHit)).End()
 		setHitClass(w, classHit)
 		return nil, st.emitResult(true, key, payload)
 	}
+	cs.End()
 
 	var rep *fleetsim.Report
+	flightStart := time.Now()
 	payload, err, shared := s.flight.Do(string(key), func() ([]byte, error) {
 		s.computes.Add(1)
+		sp := tr.StartSpan("compute")
+		defer sp.End()
 		var streamErr error
 		eng := &fleetsim.Engine{
 			Workers: s.workers(),
@@ -103,6 +115,7 @@ func (s *Server) runFleetSim(ctx context.Context, spec *scenario.Spec, study *fl
 		}
 		r, err := eng.Run(ctx, study)
 		if err != nil {
+			sp.EndErr(err)
 			return nil, err
 		}
 		b, err := json.Marshal(r)
@@ -115,12 +128,15 @@ func (s *Server) runFleetSim(ctx context.Context, spec *scenario.Spec, study *fl
 	})
 	if shared {
 		s.coalesced.Add(1)
+		tr.RecordSpan("wait", flightStart, time.Since(flightStart)).
+			Attr(reqtrace.String("class", classCoalesced))
 		setHitClass(w, classCoalesced)
 	} else {
 		setHitClass(w, classMiss)
 	}
 	if err != nil {
 		s.failures.Add(1)
+		tr.SetError(err.Error())
 		// Streaming has begun; report the failure in-band.
 		st.emitError(err)
 		return nil, err
@@ -136,7 +152,9 @@ func (s *Server) runFleetSim(ctx context.Context, spec *scenario.Spec, study *fl
 // the request context.
 func (s *Server) handleFleetSim(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	sp := reqtrace.FromContext(r.Context()).StartSpan("decode")
 	spec, err := scenario.Parse(r.Body, "request")
+	sp.EndErr(err)
 	if err != nil {
 		s.fail(w, r, http.StatusBadRequest, badRequest(err))
 		return

@@ -9,6 +9,7 @@ import (
 
 	"github.com/ccnet/ccnet/internal/canon"
 	"github.com/ccnet/ccnet/internal/metrics"
+	"github.com/ccnet/ccnet/internal/reqtrace"
 	"github.com/ccnet/ccnet/internal/version"
 )
 
@@ -112,6 +113,23 @@ func (s *Server) initMetrics() {
 	reg.GaugeFunc("ccserved_cache_bytes", "Bytes currently cached (keys + payloads + overhead).",
 		func() float64 { return float64(s.cache.Stats().Bytes) })
 
+	// Tracer counters join the same scrape-time-callback scheme so the
+	// tracing layer needs no metrics dependency of its own.
+	if tr := s.opt.Tracer; tr != nil {
+		reg.CounterFunc("ccserved_traces_started_total", "Request traces started (sampled or not).",
+			func() float64 { return float64(tr.Stats().Started) })
+		reg.CounterFunc("ccserved_traces_sampled_total", "Request traces that recorded spans.",
+			func() float64 { return float64(tr.Stats().Sampled) })
+		reg.CounterFunc("ccserved_traces_exported_total", "Completed traces exported to the ring/sink.",
+			func() float64 { return float64(tr.Stats().Exported) })
+		reg.CounterFunc("ccserved_traces_slow_total", "Exported traces at or above the slow threshold.",
+			func() float64 { return float64(tr.Stats().Slow) })
+		reg.CounterFunc("ccserved_traces_errored_total", "Exported traces that ended in error.",
+			func() float64 { return float64(tr.Stats().Errored) })
+		reg.CounterFunc("ccserved_trace_spans_dropped_total", "Spans discarded by the per-trace cap.",
+			func() float64 { return float64(tr.Stats().DroppedSpans) })
+	}
+
 	metrics.RegisterGoRuntime(reg)
 	s.m = m
 }
@@ -127,7 +145,7 @@ func endpointLabel(path string) string {
 	name = strings.TrimPrefix(name, "/")
 	switch name {
 	case "evaluate", "sweep", "campaign", "batch", "optimize", "performability",
-		"fleetsim", "healthz", "stats", "metrics", "version":
+		"fleetsim", "healthz", "stats", "metrics", "version", "traces":
 		return name
 	}
 	return "other"
@@ -143,12 +161,21 @@ type statusWriter struct {
 	status   int
 	hitClass string
 	reqID    string
+	trace    *reqtrace.Trace
 	suppress bool // swallowing a replaced plain-text error body
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
+		// Last moment headers can change: attach the stage breakdown of
+		// everything traced so far. JSON endpoints have fully computed by
+		// now; streaming endpoints commit their 200 before computing, so
+		// their header carries only the pre-stream stages (documented in
+		// MONITORING.md).
+		if st := w.trace.ServerTiming(); st != "" {
+			w.Header().Add("Server-Timing", st)
+		}
 	}
 	// Our handlers never emit a bare 404/405 — those come from the
 	// ServeMux (http.Error: text/plain). Replace the body with the
@@ -216,6 +243,11 @@ func setHitClass(w any, class string) {
 // by endpoint, status and hit class. The hit class comes from the
 // streaming endpoints' setHitClass or the JSON endpoints' X-Cache
 // header; endpoints without a cache record "none".
+//
+// It is also where a request's trace begins and ends: POST requests
+// (the compute endpoints — probes and the observability GETs would
+// only flood the ring) adopt the inbound traceparent or mint one, and
+// the completed trace is exported after the handler returns.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -233,10 +265,16 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				ctx = withRoutedKey(ctx, k)
 			}
 		}
+		var tr *reqtrace.Trace
+		if r.Method == http.MethodPost {
+			ctx, tr = s.opt.Tracer.StartRequest(ctx, r.Method+" "+r.URL.Path,
+				r.Header.Get(reqtrace.Header), id)
+			tr.SetShard(s.opt.ShardID)
+		}
 		r = r.WithContext(ctx)
 
 		s.m.inflight.Add(1)
-		sw := &statusWriter{ResponseWriter: w, reqID: id}
+		sw := &statusWriter{ResponseWriter: w, reqID: id, trace: tr}
 		next.ServeHTTP(sw, r)
 		s.m.inflight.Add(-1)
 		class := sw.hitClass
@@ -248,5 +286,6 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		s.m.requests.With(endpointLabel(r.URL.Path), strconv.Itoa(sw.statusCode()), class).
 			Observe(time.Since(start).Seconds())
+		tr.End(sw.statusCode(), nil)
 	})
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"time"
 
 	"github.com/ccnet/ccnet/internal/canon"
 	"github.com/ccnet/ccnet/internal/optimize"
+	"github.com/ccnet/ccnet/internal/reqtrace"
 )
 
 // optimizeKey hashes the search spec with its defaults resolved, so
@@ -41,18 +43,25 @@ func (s *Server) runOptimize(ctx context.Context, spec *optimize.SearchSpec, w i
 	st, done := s.newStream(ctx, "optimize", w)
 	defer done()
 
+	tr := reqtrace.FromContext(ctx)
 	key := forced
 	if key == "" {
+		sp := tr.StartSpan("canon")
 		var err error
-		if key, err = optimizeKey(spec); err != nil {
+		key, err = optimizeKey(spec)
+		sp.EndErr(err)
+		if err != nil {
 			s.failures.Add(1)
 			return nil, err
 		}
 	}
+	cs := tr.StartSpan("cache")
 	if payload, ok := s.cache.Get(key); ok {
+		cs.Attr(reqtrace.String("class", classHit)).End()
 		setHitClass(w, classHit)
 		return nil, st.emitResult(true, key, payload)
 	}
+	cs.End()
 
 	// Concurrent identical specs coalesce onto one search through the
 	// same singleflight group the other endpoints use: the winning
@@ -62,8 +71,11 @@ func (s *Server) runOptimize(ctx context.Context, spec *optimize.SearchSpec, w i
 	// computation — the sharers get the error frame and may retry
 	// against a now-warm cache.
 	var rep *optimize.Report
+	flightStart := time.Now()
 	payload, err, shared := s.flight.Do(string(key), func() ([]byte, error) {
 		s.computes.Add(1)
+		sp := tr.StartSpan("compute")
+		defer sp.End()
 		var progressErr error
 		eng := &optimize.Engine{
 			Workers: s.workers(),
@@ -77,6 +89,7 @@ func (s *Server) runOptimize(ctx context.Context, spec *optimize.SearchSpec, w i
 		}
 		r, err := eng.Run(ctx, spec)
 		if err != nil {
+			sp.EndErr(err)
 			return nil, err
 		}
 		b, err := json.Marshal(r)
@@ -89,12 +102,15 @@ func (s *Server) runOptimize(ctx context.Context, spec *optimize.SearchSpec, w i
 	})
 	if shared {
 		s.coalesced.Add(1)
+		tr.RecordSpan("wait", flightStart, time.Since(flightStart)).
+			Attr(reqtrace.String("class", classCoalesced))
 		setHitClass(w, classCoalesced)
 	} else {
 		setHitClass(w, classMiss)
 	}
 	if err != nil {
 		s.failures.Add(1)
+		tr.SetError(err.Error())
 		// Streaming has begun; report the failure in-band.
 		st.emitError(err)
 		return nil, err
@@ -109,7 +125,9 @@ func (s *Server) runOptimize(ctx context.Context, spec *optimize.SearchSpec, w i
 // disconnects cancels the search via the request context.
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	sp := reqtrace.FromContext(r.Context()).StartSpan("decode")
 	spec, err := optimize.Parse(r.Body, "request")
+	sp.EndErr(err)
 	if err != nil {
 		s.fail(w, r, http.StatusBadRequest, badRequest(err))
 		return

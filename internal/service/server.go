@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"github.com/ccnet/ccnet/internal/cluster"
 	"github.com/ccnet/ccnet/internal/core"
 	"github.com/ccnet/ccnet/internal/netchar"
+	"github.com/ccnet/ccnet/internal/reqtrace"
 	"github.com/ccnet/ccnet/internal/scenario"
 	"github.com/ccnet/ccnet/internal/version"
 )
@@ -43,9 +45,14 @@ type Options struct {
 	// the canonical cache key, skipping its own canonicalization pass.
 	// Enable only behind a trusted router tier (see RoutedKeyHeader).
 	TrustRouterKeys bool
-	// Logf, when set, receives one line per failed request (status,
-	// code, request ID). ccserved points it at log.Printf.
-	Logf func(format string, args ...any)
+	// Log, when set, receives one structured line per failed request
+	// (status, code, request and trace IDs). ccserved builds it with
+	// reqtrace.NewLogger.
+	Log *slog.Logger
+	// Tracer records request traces: stage spans on every sampled POST,
+	// Server-Timing response headers, and the GET /v1/traces export.
+	// nil disables tracing entirely (all hooks are no-ops).
+	Tracer *reqtrace.Tracer
 }
 
 // Server serves the analytical model and scenario engine over HTTP.
@@ -128,6 +135,7 @@ func (s *Server) Computes() uint64 { return s.computes.Load() }
 //	GET  /v1/healthz    liveness + version
 //	GET  /v1/version    build version, API/schema versions, shard ID
 //	GET  /v1/stats      request and cache counters
+//	GET  /v1/traces     completed sampled request traces (NDJSON ring)
 //	GET  /metrics       Prometheus text exposition
 //
 // Every route runs through the instrumentation middleware: request-ID
@@ -140,6 +148,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.m.reg.Handler())
+	mux.Handle("GET /v1/traces", s.opt.Tracer.Handler())
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
@@ -356,11 +365,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.evaluates.Add(1)
 	var req EvaluateRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	if err := s.decodeTraced(w, r, &req); err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	payload, key, class, err := s.evaluate(&req, routedKeyFrom(r.Context()))
+	payload, key, class, err := s.evaluate(r.Context(), &req, routedKeyFrom(r.Context()))
 	s.finish(w, r, key, payload, class, err)
 }
 
@@ -368,7 +377,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // cache; the HTTP handler and the batch executor share it. Errors caused
 // by the request are badRequest-tagged. A non-empty forced key (the
 // router's precomputed canonical key) replaces the local hash pass.
-func (s *Server) evaluate(req *EvaluateRequest, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
+func (s *Server) evaluate(ctx context.Context, req *EvaluateRequest, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
 	var errs []error
 	if err := req.System.Validate(); err != nil {
 		errs = append(errs, err)
@@ -391,12 +400,15 @@ func (s *Server) evaluate(req *EvaluateRequest, forced canon.Key) (payload []byt
 	msg := netchar.MessageSpec{Flits: req.Message.Flits, FlitBytes: req.Message.FlitBytes}
 	opt := req.Model.Options(req.StoreAndForward)
 	if key = forced; key == "" {
-		if key, err = canon.Hash("evaluate", hashableSystem(sys), msg, opt, req.Lambda); err != nil {
+		sp := reqtrace.FromContext(ctx).StartSpan("canon")
+		key, err = canon.Hash("evaluate", hashableSystem(sys), msg, opt, req.Lambda)
+		sp.EndErr(err)
+		if err != nil {
 			return nil, "", "", err
 		}
 	}
 
-	payload, class, err = s.do(key, func() ([]byte, error) {
+	payload, class, err = s.do(ctx, key, func() ([]byte, error) {
 		m, err := core.New(sys, msg, opt)
 		if err != nil {
 			return nil, badRequest(err)
@@ -410,18 +422,18 @@ func (s *Server) evaluate(req *EvaluateRequest, forced canon.Key) (payload []byt
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.sweeps.Add(1)
 	var req SweepRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	if err := s.decodeTraced(w, r, &req); err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	payload, key, class, err := s.sweep(&req, routedKeyFrom(r.Context()))
+	payload, key, class, err := s.sweep(r.Context(), &req, routedKeyFrom(r.Context()))
 	s.finish(w, r, key, payload, class, err)
 }
 
 // sweep validates and computes one sweep request through the cache; the
 // HTTP handler and the batch executor share it. A non-empty forced key
 // (the router's precomputed canonical key) replaces the local hash pass.
-func (s *Server) sweep(req *SweepRequest, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
+func (s *Server) sweep(ctx context.Context, req *SweepRequest, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
 	var errs []error
 	if err := req.System.Validate(); err != nil {
 		errs = append(errs, err)
@@ -469,6 +481,7 @@ func (s *Server) sweep(req *SweepRequest, forced canon.Key) (payload []byte, key
 		}
 	}
 	if key = forced; key == "" {
+		sp := reqtrace.FromContext(ctx).StartSpan("canon")
 		if req.Lambda.Auto {
 			la := req.Lambda
 			if la.AutoFraction == 0 {
@@ -478,12 +491,13 @@ func (s *Server) sweep(req *SweepRequest, forced canon.Key) (payload []byte, key
 		} else {
 			key, err = canon.Hash("sweep", hashableSystem(sys), msg, opt, grid)
 		}
+		sp.EndErr(err)
 		if err != nil {
 			return nil, "", "", err
 		}
 	}
 
-	payload, class, err = s.do(key, func() ([]byte, error) {
+	payload, class, err = s.do(ctx, key, func() ([]byte, error) {
 		g := grid
 		var models []*core.Model
 		if g == nil { // auto grid: materialize from the paper model
@@ -520,19 +534,21 @@ func (s *Server) sweep(req *SweepRequest, forced canon.Key) (payload []byte, key
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	s.campaigns.Add(1)
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	sp := reqtrace.FromContext(r.Context()).StartSpan("decode")
 	spec, err := scenario.Parse(r.Body, "request")
+	sp.EndErr(err)
 	if err != nil {
 		s.fail(w, r, http.StatusBadRequest, badRequest(err))
 		return
 	}
-	payload, key, class, err := s.campaign(spec, routedKeyFrom(r.Context()))
+	payload, key, class, err := s.campaign(r.Context(), spec, routedKeyFrom(r.Context()))
 	s.finish(w, r, key, payload, class, err)
 }
 
 // campaign computes one parsed scenario through the cache; the HTTP
 // handler and the batch executor share it. A non-empty forced key (the
 // router's precomputed canonical key) replaces the local hash pass.
-func (s *Server) campaign(spec *scenario.Spec, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
+func (s *Server) campaign(ctx context.Context, spec *scenario.Spec, forced canon.Key) (payload []byte, key canon.Key, class string, err error) {
 	if key = forced; key == "" {
 		// Normalize the one default the runner applies itself, so "seed
 		// omitted" and "seed: 1" share a cache entry.
@@ -540,12 +556,15 @@ func (s *Server) campaign(spec *scenario.Spec, forced canon.Key) (payload []byte
 		if norm.Seed == 0 {
 			norm.Seed = 1
 		}
-		if key, err = canon.Hash("campaign", norm); err != nil {
+		sp := reqtrace.FromContext(ctx).StartSpan("canon")
+		key, err = canon.Hash("campaign", norm)
+		sp.EndErr(err)
+		if err != nil {
 			return nil, "", "", err
 		}
 	}
 
-	payload, class, err = s.do(key, func() ([]byte, error) {
+	payload, class, err = s.do(ctx, key, func() ([]byte, error) {
 		runner := &scenario.Runner{Workers: s.workers()}
 		o := runner.Run([]*scenario.Spec{spec})[0]
 		if o.Err != nil {
@@ -594,14 +613,23 @@ func (s *Server) workers() int {
 // group (so concurrent identical requests compute once) and caches the
 // successful payload. class reports how the answer was produced:
 // classHit (cache), classCoalesced (shared a concurrent identical
-// computation) or classMiss (computed here).
-func (s *Server) do(key canon.Key, compute func() ([]byte, error)) (payload []byte, class string, err error) {
+// computation) or classMiss (computed here). The stage spans land on
+// the request's trace: "cache" for the lookup, "compute" on the caller
+// that ran the computation, "wait" on callers that coalesced onto it.
+func (s *Server) do(ctx context.Context, key canon.Key, compute func() ([]byte, error)) (payload []byte, class string, err error) {
+	tr := reqtrace.FromContext(ctx)
+	cs := tr.StartSpan("cache")
 	if v, ok := s.cache.Get(key); ok {
+		cs.Attr(reqtrace.String("class", classHit)).End()
 		return v, classHit, nil
 	}
+	cs.End()
+	flightStart := time.Now()
 	v, err, shared := s.flight.Do(string(key), func() ([]byte, error) {
 		s.computes.Add(1)
+		sp := tr.StartSpan("compute")
 		v, err := compute()
+		sp.EndErr(err)
 		if err == nil {
 			s.cache.Put(key, v)
 		}
@@ -609,6 +637,8 @@ func (s *Server) do(key canon.Key, compute func() ([]byte, error)) (payload []by
 	})
 	if shared {
 		s.coalesced.Add(1)
+		tr.RecordSpan("wait", flightStart, time.Since(flightStart)).
+			Attr(reqtrace.String("class", classCoalesced))
 		return v, classCoalesced, err
 	}
 	return v, classMiss, err
@@ -632,14 +662,26 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, key canon.Key, p
 }
 
 // fail answers a request with the typed APIError envelope — the only
-// non-2xx body shape the v1 API emits — and logs it when a logger is
-// configured.
+// non-2xx body shape the v1 API emits — annotates the trace, and logs
+// one structured line when a logger is configured.
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, err error) {
 	s.failures.Add(1)
 	ae := apiErrorFor(status, RequestIDFrom(r.Context()), err)
-	if s.opt.Logf != nil {
-		s.opt.Logf("ccserved: %s %s -> %d %s request=%s: %s",
-			r.Method, r.URL.Path, status, ae.Code, ae.RequestID, ae.Message)
+	tr := reqtrace.FromContext(r.Context())
+	tr.SetError(ae.Message)
+	if s.opt.Log != nil {
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.String("code", string(ae.Code)),
+			slog.String("requestId", ae.RequestID),
+			slog.String("error", ae.Message),
+		}
+		if tr != nil {
+			attrs = append(attrs, slog.String("traceId", tr.Context().TraceID.String()))
+		}
+		s.opt.Log.LogAttrs(r.Context(), slog.LevelWarn, "request failed", attrs...)
 	}
 	s.writeJSON(w, status, ae)
 }
@@ -652,6 +694,16 @@ func (e *badRequestError) Error() string { return e.err.Error() }
 func (e *badRequestError) Unwrap() error { return e.err }
 
 func badRequest(err error) error { return &badRequestError{err: err} }
+
+// decodeTraced is decodeJSON with the "decode" stage span on the
+// request's trace (body read + parse, the first stage of every JSON
+// compute endpoint).
+func (s *Server) decodeTraced(w http.ResponseWriter, r *http.Request, dst any) error {
+	sp := reqtrace.FromContext(r.Context()).StartSpan("decode")
+	err := decodeJSON(w, r, dst)
+	sp.EndErr(err)
+	return err
+}
 
 // decodeJSON decodes a single JSON document into dst, rejecting unknown
 // fields and trailing data, with decode errors rewritten into the
